@@ -1,0 +1,141 @@
+// Command aid runs the full Adaptive Interventional Debugging pipeline
+// on one of the built-in case studies: trace collection, statistical
+// debugging, AC-DAG construction, causality-guided interventions, and
+// the TAGT baseline, printing the root cause and the causal explanation.
+//
+// Usage:
+//
+//	aid -case npgsql [-successes 50] [-failures 50] [-seed 1] [-rounds] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aid/internal/acdag"
+	"aid/internal/casestudy"
+	"aid/internal/predicate"
+	"aid/internal/statdebug"
+	"aid/internal/trace"
+)
+
+func main() {
+	var (
+		name      = flag.String("case", "npgsql", "case study: npgsql, kafka, cosmosdb, network, buildandtest, healthtelemetry")
+		successes = flag.Int("successes", 50, "successful executions to collect")
+		failures  = flag.Int("failures", 50, "failed executions to collect")
+		seed      = flag.Int64("seed", 1, "algorithm seed (tie-breaking)")
+		replays   = flag.Int("replays", 5, "re-executions per intervention round")
+		variant   = flag.String("variant", "aid", "algorithm variant: aid, aid-p, aid-p-b")
+		compounds = flag.Int("compounds", 0, "max compound (conjunction) predicates to materialize")
+		rounds    = flag.Bool("rounds", false, "print the intervention round log")
+		dot       = flag.Bool("dot", false, "print the AC-DAG in Graphviz format and exit")
+		sd        = flag.Bool("sd", false, "print the statistical-debugging ranking and exit (the SD baseline)")
+		saveTrace = flag.String("save-traces", "", "save the collected trace corpus to this file (JSON lines)")
+	)
+	flag.Parse()
+
+	study := casestudy.ByName(*name)
+	if study == nil {
+		fmt.Fprintf(os.Stderr, "aid: unknown case study %q; available:", *name)
+		for _, s := range casestudy.All() {
+			fmt.Fprintf(os.Stderr, " %s", s.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	rc := casestudy.RunConfig{
+		Successes: *successes, Failures: *failures,
+		SeedCap: 20000, ReplaySeeds: *replays, Seed: *seed,
+		Variant: *variant, Compounds: *compounds,
+	}
+
+	if *dot || *sd || *saveTrace != "" {
+		if err := inspect(study, rc, *dot, *sd, *saveTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "aid:", err)
+			os.Exit(1)
+		}
+		if *dot || *sd {
+			return
+		}
+	}
+
+	rep, err := casestudy.Run(study, rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aid:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("case study:      %s (%s)\n", rep.Study, rep.Issue)
+	fmt.Printf("bug:             %s\n", rep.Description)
+	fmt.Printf("SD predicates:   %d fully discriminative (of %d extracted)\n",
+		rep.Discriminative, rep.TotalPredicates)
+	fmt.Printf("AC-DAG:          %d nodes, %d without a path to F\n", rep.DAGNodes, rep.NoPathToF)
+	fmt.Printf("root cause:      %s\n", rep.AID.RootCause())
+	fmt.Printf("causal path:     %d predicates\n", rep.CausalPathLen)
+	fmt.Printf("interventions:   AID %d, TAGT %d (worst-case bound %d)\n",
+		rep.AIDInterventions, rep.TAGTInterventions, rep.TAGTWorstCase)
+	s1, s2 := rep.AID.PruningStats()
+	fmt.Printf("pruning rates:   S1=%.1f discarded/round, S2=%.1f discarded/cause (§6)\n", s1, s2)
+	fmt.Println()
+	fmt.Println(rep.Narrative)
+	if *rounds {
+		fmt.Println("\nintervention rounds:")
+		for i, r := range rep.AID.Rounds {
+			verdict := "failure persisted"
+			if r.Stopped {
+				verdict = "failure stopped"
+			}
+			fmt.Printf("  %2d [%s] intervene {%s} -> %s", i+1, r.Phase,
+				joinIDs(r.Intervened), verdict)
+			if r.Confirmed != "" {
+				fmt.Printf("; confirmed %s", r.Confirmed)
+			}
+			if len(r.Pruned) > 0 {
+				fmt.Printf("; pruned {%s}", joinIDs(r.Pruned))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// inspect runs the SD phase only and prints/saves the requested views.
+func inspect(study *casestudy.Study, rc casestudy.RunConfig, dot, sd bool, savePath string) error {
+	set, _, err := casestudy.Collect(study, rc)
+	if err != nil {
+		return err
+	}
+	if savePath != "" {
+		if err := trace.WriteFile(savePath, set); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved %d executions to %s\n", len(set.Executions), savePath)
+	}
+	corpus := predicate.Extract(set, study.Config())
+	if sd {
+		fmt.Printf("statistical debugging ranking for %s (%d predicates):\n\n",
+			study.Name, len(corpus.Preds))
+		fmt.Print(statdebug.FormatScores(corpus, 40))
+		return nil
+	}
+	if dot {
+		fully := statdebug.FullyDiscriminative(corpus)
+		dag, _, err := acdag.Build(corpus, fully, acdag.BuildOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(dag.Dot())
+	}
+	return nil
+}
+
+func joinIDs(ids []predicate.ID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ", ")
+}

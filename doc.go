@@ -1,0 +1,30 @@
+// Package aid is a Go reproduction of "Causality-Guided Adaptive
+// Interventional Debugging" (Fariha, Nath, Meliou — SIGMOD 2020).
+//
+// AID localizes the root cause of an application's intermittent failure
+// and explains how it propagates: it extracts runtime predicates from
+// execution traces, keeps the fully-discriminative ones (statistical
+// debugging), over-approximates their causality with a
+// temporal-precedence DAG, and then prunes that DAG with
+// causality-guided group interventions (fault injection) until only the
+// true causal path from root cause to failure remains.
+//
+// The implementation lives under internal/:
+//
+//	trace      execution-trace model (spans, accesses, logical clocks)
+//	sim        deterministic concurrency simulator + fault injection
+//	predicate  predicate vocabulary and extraction from traces
+//	statdebug  statistical debugging (precision/recall, SD baseline)
+//	acdag      the approximate causal DAG (AC-DAG) of §4
+//	core       Algorithms 1–3: GIWP, Branch-Prune, Causal-Path-Discovery
+//	grouptest  the TAGT baseline
+//	inject     predicate repairs → simulator injection plans
+//	theory     §6 bounds and search-space analysis
+//	synthetic  the Fig. 8 synthetic benchmark
+//	casestudy  the six Fig. 7 case studies
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-versus-measured comparison. The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation.
+package aid

@@ -1,0 +1,55 @@
+// Case-study walkthrough of §7.1.1: the Npgsql connector-pool data race
+// (GitHub issue npgsql#2485).
+//
+// Two threads race on the pool's index variable; a lost update leaves
+// the pool table one entry short and a later lookup indexes beyond it,
+// crashing the application with IndexOutOfRange. AID pinpoints the race
+// as the root cause and explains how it propagates to the crash — with
+// far fewer interventions than traditional adaptive group testing.
+//
+//	go run ./examples/npgsql-datarace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aid/internal/casestudy"
+)
+
+func main() {
+	study := casestudy.Npgsql()
+	fmt.Printf("application: %s (%s)\n", study.Name, study.Issue)
+	fmt.Printf("bug:         %s\n\n", study.Description)
+
+	rc := casestudy.DefaultRunConfig()
+	rep, err := casestudy.Run(study, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("statistical debugging found %d fully-discriminative predicates;\n", rep.Discriminative)
+	fmt.Printf("only %d of them form the causal path.\n\n", rep.CausalPathLen)
+	fmt.Println("AID's explanation of the failure:")
+	for _, line := range rep.Explanation {
+		fmt.Println("  " + line)
+	}
+	fmt.Printf("\ninterventions: AID %d vs TAGT %d (worst-case bound %d)\n",
+		rep.AIDInterventions, rep.TAGTInterventions, rep.TAGTWorstCase)
+
+	fmt.Println("\nintervention log:")
+	for i, r := range rep.AID.Rounds {
+		verdict := "failure persisted"
+		if r.Stopped {
+			verdict = "failure stopped"
+		}
+		fmt.Printf("  round %d (%s): %d predicates forced -> %s", i+1, r.Phase, len(r.Intervened), verdict)
+		if r.Confirmed != "" {
+			fmt.Printf("; confirmed cause: %s", r.Confirmed)
+		}
+		if len(r.Pruned) > 0 {
+			fmt.Printf("; pruned %d", len(r.Pruned))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,78 @@
+// Offline debugging: collect traces once, persist the predicate
+// corpus, and analyze it later — the paper's separation of lightweight
+// logging from (re-runnable) analysis, plus the narrative explanation.
+//
+//	go run ./examples/offline-debug
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"aid/internal/acdag"
+	"aid/internal/casestudy"
+	"aid/internal/core"
+	"aid/internal/explain"
+	"aid/internal/inject"
+	"aid/internal/predicate"
+	"aid/internal/statdebug"
+)
+
+func main() {
+	study := casestudy.BuildAndTest()
+	rc := casestudy.DefaultRunConfig()
+	rc.Successes, rc.Failures = 30, 30
+
+	// Phase 1 (on the "test machine"): collect traces, extract the
+	// predicate corpus, persist it.
+	set, failSeeds, err := casestudy.Collect(study, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := predicate.Extract(set, study.Config())
+
+	dir, err := os.MkdirTemp("", "aid-offline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	corpusPath := filepath.Join(dir, "corpus.json")
+	if err := predicate.WriteCorpusFile(corpusPath, corpus); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(corpusPath)
+	fmt.Printf("persisted corpus: %d predicates over %d executions (%d bytes)\n",
+		len(corpus.Preds), len(corpus.Logs), info.Size())
+
+	// Phase 2 (on the "debugging machine"): reload the corpus, build
+	// the AC-DAG, and run interventions. Only the intervention phase
+	// needs the application itself.
+	loaded, err := predicate.ReadCorpusFile(corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fully := statdebug.FullyDiscriminative(loaded)
+	dag, _, err := acdag.Build(loaded, fully, acdag.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	executor := &inject.Executor{
+		Prog: study.Program, Corpus: loaded,
+		Seeds: failSeeds[:4], Cfg: study.Config(),
+		FailureSig: study.FailureSig,
+	}
+	for i := range set.Executions {
+		if !set.Executions[i].Failed() {
+			executor.Baselines = append(executor.Baselines, set.Executions[i])
+		}
+	}
+	res, err := core.Discover(dag, executor, core.AIDOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println(explain.Build(loaded, res))
+}

@@ -1,0 +1,110 @@
+// Quickstart: the full AID pipeline on a 40-line buggy program.
+//
+// The program has a classic lost-update race: two workers increment a
+// shared counter without a lock, and the application crashes when an
+// update is lost. We collect traces, run statistical debugging, build
+// the approximate causal DAG, and let AID intervene its way to the root
+// cause.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aid/internal/acdag"
+	"aid/internal/core"
+	"aid/internal/inject"
+	"aid/internal/predicate"
+	"aid/internal/sim"
+	"aid/internal/statdebug"
+	"aid/internal/trace"
+)
+
+func buggyProgram() *sim.Program {
+	p := sim.NewProgram("quickstart", "Main")
+	p.Globals["counter"] = 0
+
+	// Unprotected read-modify-write: the race window.
+	p.AddFunc("Increment",
+		sim.ReadGlobal{Var: "counter", Dst: "c"},
+		sim.Nop{}, sim.Nop{},
+		sim.Arith{Dst: "c", A: sim.V("c"), Op: sim.OpAdd, B: sim.Lit(1)},
+		sim.WriteGlobal{Var: "counter", Src: sim.V("c")},
+	)
+	p.AddFunc("ReadTotal",
+		sim.ReadGlobal{Var: "counter", Dst: "v"},
+		sim.Return{Val: sim.V("v")},
+	).SideEffectFree = true
+	p.AddFunc("Main",
+		sim.Spawn{Fn: "Increment", Dst: "a"},
+		sim.Spawn{Fn: "Increment", Dst: "b"},
+		sim.Join{Thread: sim.V("a")},
+		sim.Join{Thread: sim.V("b")},
+		sim.Call{Fn: "ReadTotal", Dst: "total"},
+		sim.If{Cond: sim.Cond{A: sim.V("total"), Op: sim.NE, B: sim.Lit(2)},
+			Then: []sim.Op{sim.Throw{Kind: "LostUpdate"}}},
+	)
+	return p
+}
+
+func main() {
+	prog := buggyProgram()
+
+	// 1. Collect traces from many executions; the failure is
+	//    intermittent — only some schedules interleave the race windows.
+	set := &trace.Set{}
+	var failSeeds []int64
+	for seed := int64(1); seed <= 200; seed++ {
+		exec := sim.MustRun(prog, seed, sim.RunOptions{})
+		set.Executions = append(set.Executions, exec)
+		if exec.Failed() {
+			failSeeds = append(failSeeds, seed)
+		}
+	}
+	succ, fail := set.Counts()
+	fmt.Printf("collected %d successes, %d failures\n", succ, fail)
+
+	// 2. Statistical debugging: extract predicates, keep the fully
+	//    discriminative ones.
+	cfg := predicate.Config{
+		SideEffectFree: func(m string) bool { return m == "ReadTotal" },
+		DurationMargin: 4,
+	}
+	corpus := predicate.Extract(set, cfg)
+	fully := statdebug.FullyDiscriminative(corpus)
+	fmt.Printf("fully discriminative predicates: %d\n", len(fully))
+	for _, id := range fully {
+		fmt.Printf("  %s\n", corpus.Pred(id))
+	}
+
+	// 3. Approximate causal DAG from temporal precedence.
+	dag, _, err := acdag.Build(corpus, fully, acdag.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Causality-guided interventions: re-execute with fault
+	//    injection until the root cause is isolated.
+	executor := &inject.Executor{
+		Prog: prog, Corpus: corpus, Seeds: failSeeds[:4], Cfg: cfg,
+	}
+	for i := range set.Executions {
+		if !set.Executions[i].Failed() {
+			executor.Baselines = append(executor.Baselines, set.Executions[i])
+		}
+	}
+	res, err := core.Discover(dag, executor, core.AIDOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nroot cause: %s\n", corpus.Pred(res.RootCause()))
+	fmt.Println("causal path:")
+	for i, id := range res.Path {
+		fmt.Printf("  (%d) %s\n", i+1, corpus.Pred(id))
+	}
+	fmt.Printf("interventions used: %d (vs %d predicates to test naively)\n",
+		res.Interventions(), len(fully))
+}

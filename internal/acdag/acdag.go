@@ -1,0 +1,527 @@
+// Package acdag builds and queries the Approximate Causal DAG (AC-DAG).
+//
+// The AC-DAG (§4 of the paper) over-approximates causality among
+// fully-discriminative predicates using temporal precedence: an edge
+// P1 → P2 means P1's representative timestamp precedes P2's in every
+// failed execution where both appear. Temporal precedence is necessary
+// for causality (absent feedback loops, which AID eliminates by mapping
+// loop iterations to separate predicate instances), so the AC-DAG is
+// guaranteed to contain every true causal edge; interventions later
+// prune the spurious ones.
+//
+// Consistent strict precedence across a fixed log set is transitive and
+// antisymmetric, so the relation is a strict partial order and the DAG
+// is acyclic by construction; the stored relation is its own transitive
+// closure.
+package acdag
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"aid/internal/predicate"
+)
+
+// DAG is an immutable approximate causal DAG. Nodes are predicate IDs;
+// Precedes is the transitive (closed) precedence relation.
+type DAG struct {
+	nodes []predicate.ID
+	idx   map[predicate.ID]int
+	prec  [][]bool // prec[i][j]: node i consistently precedes node j
+}
+
+// BuildOptions configures DAG construction from a corpus.
+type BuildOptions struct {
+	// IncludeUnsafe keeps predicates whose intervention is unsafe or
+	// missing. By default they are excluded, as the paper requires every
+	// AC-DAG node to be safely intervenable (§3.3).
+	IncludeUnsafe bool
+}
+
+// BuildReport records what construction excluded and why.
+type BuildReport struct {
+	// Unsafe predicates were dropped for lacking a safe intervention.
+	Unsafe []predicate.ID
+	// NotCounterfactual predicates were dropped for missing from some
+	// failed execution (they cannot be counterfactual causes).
+	NotCounterfactual []predicate.ID
+}
+
+// Build constructs the AC-DAG over the given candidate predicates
+// (typically statdebug.FullyDiscriminative output) plus the failure
+// predicate F. It requires at least one failed execution in the corpus.
+func Build(c *predicate.Corpus, candidates []predicate.ID, opts BuildOptions) (*DAG, *BuildReport, error) {
+	fails := c.FailedLogs()
+	if len(fails) == 0 {
+		return nil, nil, fmt.Errorf("acdag: corpus has no failed executions")
+	}
+	report := &BuildReport{}
+	var nodes []predicate.ID
+	seen := map[predicate.ID]bool{}
+	consider := append([]predicate.ID{}, candidates...)
+	consider = append(consider, predicate.FailureID)
+	for _, id := range consider {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		p := c.Pred(id)
+		if p == nil {
+			return nil, nil, fmt.Errorf("acdag: predicate %q not in corpus", id)
+		}
+		if id != predicate.FailureID && !opts.IncludeUnsafe &&
+			(p.Repair.Kind == predicate.IvNone || !p.Repair.Safe) {
+			report.Unsafe = append(report.Unsafe, id)
+			continue
+		}
+		counterfactual := true
+		for _, l := range fails {
+			if !l.Has(id) {
+				counterfactual = false
+				break
+			}
+		}
+		if !counterfactual {
+			report.NotCounterfactual = append(report.NotCounterfactual, id)
+			continue
+		}
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	d := newDAG(nodes)
+	durPair := make([][]bool, len(nodes))
+	for i := range durPair {
+		durPair[i] = make([]bool, len(nodes))
+	}
+	for i, a := range nodes {
+		pa := c.Pred(a)
+		for j, b := range nodes {
+			if i == j {
+				continue
+			}
+			pb := c.Pred(b)
+			durPair[i][j] = pa.Kind.Durational() && pb.Kind.Durational()
+			precedes := true
+			for _, l := range fails {
+				if !pairPrecedes(pa, pb, l.Occ[a], l.Occ[b]) {
+					precedes = false
+					break
+				}
+			}
+			d.prec[i][j] = precedes
+		}
+	}
+	// Every other rule reduces to comparing fixed per-log timestamps
+	// (durational predicates count as points at their window start), so
+	// cycles can only pass through durational–durational edges; breaking
+	// those inside strongly connected components restores acyclicity
+	// while preserving the point-rule edges (§4: a conservative
+	// precedence heuristic only costs pruning power, never soundness).
+	d.breakCycles(durPair)
+	d.close()
+	return d, report, nil
+}
+
+// pairPrecedes decides whether a precedes b in one log, implementing
+// §4's pairwise precedence policies:
+//
+//   - durational vs durational (two ongoing conditions): on the same
+//     thread, disjoint windows order by time and a nested window
+//     precedes its encloser (the callee's slowness causes the
+//     caller's — Case 1); on different threads only disjoint windows
+//     order — concurrent overlapping slowness has no defensible
+//     direction.
+//   - durational vs instantaneous: the ongoing condition precedes
+//     events that occur within or after its window, i.e. compare the
+//     duration's start with the instant's stamp.
+//   - instantaneous vs instantaneous: compare policy stamps.
+func pairPrecedes(pa, pb *predicate.Predicate, oa, ob predicate.Occurrence) bool {
+	da, db := pa.Kind.Durational(), pb.Kind.Durational()
+	switch {
+	case da && db:
+		if oa.End < ob.Start {
+			return true // disjoint, a first
+		}
+		if ob.End < oa.Start {
+			return false
+		}
+		sameThread := oa.Thread == ob.Thread && oa.Thread != predicate.NoThread
+		if !sameThread {
+			return false
+		}
+		// Nested same-thread windows: inner precedes outer.
+		aInB := oa.Start >= ob.Start && oa.End <= ob.End
+		bInA := ob.Start >= oa.Start && ob.End <= oa.End
+		if aInB && !bInA {
+			return true
+		}
+		return false
+	case da:
+		return oa.Start < ob.StampTime(pb.Stamp)
+	case db:
+		return oa.StampTime(pa.Stamp) < ob.Start
+	default:
+		return oa.StampTime(pa.Stamp) < ob.StampTime(pb.Stamp)
+	}
+}
+
+// breakCycles removes durational–durational edges inside strongly
+// connected components until the graph is acyclic; if a cycle somehow
+// survives without such edges, all its edges drop (conservative
+// fallback).
+func (d *DAG) breakCycles(durPair [][]bool) {
+	for iter := 0; iter < len(d.nodes)+1; iter++ {
+		comp := d.sccs()
+		changed := false
+		cyclic := false
+		for u := 0; u < len(d.nodes); u++ {
+			for v := 0; v < len(d.nodes); v++ {
+				if d.prec[u][v] && comp[u] == comp[v] {
+					cyclic = true
+					if durPair == nil || durPair[u][v] {
+						d.prec[u][v] = false
+						changed = true
+					}
+				}
+			}
+		}
+		if !cyclic {
+			return
+		}
+		if !changed {
+			// Fallback: no durational edges left to drop.
+			durPair = nil
+		}
+	}
+}
+
+// sccs labels strongly connected components (Kosaraju).
+func (d *DAG) sccs() []int {
+	n := len(d.nodes)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	// Kosaraju: order by finish time on the forward graph, then label
+	// components on the reverse graph.
+	var order []int
+	visited := make([]bool, n)
+	var dfs1 func(u int)
+	dfs1 = func(u int) {
+		visited[u] = true
+		for v := 0; v < n; v++ {
+			if d.prec[u][v] && !visited[v] {
+				dfs1(v)
+			}
+		}
+		order = append(order, u)
+	}
+	for u := 0; u < n; u++ {
+		if !visited[u] {
+			dfs1(u)
+		}
+	}
+	var dfs2 func(u, label int)
+	dfs2 = func(u, label int) {
+		comp[u] = label
+		for v := 0; v < n; v++ {
+			if d.prec[v][u] && comp[v] == -1 {
+				dfs2(v, label)
+			}
+		}
+	}
+	label := 0
+	for i := n - 1; i >= 0; i-- {
+		if comp[order[i]] == -1 {
+			dfs2(order[i], label)
+			label++
+		}
+	}
+	return comp
+}
+
+// FromEdges builds a DAG from explicit edges (used by synthetic worlds
+// and tests); it computes the transitive closure and rejects cycles.
+func FromEdges(nodes []predicate.ID, edges [][2]predicate.ID) (*DAG, error) {
+	d := newDAG(append([]predicate.ID(nil), nodes...))
+	for _, e := range edges {
+		i, ok1 := d.idx[e[0]]
+		j, ok2 := d.idx[e[1]]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("acdag: edge %v references unknown node", e)
+		}
+		if i == j {
+			return nil, fmt.Errorf("acdag: self-loop on %s", e[0])
+		}
+		d.prec[i][j] = true
+	}
+	d.close()
+	for i := range d.nodes {
+		if d.prec[i][i] {
+			return nil, fmt.Errorf("acdag: cycle through %s", d.nodes[i])
+		}
+	}
+	return d, nil
+}
+
+func newDAG(nodes []predicate.ID) *DAG {
+	d := &DAG{
+		nodes: nodes,
+		idx:   make(map[predicate.ID]int, len(nodes)),
+		prec:  make([][]bool, len(nodes)),
+	}
+	for i, id := range nodes {
+		d.idx[id] = i
+		d.prec[i] = make([]bool, len(nodes))
+	}
+	return d
+}
+
+// close computes the transitive closure in place (Floyd–Warshall).
+func (d *DAG) close() {
+	n := len(d.nodes)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !d.prec[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d.prec[k][j] {
+					d.prec[i][j] = true
+				}
+			}
+		}
+	}
+}
+
+// Nodes returns all node IDs in stable order.
+func (d *DAG) Nodes() []predicate.ID {
+	return append([]predicate.ID(nil), d.nodes...)
+}
+
+// Len returns the number of nodes.
+func (d *DAG) Len() int { return len(d.nodes) }
+
+// Has reports whether the node exists.
+func (d *DAG) Has(id predicate.ID) bool {
+	_, ok := d.idx[id]
+	return ok
+}
+
+// Precedes reports a ⇝ b: a consistently precedes (potentially causes) b.
+func (d *DAG) Precedes(a, b predicate.ID) bool {
+	i, ok1 := d.idx[a]
+	j, ok2 := d.idx[b]
+	return ok1 && ok2 && d.prec[i][j]
+}
+
+// Ancestors returns every node that precedes id.
+func (d *DAG) Ancestors(id predicate.ID) []predicate.ID {
+	j, ok := d.idx[id]
+	if !ok {
+		return nil
+	}
+	var out []predicate.ID
+	for i := range d.nodes {
+		if d.prec[i][j] {
+			out = append(out, d.nodes[i])
+		}
+	}
+	return out
+}
+
+// Descendants returns every node that id precedes.
+func (d *DAG) Descendants(id predicate.ID) []predicate.ID {
+	i, ok := d.idx[id]
+	if !ok {
+		return nil
+	}
+	var out []predicate.ID
+	for j := range d.nodes {
+		if d.prec[i][j] {
+			out = append(out, d.nodes[j])
+		}
+	}
+	return out
+}
+
+// LevelsWithin computes topological levels restricted to the alive set
+// (nil = all nodes): level(P) = length of the longest precedence chain
+// ending at P among alive nodes. Nodes at the same level are mutually
+// unordered — the junctions of Algorithm 2.
+func (d *DAG) LevelsWithin(alive map[predicate.ID]bool) map[predicate.ID]int {
+	levels := make(map[predicate.ID]int)
+	in := func(id predicate.ID) bool { return alive == nil || alive[id] }
+	// Longest-chain DP over the partial order: process nodes in
+	// ascending ancestor count within the alive set.
+	type rec struct {
+		id   predicate.ID
+		rank int
+	}
+	var order []rec
+	for _, id := range d.nodes {
+		if !in(id) {
+			continue
+		}
+		rank := 0
+		for _, a := range d.Ancestors(id) {
+			if in(a) {
+				rank++
+			}
+		}
+		order = append(order, rec{id, rank})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].rank != order[j].rank {
+			return order[i].rank < order[j].rank
+		}
+		return order[i].id < order[j].id
+	})
+	for _, r := range order {
+		lvl := 0
+		for _, a := range d.Ancestors(r.id) {
+			if in(a) {
+				if l := levels[a] + 1; l > lvl {
+					lvl = l
+				}
+			}
+		}
+		levels[r.id] = lvl
+	}
+	return levels
+}
+
+// Levels is LevelsWithin over all nodes.
+func (d *DAG) Levels() map[predicate.ID]int { return d.LevelsWithin(nil) }
+
+// TopoOrder returns the nodes sorted by level; ties are shuffled with
+// rng (GIWP resolves ties randomly) or sorted by ID when rng is nil.
+func (d *DAG) TopoOrder(rng *rand.Rand) []predicate.ID {
+	return d.TopoOrderWithin(nil, rng)
+}
+
+// TopoOrderWithin is TopoOrder restricted to the alive set.
+func (d *DAG) TopoOrderWithin(alive map[predicate.ID]bool, rng *rand.Rand) []predicate.ID {
+	levels := d.LevelsWithin(alive)
+	out := make([]predicate.ID, 0, len(levels))
+	for id := range levels {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if levels[out[i]] != levels[out[j]] {
+			return levels[out[i]] < levels[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	if rng != nil {
+		// Shuffle within equal-level groups.
+		start := 0
+		for start < len(out) {
+			end := start + 1
+			for end < len(out) && levels[out[end]] == levels[out[start]] {
+				end++
+			}
+			group := out[start:end]
+			rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+			start = end
+		}
+	}
+	return out
+}
+
+// Roots returns nodes with no ancestors.
+func (d *DAG) Roots() []predicate.ID {
+	var out []predicate.ID
+	for _, id := range d.nodes {
+		if len(d.Ancestors(id)) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Branches computes the independent branches at a junction (Algorithm 2
+// lines 10–12): for each junction member P, the branch is P together
+// with every alive descendant of P that is not a descendant of any
+// other member. The failure predicate never belongs to a branch.
+func (d *DAG) Branches(junction []predicate.ID, alive map[predicate.ID]bool) map[predicate.ID][]predicate.ID {
+	in := func(id predicate.ID) bool { return alive == nil || alive[id] }
+	out := make(map[predicate.ID][]predicate.ID, len(junction))
+	for _, p := range junction {
+		branch := []predicate.ID{p}
+		for _, q := range d.Descendants(p) {
+			if !in(q) || q == predicate.FailureID {
+				continue
+			}
+			exclusive := true
+			for _, other := range junction {
+				if other != p && d.Precedes(other, q) {
+					exclusive = false
+					break
+				}
+			}
+			if exclusive {
+				branch = append(branch, q)
+			}
+		}
+		out[p] = branch
+	}
+	return out
+}
+
+// ReductionEdges returns the transitive reduction (the minimal edge set
+// with the same closure) for display, sorted lexicographically.
+func (d *DAG) ReductionEdges() [][2]predicate.ID {
+	var out [][2]predicate.ID
+	n := len(d.nodes)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !d.prec[i][j] {
+				continue
+			}
+			direct := true
+			for k := 0; k < n; k++ {
+				if k != i && k != j && d.prec[i][k] && d.prec[k][j] {
+					direct = false
+					break
+				}
+			}
+			if direct {
+				out = append(out, [2]predicate.ID{d.nodes[i], d.nodes[j]})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// Dot renders the transitive reduction in Graphviz format.
+func (d *DAG) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph acdag {\n  rankdir=TB;\n")
+	for _, id := range d.nodes {
+		fmt.Fprintf(&b, "  %q;\n", string(id))
+	}
+	for _, e := range d.ReductionEdges() {
+		fmt.Fprintf(&b, "  %q -> %q;\n", string(e[0]), string(e[1]))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PathTo reports whether a path exists from id to the failure predicate
+// (trivially true for F itself).
+func (d *DAG) PathTo(id, target predicate.ID) bool {
+	if id == target {
+		return true
+	}
+	return d.Precedes(id, target)
+}

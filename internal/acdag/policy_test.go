@@ -1,0 +1,183 @@
+package acdag
+
+import (
+	"testing"
+
+	"aid/internal/predicate"
+)
+
+// policyCorpus builds a corpus with one failed log whose occurrences
+// are given explicitly (window + thread), all predicates safely
+// intervenable.
+func policyCorpus(preds []predicate.Predicate, occ map[predicate.ID]predicate.Occurrence) *predicate.Corpus {
+	c := predicate.NewCorpus()
+	c.AddPred(predicate.FailurePredicate())
+	for _, p := range preds {
+		p.Repair = predicate.Intervention{Kind: predicate.IvLockMethods, Safe: true}
+		c.AddPred(p)
+	}
+	log := predicate.ExecLog{
+		ExecID: "f", Failed: true,
+		Occ: map[predicate.ID]predicate.Occurrence{
+			predicate.FailureID: {Start: 1000, End: 1001, Thread: predicate.NoThread},
+		},
+	}
+	for id, o := range occ {
+		log.Occ[id] = o
+	}
+	c.Logs = append(c.Logs, log)
+	c.Logs = append(c.Logs, predicate.ExecLog{ExecID: "s", Occ: map[predicate.ID]predicate.Occurrence{}})
+	return c
+}
+
+func slowPred(id predicate.ID) predicate.Predicate {
+	return predicate.Predicate{ID: id, Kind: predicate.KindTooSlow, Stamp: predicate.ByEnd}
+}
+
+func instantPred(id predicate.ID) predicate.Predicate {
+	return predicate.Predicate{ID: id, Kind: predicate.KindWrongReturn, Stamp: predicate.ByEnd}
+}
+
+func buildPolicy(t *testing.T, preds []predicate.Predicate, occ map[predicate.ID]predicate.Occurrence) *DAG {
+	t.Helper()
+	c := policyCorpus(preds, occ)
+	ids := make([]predicate.ID, len(preds))
+	for i := range preds {
+		ids[i] = preds[i].ID
+	}
+	d, _, err := Build(c, ids, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// Case 1 of §4: foo calls bar; both run slow; end-time precedence makes
+// the callee's slowness precede the caller's.
+func TestPolicyNestedSlownessCase1(t *testing.T) {
+	d := buildPolicy(t,
+		[]predicate.Predicate{slowPred("slow:foo"), slowPred("slow:bar")},
+		map[predicate.ID]predicate.Occurrence{
+			"slow:foo": {Start: 0, End: 100, Thread: 1},
+			"slow:bar": {Start: 10, End: 90, Thread: 1}, // nested callee
+		})
+	if !d.Precedes("slow:bar", "slow:foo") {
+		t.Fatal("nested callee slowness must precede the caller's (Case 1)")
+	}
+	if d.Precedes("slow:foo", "slow:bar") {
+		t.Fatal("caller slowness must not precede the callee's")
+	}
+}
+
+func TestPolicyCrossThreadOverlappingSlownessUnordered(t *testing.T) {
+	d := buildPolicy(t,
+		[]predicate.Predicate{slowPred("slow:a"), slowPred("slow:b")},
+		map[predicate.ID]predicate.Occurrence{
+			"slow:a": {Start: 0, End: 100, Thread: 1},
+			"slow:b": {Start: 50, End: 80, Thread: 2}, // overlapping, other thread
+		})
+	if d.Precedes("slow:a", "slow:b") || d.Precedes("slow:b", "slow:a") {
+		t.Fatal("concurrent overlapping slowness must stay unordered")
+	}
+}
+
+func TestPolicyDisjointSlownessOrdersByTime(t *testing.T) {
+	d := buildPolicy(t,
+		[]predicate.Predicate{slowPred("slow:a"), slowPred("slow:b")},
+		map[predicate.ID]predicate.Occurrence{
+			"slow:a": {Start: 0, End: 40, Thread: 1},
+			"slow:b": {Start: 60, End: 90, Thread: 2}, // disjoint
+		})
+	if !d.Precedes("slow:a", "slow:b") {
+		t.Fatal("disjoint windows must order by time even across threads")
+	}
+}
+
+// A durational predicate precedes instants that occur inside or after
+// its window — the rule that keeps a slow method protected when an
+// order violation it caused is intervened.
+func TestPolicyDurationalPrecedesContainedInstant(t *testing.T) {
+	d := buildPolicy(t,
+		[]predicate.Predicate{slowPred("slow:compile"), instantPred("ret:fetch")},
+		map[predicate.ID]predicate.Occurrence{
+			"slow:compile": {Start: 0, End: 120, Thread: 1},
+			"ret:fetch":    {Start: 50, End: 55, Thread: 2}, // inside the window
+		})
+	if !d.Precedes("slow:compile", "ret:fetch") {
+		t.Fatal("ongoing slowness must precede instants within its window")
+	}
+	if d.Precedes("ret:fetch", "slow:compile") {
+		t.Fatal("reverse edge present")
+	}
+}
+
+func TestPolicyInstantBeforeDurationalWindow(t *testing.T) {
+	d := buildPolicy(t,
+		[]predicate.Predicate{slowPred("slow:task"), instantPred("race:x")},
+		map[predicate.ID]predicate.Occurrence{
+			"slow:task": {Start: 50, End: 120, Thread: 1},
+			"race:x":    {Start: 5, End: 10, Thread: predicate.NoThread},
+		})
+	if !d.Precedes("race:x", "slow:task") {
+		t.Fatal("an instant before the window must precede the durational predicate")
+	}
+}
+
+// The classic cycle scenario: D1 starts, an instant fires inside D1,
+// then D2 (nested in D1 on the same thread) starts. The raw rules give
+// D1→i→D2→D1; cycle-breaking must drop only the durational–durational
+// edge, preserving both point-rule edges.
+func TestPolicyCycleBrokenOnDurationalEdge(t *testing.T) {
+	d := buildPolicy(t,
+		[]predicate.Predicate{slowPred("slow:outer"), slowPred("slow:inner"), instantPred("ret:x")},
+		map[predicate.ID]predicate.Occurrence{
+			"slow:outer": {Start: 0, End: 200, Thread: 1},
+			"ret:x":      {Start: 30, End: 35, Thread: 1},
+			"slow:inner": {Start: 50, End: 180, Thread: 1}, // nested in outer
+		})
+	// Acyclic: not both directions anywhere.
+	for _, a := range d.Nodes() {
+		for _, b := range d.Nodes() {
+			if a != b && d.Precedes(a, b) && d.Precedes(b, a) {
+				t.Fatalf("cycle survived between %s and %s", a, b)
+			}
+		}
+	}
+	if !d.Precedes("slow:outer", "ret:x") {
+		t.Fatal("point-rule edge outer→instant must survive cycle breaking")
+	}
+	if !d.Precedes("ret:x", "slow:inner") {
+		t.Fatal("point-rule edge instant→inner must survive cycle breaking")
+	}
+	if d.Precedes("slow:inner", "slow:outer") {
+		t.Fatal("the durational–durational edge should have been dropped")
+	}
+}
+
+// Without the conflicting instant, the nested pair keeps its Case 1
+// orientation — cycle breaking must not fire needlessly.
+func TestPolicyNoCycleKeepsDurationalEdges(t *testing.T) {
+	d := buildPolicy(t,
+		[]predicate.Predicate{slowPred("slow:outer"), slowPred("slow:inner")},
+		map[predicate.ID]predicate.Occurrence{
+			"slow:outer": {Start: 0, End: 200, Thread: 1},
+			"slow:inner": {Start: 50, End: 180, Thread: 1},
+		})
+	if !d.Precedes("slow:inner", "slow:outer") {
+		t.Fatal("nested durational edge dropped without a cycle")
+	}
+}
+
+func TestPolicyEverythingPrecedesFailure(t *testing.T) {
+	d := buildPolicy(t,
+		[]predicate.Predicate{slowPred("slow:a"), instantPred("ret:b")},
+		map[predicate.ID]predicate.Occurrence{
+			"slow:a": {Start: 0, End: 100, Thread: 1},
+			"ret:b":  {Start: 40, End: 45, Thread: 1},
+		})
+	for _, id := range []predicate.ID{"slow:a", "ret:b"} {
+		if !d.Precedes(id, predicate.FailureID) {
+			t.Fatalf("%s does not precede F", id)
+		}
+	}
+}

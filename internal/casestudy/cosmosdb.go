@@ -1,0 +1,120 @@
+package casestudy
+
+import (
+	"fmt"
+
+	"aid/internal/sim"
+)
+
+// CosmosDB models the timing bug of azure-cosmos-dotnet-v3 PR #713: an
+// application populates a cache whose entries expire after a fixed TTL,
+// runs a pipeline of tasks, then reads a cached entry. A transient
+// fault triggers expensive fault-handling inside the innermost download
+// step; the pipeline then outlives the TTL and the entry has expired —
+// the lookup throws and the application crashes.
+//
+// True causal path (7 predicates, as in the paper):
+//
+//	Download runs too slow (fault handling)
+//	→ FetchShard runs too slow
+//	→ Task2 runs too slow
+//	→ RunTasks runs too slow
+//	→ CheckExpired returns incorrect value (1)
+//	→ RaiseCacheMiss throws CacheMiss
+//	→ ReadCacheEntry fails
+//	→ F
+//
+// The program is single-threaded, so all durations are deterministic
+// given the fault coin — the predicates discriminate exactly.
+func CosmosDB() *Study {
+	p := sim.NewProgram("cosmosdb", "Main")
+	p.Globals["cachedAt"] = 0
+	p.Globals["cacheEntry"] = 0
+	p.Globals["faultFlag"] = 0
+
+	const ttl = 400
+
+	p.AddFunc("PopulateCache",
+		sim.ReadClock{Dst: "t"},
+		sim.WriteGlobal{Var: "cachedAt", Src: sim.V("t")},
+		sim.WriteGlobal{Var: "cacheEntry", Src: sim.Lit(7)},
+	)
+	p.AddFunc("FaultHandler", sim.Sleep{Ticks: sim.Lit(600)}).SideEffectFree = true
+	p.AddFunc("Download",
+		sim.ReadGlobal{Var: "faultFlag", Dst: "f"},
+		sim.If{Cond: sim.Cond{A: sim.V("f"), Op: sim.EQ, B: sim.Lit(1)},
+			Then: []sim.Op{sim.Call{Fn: "FaultHandler"}}},
+		sim.Sleep{Ticks: sim.Lit(4)},
+	).SideEffectFree = true
+	p.AddFunc("FetchShard",
+		sim.Call{Fn: "Download"},
+		sim.Sleep{Ticks: sim.Lit(2)},
+	).SideEffectFree = true
+	p.AddFunc("Task1", sim.Sleep{Ticks: sim.Lit(5)}).SideEffectFree = true
+	p.AddFunc("Task2",
+		sim.Call{Fn: "FetchShard"},
+		sim.Sleep{Ticks: sim.Lit(3)},
+	).SideEffectFree = true
+	p.AddFunc("Task3", sim.Sleep{Ticks: sim.Lit(5)}).SideEffectFree = true
+	p.AddFunc("RunTasks",
+		sim.Call{Fn: "Task1"},
+		sim.Call{Fn: "Task2"},
+		sim.Call{Fn: "Task3"},
+	).SideEffectFree = true
+	p.AddFunc("CheckExpired",
+		sim.ReadGlobal{Var: "cachedAt", Dst: "t0"},
+		sim.ReadClock{Dst: "t1"},
+		sim.Arith{Dst: "age", A: sim.V("t1"), Op: sim.OpSub, B: sim.V("t0")},
+		sim.If{Cond: sim.Cond{A: sim.V("age"), Op: sim.GT, B: sim.Lit(ttl)},
+			Then: []sim.Op{sim.Return{Val: sim.Lit(1)}}},
+		sim.Return{Val: sim.Lit(0)},
+	).SideEffectFree = true
+	p.AddFunc("RaiseCacheMiss", sim.Throw{Kind: "CacheMiss"}).SideEffectFree = true
+	p.AddFunc("ReadCacheEntry",
+		sim.Call{Fn: "CheckExpired", Dst: "exp"},
+		sim.If{Cond: sim.Cond{A: sim.V("exp"), Op: sim.EQ, B: sim.Lit(1)},
+			Then: []sim.Op{sim.Call{Fn: "RaiseCacheMiss"}}},
+		sim.ReadGlobal{Var: "cacheEntry", Dst: "v"},
+		sim.Return{Val: sim.V("v")},
+	).SideEffectFree = true
+
+	// Diagnostics that sample fault state between the pipeline and the
+	// cache read: wrong values (and retry sleeps) in every failing run.
+	const retAudits = 20
+	const slowAudits = 8
+	for i := 0; i < retAudits; i++ {
+		body := []sim.Op{
+			sim.ReadGlobal{Var: "faultFlag", Dst: "v"},
+		}
+		if i < slowAudits {
+			body = append(body, sim.If{
+				Cond: sim.Cond{A: sim.V("v"), Op: sim.NE, B: sim.Lit(0)},
+				Then: []sim.Op{sim.Sleep{Ticks: sim.Lit(10)}},
+			})
+		}
+		body = append(body, sim.Return{Val: sim.V("v")})
+		p.AddFunc(fmt.Sprintf("Diag%02d", i), body...).SideEffectFree = true
+	}
+
+	main := []sim.Op{
+		sim.Random{Dst: "f", N: sim.Lit(3)},
+		sim.If{Cond: sim.Cond{A: sim.V("f"), Op: sim.EQ, B: sim.Lit(0)},
+			Then: []sim.Op{sim.WriteGlobal{Var: "faultFlag", Src: sim.Lit(1)}}},
+		sim.Call{Fn: "PopulateCache"},
+		sim.Call{Fn: "RunTasks"},
+	}
+	for i := 0; i < retAudits; i++ {
+		main = append(main, sim.Call{Fn: fmt.Sprintf("Diag%02d", i)})
+	}
+	main = append(main, sim.Call{Fn: "ReadCacheEntry", Dst: "entry"})
+	p.AddFunc("Main", main...)
+
+	return &Study{
+		Name:           "cosmosdb",
+		Issue:          "azure-cosmos-dotnet-v3#713",
+		Description:    "transient fault slows the task pipeline past the cache TTL; expired entry lookup crashes",
+		Program:        p,
+		FailureSig:     sim.UncaughtSig("CacheMiss"),
+		WantRootPrefix: "slow:Download",
+	}
+}

@@ -1,0 +1,116 @@
+package casestudy
+
+import "aid/internal/sim"
+
+// Kafka models confluent-kafka-dotnet issue #279: a use-after-free of a
+// Kafka consumer. The main thread disposes the consumer after a fixed
+// grace period without waiting for the worker; normally the worker
+// commits long before, but a transient fault makes message parsing take
+// far longer, the commit lands after disposal, and the call on the
+// disposed consumer throws — crashing the application.
+//
+// True causal path (5 predicates, as in the paper):
+//
+//	Parse runs too slow (fault handling)
+//	→ Decode runs too slow
+//	→ order violation: DisposeConsumer starts before Commit ends
+//	→ CheckConsumerAlive returns incorrect value (0)
+//	→ Commit throws ObjectDisposed
+//	→ F
+//
+// Two telemetry threads sample fault metrics concurrently and report
+// wrong values in every failing run — fully discriminative, spurious.
+func Kafka() *Study {
+	p := sim.NewProgram("kafka", "Main")
+	p.Globals["faultFlag"] = 0
+	p.Globals["consumerAlive"] = 1
+	p.Globals["lagMetric"] = 0
+	p.Globals["queueDepth"] = 0
+	p.Globals["errorCount"] = 0
+
+	p.AddFunc("Fetch", sim.Sleep{Ticks: sim.Lit(8)}, sim.Return{Val: sim.Lit(1)}).
+		SideEffectFree = true
+	p.AddFunc("FaultHandler", sim.Sleep{Ticks: sim.Lit(200)}).SideEffectFree = true
+	p.AddFunc("Parse",
+		sim.ReadGlobal{Var: "faultFlag", Dst: "f"},
+		sim.If{Cond: sim.Cond{A: sim.V("f"), Op: sim.EQ, B: sim.Lit(1)},
+			Then: []sim.Op{sim.Call{Fn: "FaultHandler"}}},
+		sim.Sleep{Ticks: sim.Lit(2)},
+	).SideEffectFree = true
+	p.AddFunc("Decode",
+		sim.Call{Fn: "Parse"},
+		sim.Sleep{Ticks: sim.Lit(2)},
+	).SideEffectFree = true
+	p.AddFunc("StoreOffsets", sim.Sleep{Ticks: sim.Lit(2)})
+	p.AddFunc("CheckConsumerAlive",
+		sim.ReadGlobal{Var: "consumerAlive", Dst: "a"},
+		sim.Return{Val: sim.V("a")},
+	).SideEffectFree = true
+	p.AddFunc("Commit",
+		sim.Call{Fn: "CheckConsumerAlive", Dst: "alive"},
+		sim.If{Cond: sim.Cond{A: sim.V("alive"), Op: sim.EQ, B: sim.Lit(0)},
+			Then: []sim.Op{sim.Throw{Kind: sim.ExcObjectDisposed}}},
+		sim.Sleep{Ticks: sim.Lit(1)},
+	).SideEffectFree = true
+	p.AddFunc("Worker",
+		sim.Call{Fn: "Fetch", Dst: "msg"},
+		sim.Call{Fn: "Decode"},
+		sim.Call{Fn: "StoreOffsets"},
+		sim.Call{Fn: "Commit"},
+	)
+	p.AddFunc("DisposeConsumer", sim.WriteGlobal{Var: "consumerAlive", Src: sim.Lit(0)})
+	p.AddFunc("GracePeriod", sim.Sleep{Ticks: sim.Lit(150)}).SideEffectFree = true
+
+	// Telemetry: two threads sample three fault metrics four times each.
+	metrics := []string{"lagMetric", "queueDepth", "errorCount"}
+	for _, m := range metrics {
+		p.AddFunc("Read"+title(m),
+			sim.ReadGlobal{Var: m, Dst: "v"},
+			sim.Return{Val: sim.V("v")},
+		).SideEffectFree = true
+	}
+	telemetry := []sim.Op{sim.Assign{Dst: "i", Src: sim.Lit(0)}}
+	var round []sim.Op
+	for _, m := range metrics {
+		round = append(round, sim.Call{Fn: "Read" + title(m)})
+	}
+	round = append(round, sim.Arith{Dst: "i", A: sim.V("i"), Op: sim.OpAdd, B: sim.Lit(1)})
+	telemetry = append(telemetry,
+		sim.While{Cond: sim.Cond{A: sim.V("i"), Op: sim.LT, B: sim.Lit(4)}, Body: round})
+	p.AddFunc("TelemetryA", telemetry...)
+	p.AddFunc("TelemetryB", telemetry...)
+
+	p.AddFunc("Main",
+		sim.Random{Dst: "f", N: sim.Lit(4)},
+		sim.If{Cond: sim.Cond{A: sim.V("f"), Op: sim.EQ, B: sim.Lit(0)}, Then: []sim.Op{
+			sim.WriteGlobal{Var: "faultFlag", Src: sim.Lit(1)},
+			sim.WriteGlobal{Var: "lagMetric", Src: sim.Lit(50)},
+			sim.WriteGlobal{Var: "queueDepth", Src: sim.Lit(9)},
+			sim.WriteGlobal{Var: "errorCount", Src: sim.Lit(3)},
+		}},
+		sim.Spawn{Fn: "Worker", Dst: "tw"},
+		sim.Spawn{Fn: "TelemetryA", Dst: "t1"},
+		sim.Spawn{Fn: "TelemetryB", Dst: "t2"},
+		sim.Call{Fn: "GracePeriod"},
+		sim.Call{Fn: "DisposeConsumer"}, // bug: no wait for the worker
+		sim.Join{Thread: sim.V("tw")},
+		sim.Join{Thread: sim.V("t1")},
+		sim.Join{Thread: sim.V("t2")},
+	)
+
+	return &Study{
+		Name:           "kafka",
+		Issue:          "confluent-kafka-dotnet#279",
+		Description:    "consumer disposed while a slowed worker still uses it; commit on disposed consumer crashes",
+		Program:        p,
+		FailureSig:     sim.UncaughtSig(sim.ExcObjectDisposed),
+		WantRootPrefix: "slow:Parse",
+	}
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}

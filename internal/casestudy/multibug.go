@@ -1,0 +1,65 @@
+package casestudy
+
+import (
+	"fmt"
+	"sort"
+
+	"aid/internal/sim"
+)
+
+// The paper assumes a single root cause per failure *signature*
+// (§5.1): an application may contain several intermittent bugs, but
+// failure trackers group crashes by stack-trace metadata, and AID
+// debugs each group separately. This file provides that workflow for
+// multi-bug applications.
+
+// DiscoverSignatures samples executions and returns the distinct
+// failure signatures observed, most frequent first.
+func DiscoverSignatures(s *Study, seeds int) []string {
+	counts := make(map[string]int)
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		exec := sim.MustRun(s.Program, seed, sim.RunOptions{MaxSteps: s.MaxSteps})
+		if exec.Failed() {
+			counts[exec.FailureSig]++
+		}
+	}
+	sigs := make([]string, 0, len(counts))
+	for sig := range counts {
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		if counts[sigs[i]] != counts[sigs[j]] {
+			return counts[sigs[i]] > counts[sigs[j]]
+		}
+		return sigs[i] < sigs[j]
+	})
+	return sigs
+}
+
+// RunSignature runs the full pipeline against one failure signature:
+// failures with other signatures are excluded from the corpus, so the
+// single-root-cause assumption holds within the group.
+func RunSignature(s *Study, sig string, rc RunConfig) (*Report, error) {
+	scoped := *s
+	scoped.FailureSig = sig
+	return Run(&scoped, rc)
+}
+
+// RunAllSignatures debugs every failure signature of a multi-bug
+// application, returning one report per signature in DiscoverSignatures
+// order.
+func RunAllSignatures(s *Study, rc RunConfig) (map[string]*Report, error) {
+	sigs := DiscoverSignatures(s, rc.SeedCap/4)
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("casestudy %s: no failures observed", s.Name)
+	}
+	out := make(map[string]*Report, len(sigs))
+	for _, sig := range sigs {
+		rep, err := RunSignature(s, sig, rc)
+		if err != nil {
+			return nil, fmt.Errorf("signature %q: %w", sig, err)
+		}
+		out[sig] = rep
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package casestudy
+
+import (
+	"fmt"
+
+	"aid/internal/sim"
+)
+
+// Npgsql models GitHub issue npgsql#2485: a data race on the connector
+// pool's index variable. Two threads concurrently run the unprotected
+// read-modify-write `_pools[_nextSlot++] = pool`; when their RMW
+// sections interleave, one increment is lost, the pool table ends up
+// one entry short, and a later lookup indexes beyond the table —
+// IndexOutOfRange crashes the application.
+//
+// True causal path (3 predicates, as in the paper):
+//
+//	race(OpenPoolA, OpenPoolB, _nextSlot)
+//	→ ReadSlotCount returns incorrect value (1 instead of 2)
+//	→ RaiseError throws IndexOutOfRange
+//	→ F
+//
+// The pool-health audits that run before the crash read the corrupted
+// counter too: they return wrong values and run slow (retry sleeps),
+// yielding the paper's over-abundance of discriminative-but-spurious
+// predicates.
+func Npgsql() *Study {
+	p := sim.NewProgram("npgsql", "Main")
+	p.Globals["_nextSlot"] = 0
+	p.Arrays["_pools"] = make([]int64, 4)
+	p.Arrays["_errorTable"] = make([]int64, 2)
+
+	openPool := func(name string, key int64) {
+		p.AddFunc(name,
+			sim.ReadGlobal{Var: "_nextSlot", Dst: "idx"}, // RMW window opens
+			sim.Nop{}, sim.Nop{}, // widen the race window
+			sim.Arith{Dst: "next", A: sim.V("idx"), Op: sim.OpAdd, B: sim.Lit(1)},
+			sim.WriteGlobal{Var: "_nextSlot", Src: sim.V("next")}, // RMW window closes
+			sim.ArrayWrite{Arr: "_pools", Index: sim.V("idx"), Src: sim.Lit(key)},
+		)
+	}
+	openPool("OpenPoolA", 101)
+	openPool("OpenPoolB", 202)
+
+	p.AddFunc("ReadSlotCount",
+		sim.ReadGlobal{Var: "_nextSlot", Dst: "n"},
+		sim.Return{Val: sim.V("n")},
+	).SideEffectFree = true
+
+	const audits = 5
+	for i := 0; i < audits; i++ {
+		p.AddFunc(fmt.Sprintf("AuditPool%d", i),
+			sim.ReadGlobal{Var: "_nextSlot", Dst: "n"},
+			sim.If{Cond: sim.Cond{A: sim.V("n"), Op: sim.NE, B: sim.Lit(2)},
+				Then: []sim.Op{sim.Sleep{Ticks: sim.Lit(8)}}}, // retry backoff
+			sim.Return{Val: sim.V("n")},
+		).SideEffectFree = true
+	}
+
+	p.AddFunc("RaiseError",
+		// Diagnostic path indexes the (too small) error table — the
+		// IndexOutOfRange that crashes the app, as in the issue.
+		sim.ArrayRead{Arr: "_errorTable", Index: sim.Lit(5), Dst: "x"},
+	).SideEffectFree = true
+
+	main := []sim.Op{
+		sim.Spawn{Fn: "OpenPoolA", Dst: "ta"},
+		sim.Spawn{Fn: "OpenPoolB", Dst: "tb"},
+		sim.Join{Thread: sim.V("ta")},
+		sim.Join{Thread: sim.V("tb")},
+		sim.Call{Fn: "ReadSlotCount", Dst: "count"},
+	}
+	for i := 0; i < audits; i++ {
+		main = append(main, sim.Call{Fn: fmt.Sprintf("AuditPool%d", i)})
+	}
+	main = append(main,
+		sim.If{Cond: sim.Cond{A: sim.V("count"), Op: sim.NE, B: sim.Lit(2)},
+			Then: []sim.Op{sim.Call{Fn: "RaiseError"}}},
+	)
+	p.AddFunc("Main", main...)
+
+	return &Study{
+		Name:           "npgsql",
+		Issue:          "npgsql#2485",
+		Description:    "data race on the connector pool index; lost update leads to IndexOutOfRange on connection open",
+		Program:        p,
+		FailureSig:     sim.UncaughtSig(sim.ExcIndexOutOfRange),
+		WantRootPrefix: "race:OpenPoolA|OpenPoolB@_nextSlot",
+	}
+}

@@ -1,0 +1,281 @@
+package casestudy
+
+import (
+	"fmt"
+
+	"aid/internal/sim"
+)
+
+// Network models the first proprietary application: the control plane
+// of a data center network whose intermittent failure was a random
+// number collision — two components pick random identifiers, and when
+// they collide the routing step aborts.
+//
+// True causal path (1 predicate, as in the paper): CheckConflict
+// returns an incorrect value (1) → F. The alarm and retry machinery
+// that reacts to the conflict produces many discriminative-but-spurious
+// predicates.
+func Network() *Study {
+	p := sim.NewProgram("network", "Main")
+	p.Globals["idA"] = 0
+	p.Globals["idB"] = 0
+	p.Globals["conflictFlag"] = 0
+	p.Globals["alarmLevel"] = 0
+	p.Globals["retryCount"] = 0
+
+	p.AddFunc("PickIdA",
+		sim.Random{Dst: "r", N: sim.Lit(6)},
+		sim.WriteGlobal{Var: "idA", Src: sim.V("r")},
+		sim.Return{Val: sim.V("r")},
+	)
+	p.AddFunc("PickIdB",
+		sim.Random{Dst: "r", N: sim.Lit(6)},
+		sim.WriteGlobal{Var: "idB", Src: sim.V("r")},
+		sim.Return{Val: sim.V("r")},
+	)
+	p.AddFunc("CheckConflict",
+		sim.ReadGlobal{Var: "idA", Dst: "a"},
+		sim.ReadGlobal{Var: "idB", Dst: "b"},
+		sim.If{Cond: sim.Cond{A: sim.V("a"), Op: sim.EQ, B: sim.V("b")},
+			Then: []sim.Op{sim.Return{Val: sim.Lit(1)}}},
+		sim.Return{Val: sim.Lit(0)},
+	).SideEffectFree = true
+
+	// Alarm probes re-derive the collision from the identifiers
+	// themselves (they do not depend on Main's conflict flag), so
+	// repairing CheckConflict's return value does not silence them —
+	// they keep firing while the failure stops, and interventional
+	// pruning discards them wholesale.
+	const alarms = 9
+	for i := 0; i < alarms; i++ {
+		body := []sim.Op{
+			sim.ReadGlobal{Var: "idA", Dst: "a"},
+			sim.ReadGlobal{Var: "idB", Dst: "b"},
+			sim.Assign{Dst: "v", Src: sim.Lit(0)},
+			sim.If{Cond: sim.Cond{A: sim.V("a"), Op: sim.EQ, B: sim.V("b")},
+				Then: []sim.Op{sim.Assign{Dst: "v", Src: sim.Lit(1)}}},
+		}
+		if i%2 == 0 {
+			body = append(body, sim.If{
+				Cond: sim.Cond{A: sim.V("v"), Op: sim.NE, B: sim.Lit(0)},
+				Then: []sim.Op{sim.Sleep{Ticks: sim.Lit(10)}},
+			})
+		}
+		body = append(body, sim.Return{Val: sim.V("v")})
+		p.AddFunc(fmt.Sprintf("Alarm%d", i), body...).SideEffectFree = true
+	}
+
+	p.AddFunc("RouteTraffic",
+		sim.ReadGlobal{Var: "conflictFlag", Dst: "c"},
+		sim.If{Cond: sim.Cond{A: sim.V("c"), Op: sim.EQ, B: sim.Lit(1)},
+			Then: []sim.Op{sim.Throw{Kind: "RouteConflict"}}},
+	) // mutates routing tables in the real system: not side-effect free
+
+	main := []sim.Op{
+		sim.Call{Fn: "PickIdA", Dst: "a"},
+		sim.Call{Fn: "PickIdB", Dst: "b"},
+		sim.Call{Fn: "CheckConflict", Dst: "c"},
+		sim.WriteGlobal{Var: "conflictFlag", Src: sim.V("c")},
+		sim.If{Cond: sim.Cond{A: sim.V("c"), Op: sim.EQ, B: sim.Lit(1)}, Then: []sim.Op{
+			sim.WriteGlobal{Var: "alarmLevel", Src: sim.Lit(3)},
+			sim.WriteGlobal{Var: "retryCount", Src: sim.Lit(7)},
+		}},
+	}
+	for i := 0; i < alarms; i++ {
+		main = append(main, sim.Call{Fn: fmt.Sprintf("Alarm%d", i)})
+	}
+	main = append(main, sim.Call{Fn: "RouteTraffic"})
+	p.AddFunc("Main", main...)
+
+	return &Study{
+		Name:           "network",
+		Issue:          "proprietary",
+		Description:    "random identifier collision in the control plane aborts routing",
+		Program:        p,
+		FailureSig:     sim.UncaughtSig("RouteConflict"),
+		WantRootPrefix: "ret:CheckConflict",
+	}
+}
+
+// BuildAndTest models the second proprietary application: a build and
+// test platform with an order violation — a test starts consuming a
+// build artifact without waiting for the publish step; normally the
+// compile finishes early, but a slow compile flips the order and the
+// test reads an unpublished artifact.
+//
+// True causal path (3 predicates, as in the paper):
+//
+//	Compile runs too slow
+//	→ order violation: FetchArtifact starts before PublishArtifact ends
+//	→ FetchArtifact returns incorrect value (0)
+//	→ F
+func BuildAndTest() *Study {
+	p := sim.NewProgram("buildandtest", "Main")
+	p.Globals["artifactReady"] = 0
+	p.Globals["artifactData"] = 0
+	p.Globals["fetched"] = 0
+
+	p.AddFunc("Compile",
+		sim.Random{Dst: "r", N: sim.Lit(2)},
+		sim.If{Cond: sim.Cond{A: sim.V("r"), Op: sim.EQ, B: sim.Lit(0)},
+			Then: []sim.Op{sim.Sleep{Ticks: sim.Lit(120)}}, // slow compile
+			Else: []sim.Op{sim.Sleep{Ticks: sim.Lit(10)}}},
+	).SideEffectFree = true
+	p.AddFunc("PublishArtifact",
+		sim.WriteGlobal{Var: "artifactData", Src: sim.Lit(42)},
+		sim.WriteGlobal{Var: "artifactReady", Src: sim.Lit(1)},
+	)
+	p.AddFunc("Builder",
+		sim.Call{Fn: "Compile"},
+		sim.Call{Fn: "PublishArtifact"},
+	)
+
+	p.AddFunc("WaitSlot", sim.Sleep{Ticks: sim.Lit(50)}).SideEffectFree = true
+	p.AddFunc("FetchArtifact",
+		sim.ReadGlobal{Var: "artifactData", Dst: "v"},
+		sim.Return{Val: sim.V("v")},
+	).SideEffectFree = true
+	const checks = 8
+	for i := 0; i < checks; i++ {
+		body := []sim.Op{sim.ReadGlobal{Var: "artifactReady", Dst: "v"}}
+		if i%2 == 0 {
+			body = append(body, sim.If{
+				Cond: sim.Cond{A: sim.V("v"), Op: sim.EQ, B: sim.Lit(0)},
+				Then: []sim.Op{sim.Sleep{Ticks: sim.Lit(25)}},
+			})
+		}
+		body = append(body, sim.Return{Val: sim.V("v")})
+		p.AddFunc(fmt.Sprintf("CheckReady%d", i), body...).SideEffectFree = true
+	}
+	p.AddFunc("RunTest",
+		sim.ReadGlobal{Var: "fetched", Dst: "d"},
+		sim.If{Cond: sim.Cond{A: sim.V("d"), Op: sim.NE, B: sim.Lit(42)},
+			Then: []sim.Op{sim.Throw{Kind: "TestDataMissing"}}},
+	) // executes the test binary in the real system: not side-effect free
+
+	tester := []sim.Op{
+		sim.Call{Fn: "WaitSlot"},
+		sim.Call{Fn: "FetchArtifact", Dst: "v"},
+		sim.WriteGlobal{Var: "fetched", Src: sim.V("v")},
+	}
+	for i := 0; i < checks; i++ {
+		tester = append(tester, sim.Call{Fn: fmt.Sprintf("CheckReady%d", i)})
+	}
+	tester = append(tester, sim.Call{Fn: "RunTest"})
+	p.AddFunc("Tester", tester...)
+
+	p.AddFunc("Main",
+		sim.Spawn{Fn: "Builder", Dst: "tb"},
+		sim.Spawn{Fn: "Tester", Dst: "tt"},
+		sim.Join{Thread: sim.V("tb")},
+		sim.Join{Thread: sim.V("tt")},
+	)
+
+	return &Study{
+		Name:           "buildandtest",
+		Issue:          "proprietary",
+		Description:    "test consumes the build artifact before the publish step when compilation is slow",
+		Program:        p,
+		FailureSig:     sim.UncaughtSig("TestDataMissing"),
+		WantRootPrefix: "slow:Compile",
+	}
+}
+
+// HealthTelemetry models the third proprietary application: a health
+// reporting module with a race condition. Two reporters increment a
+// shared sample counter without synchronization; a lost update
+// corrupts the counter, the corruption propagates through the health
+// aggregation pipeline stage by stage, and publishing the final health
+// score fails validation.
+//
+// True causal path (10 predicates, as in the paper):
+//
+//	race(ReporterA, ReporterB, sampleCount)
+//	→ ReadCounter returns incorrect value
+//	→ Stage1 … Stage7 return incorrect values
+//	→ PublishHealth throws HealthCorrupt
+//	→ F
+func HealthTelemetry() *Study {
+	p := sim.NewProgram("healthtelemetry", "Main")
+	p.Globals["sampleCount"] = 0
+	const stages = 7
+	for k := 0; k <= stages; k++ {
+		p.Globals[fmt.Sprintf("st%d", k)] = 0
+	}
+
+	reporter := func(name string) {
+		p.AddFunc(name,
+			sim.ReadGlobal{Var: "sampleCount", Dst: "c"}, // RMW window opens
+			sim.Nop{}, sim.Nop{},
+			sim.Arith{Dst: "c", A: sim.V("c"), Op: sim.OpAdd, B: sim.Lit(1)},
+			sim.WriteGlobal{Var: "sampleCount", Src: sim.V("c")}, // closes
+		)
+	}
+	reporter("ReporterA")
+	reporter("ReporterB")
+
+	p.AddFunc("ReadCounter",
+		sim.ReadGlobal{Var: "sampleCount", Dst: "v"},
+		sim.Return{Val: sim.V("v")},
+	).SideEffectFree = true
+	for k := 1; k <= stages; k++ {
+		p.AddFunc(fmt.Sprintf("Stage%d", k),
+			sim.ReadGlobal{Var: fmt.Sprintf("st%d", k-1), Dst: "x"},
+			sim.Arith{Dst: "x", A: sim.V("x"), Op: sim.OpMul, B: sim.Lit(2)},
+			sim.Return{Val: sim.V("x")},
+		).SideEffectFree = true
+	}
+	// Expected final score: 2 * 2^7 = 256.
+	p.AddFunc("PublishHealth",
+		sim.ReadGlobal{Var: fmt.Sprintf("st%d", stages), Dst: "h"},
+		sim.If{Cond: sim.Cond{A: sim.V("h"), Op: sim.NE, B: sim.Lit(256)},
+			Then: []sim.Op{sim.Throw{Kind: "HealthCorrupt"}}},
+	).SideEffectFree = true
+
+	// Channel audits: 60 read-only probes of the corrupted pipeline, 20
+	// of which retry with a backoff sleep when the value looks wrong.
+	const audits = 60
+	const slowAudits = 20
+	for i := 0; i < audits; i++ {
+		stage := i % stages
+		body := []sim.Op{sim.ReadGlobal{Var: fmt.Sprintf("st%d", stage), Dst: "v"}}
+		expected := int64(2) << uint(stage) // 2 * 2^stage
+		if i < slowAudits {
+			body = append(body, sim.If{
+				Cond: sim.Cond{A: sim.V("v"), Op: sim.NE, B: sim.Lit(expected)},
+				Then: []sim.Op{sim.Sleep{Ticks: sim.Lit(6)}},
+			})
+		}
+		body = append(body, sim.Return{Val: sim.V("v")})
+		p.AddFunc(fmt.Sprintf("Channel%02d", i), body...).SideEffectFree = true
+	}
+
+	main := []sim.Op{
+		sim.Spawn{Fn: "ReporterA", Dst: "ta"},
+		sim.Spawn{Fn: "ReporterB", Dst: "tb"},
+		sim.Join{Thread: sim.V("ta")},
+		sim.Join{Thread: sim.V("tb")},
+		sim.Call{Fn: "ReadCounter", Dst: "v"},
+		sim.WriteGlobal{Var: "st0", Src: sim.V("v")},
+	}
+	for k := 1; k <= stages; k++ {
+		main = append(main,
+			sim.Call{Fn: fmt.Sprintf("Stage%d", k), Dst: "v"},
+			sim.WriteGlobal{Var: fmt.Sprintf("st%d", k), Src: sim.V("v")},
+		)
+	}
+	for i := 0; i < audits; i++ {
+		main = append(main, sim.Call{Fn: fmt.Sprintf("Channel%02d", i)})
+	}
+	main = append(main, sim.Call{Fn: "PublishHealth"})
+	p.AddFunc("Main", main...)
+
+	return &Study{
+		Name:           "healthtelemetry",
+		Issue:          "proprietary",
+		Description:    "unsynchronized sample counters lose an update; the corruption propagates through the aggregation pipeline and health publishing fails",
+		Program:        p,
+		FailureSig:     sim.UncaughtSig("HealthCorrupt"),
+		WantRootPrefix: "race:ReporterA|ReporterB@sampleCount",
+	}
+}

@@ -1,0 +1,322 @@
+// Package casestudy reproduces the paper's six real-world case studies
+// (§7.1 / Fig. 7) on the simulator substrate.
+//
+// Each study models the same bug class as the original application —
+// Npgsql's data race on a pool index (GitHub #2485), Kafka's
+// use-after-free of a disposed consumer (#279), a Cosmos DB
+// application's cache-expiry timing bug (#713), and the three
+// proprietary Microsoft applications (Network: random-number collision;
+// BuildAndTest: order violation; HealthTelemetry: race condition) — as
+// a small concurrent program that fails intermittently under the seeded
+// scheduler. The runner executes the full AID pipeline: trace
+// collection, statistical debugging, AC-DAG construction,
+// causality-guided interventions, and the TAGT baseline.
+package casestudy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"aid/internal/acdag"
+	"aid/internal/core"
+	"aid/internal/explain"
+	"aid/internal/grouptest"
+	"aid/internal/inject"
+	"aid/internal/predicate"
+	"aid/internal/sim"
+	"aid/internal/statdebug"
+	"aid/internal/trace"
+)
+
+// Study is one case-study application.
+type Study struct {
+	// Name identifies the study ("npgsql", "kafka", ...).
+	Name string
+	// Issue references the public bug report ("npgsql#2485") or "N/A".
+	Issue string
+	// Description summarizes the bug.
+	Description string
+	// Program is the simulated application.
+	Program *sim.Program
+	// FailureSig is the expected failure signature for grouping.
+	FailureSig string
+	// WantRootPrefix is the expected root-cause predicate ID prefix
+	// ("race:", "slow:", ...), used by tests and reports.
+	WantRootPrefix string
+	// MaxSteps bounds each execution (0 = sim default).
+	MaxSteps int
+}
+
+// sideEffectFree builds the predicate.Config safety oracle from the
+// program's annotations.
+func (s *Study) sideEffectFree(method string) bool {
+	f, ok := s.Program.Funcs[method]
+	return ok && f.SideEffectFree
+}
+
+// Config returns the extraction configuration for this study.
+func (s *Study) Config() predicate.Config {
+	return predicate.Config{SideEffectFree: s.sideEffectFree, DurationMargin: 4}
+}
+
+// RunConfig controls the pipeline.
+type RunConfig struct {
+	// Successes and Failures are the target corpus sizes (paper: 50/50).
+	Successes, Failures int
+	// SeedCap bounds how many seeds to try while collecting.
+	SeedCap int
+	// ReplaySeeds is how many failing seeds each intervention replays.
+	ReplaySeeds int
+	// Seed drives the algorithms' tie-breaking.
+	Seed int64
+	// Compounds, when positive, lets statistical debugging materialize
+	// up to this many conjunction predicates (§3.2's modeling of
+	// nondeterministic root causes: neither conjunct is fully
+	// discriminative alone, but the conjunction is).
+	Compounds int
+	// Variant selects the AID ablation: "aid" (default), "aid-p" (no
+	// predicate pruning) or "aid-p-b" (no predicate or branch pruning).
+	Variant string
+}
+
+func (rc RunConfig) options() (core.Options, error) {
+	switch rc.Variant {
+	case "", "aid":
+		return core.AIDOptions(rc.Seed), nil
+	case "aid-p":
+		return core.AIDPOptions(rc.Seed), nil
+	case "aid-p-b":
+		return core.AIDPBOptions(rc.Seed), nil
+	default:
+		return core.Options{}, fmt.Errorf("casestudy: unknown variant %q", rc.Variant)
+	}
+}
+
+// DefaultRunConfig mirrors the paper's 50+50 corpus with modest replay.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{Successes: 50, Failures: 50, SeedCap: 4000, ReplaySeeds: 5, Seed: 1}
+}
+
+// Report is one row of Fig. 7 plus the explanation.
+type Report struct {
+	Study       string
+	Issue       string
+	Description string
+
+	// TotalPredicates counts everything extraction produced.
+	TotalPredicates int
+	// Discriminative is Fig. 7 column 3: fully-discriminative
+	// predicates found by SD.
+	Discriminative int
+	// DAGNodes counts safely-intervenable candidates (plus F).
+	DAGNodes int
+	// NoPathToF counts candidates discarded for lacking an AC-DAG path
+	// to the failure (the Kafka discard).
+	NoPathToF int
+	// CausalPathLen is Fig. 7 column 4 (predicates in the causal path,
+	// excluding F).
+	CausalPathLen int
+	// AIDInterventions is Fig. 7 column 5.
+	AIDInterventions int
+	// TAGTInterventions is the measured TAGT cost on the same pool.
+	TAGTInterventions int
+	// TAGTWorstCase is the paper's reported D·⌈log₂N⌉ worst case
+	// (Fig. 7 column 6).
+	TAGTWorstCase int
+
+	// Path is the discovered causal path ending at F.
+	Path []predicate.ID
+	// Explanation is the human-readable causal chain.
+	Explanation []string
+	// Narrative is the full §7.1-style account (package explain).
+	Narrative string
+	// AID is the full discovery result.
+	AID *core.Result
+}
+
+// Collect runs the program over increasing seeds until the target
+// numbers of successes and failures are gathered; it returns the trace
+// corpus and the failing seeds.
+func Collect(s *Study, rc RunConfig) (*trace.Set, []int64, error) {
+	set := &trace.Set{}
+	var failSeeds []int64
+	succ, fail := 0, 0
+	for seed := int64(1); seed <= int64(rc.SeedCap); seed++ {
+		if succ >= rc.Successes && fail >= rc.Failures {
+			break
+		}
+		exec, err := sim.Run(s.Program, seed, sim.RunOptions{MaxSteps: s.MaxSteps})
+		if err != nil {
+			return nil, nil, fmt.Errorf("casestudy %s: %w", s.Name, err)
+		}
+		if exec.Failed() {
+			if exec.FailureSig != s.FailureSig || fail >= rc.Failures {
+				continue
+			}
+			fail++
+			failSeeds = append(failSeeds, seed)
+		} else {
+			if succ >= rc.Successes {
+				continue
+			}
+			succ++
+		}
+		set.Executions = append(set.Executions, exec)
+	}
+	if succ < rc.Successes || fail < rc.Failures {
+		return nil, nil, fmt.Errorf("casestudy %s: collected %d successes / %d failures within %d seeds (want %d/%d)",
+			s.Name, succ, fail, rc.SeedCap, rc.Successes, rc.Failures)
+	}
+	return set, failSeeds, nil
+}
+
+// Run executes the full pipeline for one study.
+func Run(s *Study, rc RunConfig) (*Report, error) {
+	set, failSeeds, err := Collect(s, rc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Config()
+	corpus := predicate.Extract(set, cfg)
+	if rc.Compounds > 0 {
+		statdebug.GenerateCompounds(corpus, rc.Compounds)
+	}
+	fully := statdebug.FullyDiscriminative(corpus)
+	dag, _, err := acdag.Build(corpus, fully, acdag.BuildOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("casestudy %s: %w", s.Name, err)
+	}
+
+	replay := failSeeds
+	if rc.ReplaySeeds > 0 && len(replay) > rc.ReplaySeeds {
+		replay = replay[:rc.ReplaySeeds]
+	}
+	exec := &inject.Executor{
+		Prog:       s.Program,
+		Corpus:     corpus,
+		Baselines:  baselineSuccesses(set),
+		Seeds:      replay,
+		Cfg:        cfg,
+		FailureSig: s.FailureSig,
+		MaxSteps:   s.MaxSteps,
+	}
+
+	opts, err := rc.options()
+	if err != nil {
+		return nil, err
+	}
+	aidRes, err := core.Discover(dag, exec, opts)
+	if err != nil {
+		return nil, fmt.Errorf("casestudy %s: AID: %w", s.Name, err)
+	}
+
+	// TAGT runs on the same safely-intervenable candidate pool with the
+	// same intervention oracle, but no DAG knowledge.
+	var pool []predicate.ID
+	noPath := 0
+	for _, id := range dag.Nodes() {
+		if id == predicate.FailureID {
+			continue
+		}
+		pool = append(pool, id)
+		if !dag.Precedes(id, predicate.FailureID) {
+			noPath++
+		}
+	}
+	oracle := func(group []predicate.ID) (bool, error) {
+		obs, err := exec.Intervene(group)
+		if err != nil {
+			return false, err
+		}
+		for _, o := range obs {
+			if o.Failed {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	tagtRes, err := grouptest.Adaptive(pool, oracle, rc.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("casestudy %s: TAGT: %w", s.Name, err)
+	}
+
+	pathLen := len(aidRes.Path) - 1 // excluding F
+	report := &Report{
+		Study:             s.Name,
+		Issue:             s.Issue,
+		Description:       s.Description,
+		TotalPredicates:   len(corpus.Preds),
+		Discriminative:    len(fully),
+		DAGNodes:          dag.Len(),
+		NoPathToF:         noPath,
+		CausalPathLen:     pathLen,
+		AIDInterventions:  aidRes.Interventions(),
+		TAGTInterventions: tagtRes.Tests,
+		TAGTWorstCase:     grouptest.UpperBound(len(pool), pathLen),
+		Path:              aidRes.Path,
+		AID:               aidRes,
+	}
+	for i, id := range aidRes.Path {
+		desc := string(id)
+		if p := corpus.Pred(id); p != nil {
+			desc = p.String()
+		}
+		report.Explanation = append(report.Explanation, fmt.Sprintf("(%d) %s", i+1, desc))
+	}
+	report.Narrative = explain.Build(corpus, aidRes).String()
+	return report, nil
+}
+
+func baselineSuccesses(set *trace.Set) []trace.Execution {
+	var out []trace.Execution
+	for i := range set.Executions {
+		if !set.Executions[i].Failed() {
+			out = append(out, set.Executions[i])
+		}
+	}
+	return out
+}
+
+// FormatFigure7 renders reports as the paper's Fig. 7 table.
+func FormatFigure7(reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-14s %12s %12s %8s %8s %10s\n",
+		"Application", "Issue", "#Discrim(SD)", "#CausalPath", "AID", "TAGT", "TAGT-bound")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-16s %-14s %12d %12d %8d %8d %10d\n",
+			r.Study, r.Issue, r.Discriminative, r.CausalPathLen,
+			r.AIDInterventions, r.TAGTInterventions, r.TAGTWorstCase)
+	}
+	return b.String()
+}
+
+// All returns the six case studies in the paper's order.
+func All() []*Study {
+	return []*Study{
+		Npgsql(), Kafka(), CosmosDB(), Network(), BuildAndTest(), HealthTelemetry(),
+	}
+}
+
+// ByName returns the named study or nil.
+func ByName(name string) *Study {
+	for _, s := range All() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// failureRate estimates the study's intermittent failure rate over n
+// seeds (diagnostics and tests).
+func failureRate(s *Study, n int) float64 {
+	fails := 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		exec := sim.MustRun(s.Program, seed, sim.RunOptions{MaxSteps: s.MaxSteps})
+		if exec.Failed() && exec.FailureSig == s.FailureSig {
+			fails++
+		}
+	}
+	return float64(fails) / math.Max(1, float64(n))
+}

@@ -1,0 +1,64 @@
+package casestudy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStudiesFailIntermittently checks every study manifests its
+// failure at a usable intermittent rate.
+func TestStudiesFailIntermittently(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if err := s.Program.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			rate := failureRate(s, 200)
+			if rate == 0 {
+				t.Fatalf("%s never failed in 200 seeds", s.Name)
+			}
+			if rate == 1 {
+				t.Fatalf("%s always failed (not intermittent)", s.Name)
+			}
+			t.Logf("%s failure rate: %.0f%%", s.Name, rate*100)
+		})
+	}
+}
+
+// TestFullPipeline runs the complete AID pipeline on every case study
+// and checks the paper's qualitative claims.
+func TestFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline is slow")
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			rc := DefaultRunConfig()
+			rc.Successes, rc.Failures = 30, 30
+			rep, err := Run(s, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: discr=%d path=%d AID=%d TAGT=%d root=%s",
+				rep.Study, rep.Discriminative, rep.CausalPathLen,
+				rep.AIDInterventions, rep.TAGTInterventions, rep.AID.RootCause())
+			t.Logf("explanation:\n  %s", strings.Join(rep.Explanation, "\n  "))
+			if !strings.HasPrefix(string(rep.AID.RootCause()), s.WantRootPrefix) {
+				t.Errorf("root cause = %s, want prefix %s", rep.AID.RootCause(), s.WantRootPrefix)
+			}
+			if rep.CausalPathLen < 1 {
+				t.Error("empty causal path")
+			}
+			if rep.Discriminative <= rep.CausalPathLen {
+				t.Errorf("SD should find more predicates (%d) than the causal path (%d)",
+					rep.Discriminative, rep.CausalPathLen)
+			}
+			if rep.AIDInterventions > rep.TAGTInterventions {
+				t.Errorf("AID used %d interventions, TAGT %d — AID should not lose",
+					rep.AIDInterventions, rep.TAGTInterventions)
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"aid/internal/acdag"
+	"aid/internal/predicate"
+)
+
+// BenchmarkDiscoverPaperWorld measures a full causal path discovery on
+// the §5.2 illustrative example.
+func BenchmarkDiscoverPaperWorld(b *testing.B) {
+	b.ReportAllocs()
+	var last *Result
+	for i := 0; i < b.N; i++ {
+		d, w := benchPaperWorld(b)
+		res, err := Discover(d, w, AIDOptions(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Interventions()), "interventions")
+}
+
+// benchPaperWorld mirrors paperWorld for benchmarks.
+func benchPaperWorld(tb testing.TB) (*acdag.DAG, *truthWorld) {
+	nodes := []predicate.ID{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", predicate.FailureID}
+	edges := [][2]predicate.ID{
+		{"P1", "P2"}, {"P2", "P3"},
+		{"P3", "P4"}, {"P4", "P5"}, {"P5", "P6"}, {"P6", predicate.FailureID},
+		{"P3", "P7"},
+		{"P7", "P8"}, {"P8", "P11"},
+		{"P7", "P9"}, {"P9", "P10"}, {"P10", predicate.FailureID},
+		{"P11", predicate.FailureID},
+	}
+	d, err := acdag.FromEdges(nodes, edges)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w := &truthWorld{
+		parent: map[predicate.ID]predicate.ID{
+			"P1": "", "P2": "P1", "P11": "P2",
+			"P3": "P1", "P4": "P3", "P5": "P4", "P6": "P5",
+			"P7": "P1", "P8": "P7", "P9": "P7", "P10": "P3",
+		},
+		last: "P11",
+	}
+	return d, w
+}

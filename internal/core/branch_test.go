@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"aid/internal/acdag"
+	"aid/internal/predicate"
+)
+
+// symmetricFixture builds a fork-join DAG with J phases of B parallel
+// chains of n predicates (Fig. 5(c)) and a ground truth whose causal
+// chain follows one branch per phase.
+func symmetricFixture(t *testing.T, j, b, n int, causalBranch int) (*acdag.DAG, *truthWorld, []predicate.ID) {
+	t.Helper()
+	var nodes []predicate.ID
+	var edges [][2]predicate.ID
+	name := func(phase, branch, pos int) predicate.ID {
+		return predicate.ID(fmt.Sprintf("J%dB%dP%d", phase, branch, pos))
+	}
+	parent := map[predicate.ID]predicate.ID{}
+	var path []predicate.ID
+	for phase := 0; phase < j; phase++ {
+		for branch := 0; branch < b; branch++ {
+			for pos := 0; pos < n; pos++ {
+				id := name(phase, branch, pos)
+				nodes = append(nodes, id)
+				if pos > 0 {
+					edges = append(edges, [2]predicate.ID{name(phase, branch, pos-1), id})
+				}
+				if phase > 0 {
+					if pos == 0 {
+						for pb := 0; pb < b; pb++ {
+							edges = append(edges, [2]predicate.ID{name(phase-1, pb, n-1), id})
+						}
+					}
+				}
+				if branch == causalBranch {
+					if len(path) > 0 {
+						parent[id] = path[len(path)-1]
+					} else {
+						parent[id] = ""
+					}
+					path = append(path, id)
+				} else if pos > 0 {
+					parent[id] = name(phase, branch, pos-1)
+				} else {
+					parent[id] = ""
+				}
+			}
+		}
+	}
+	nodes = append(nodes, predicate.FailureID)
+	for branch := 0; branch < b; branch++ {
+		edges = append(edges, [2]predicate.ID{name(j-1, branch, n-1), predicate.FailureID})
+	}
+	dag, err := acdag.FromEdges(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &truthWorld{parent: parent, last: path[len(path)-1]}
+	return dag, w, append(path, predicate.FailureID)
+}
+
+// TestBranchPruningOnWideJunctions checks AID recovers the causal
+// branch on wide fork-join DAGs and that branch pruning pays for
+// itself: AID's rounds stay well below the chain-blind variant's.
+func TestBranchPruningOnWideJunctions(t *testing.T) {
+	for _, b := range []int{2, 4, 8} {
+		dag, w, want := symmetricFixture(t, 2, b, 3, b-1)
+		res, err := Discover(dag, w, AIDOptions(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Path, want) {
+			t.Fatalf("B=%d: path = %v, want %v", b, res.Path, want)
+		}
+		dag2, w2, _ := symmetricFixture(t, 2, b, 3, b-1)
+		noBranch, err := Discover(dag2, w2, Options{PredicatePruning: true, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b >= 4 && res.Interventions() > noBranch.Interventions()+2 {
+			t.Fatalf("B=%d: branch pruning used %d rounds vs %d without",
+				b, res.Interventions(), noBranch.Interventions())
+		}
+	}
+}
+
+// TestJunctionWithNoCausalBranch: the causal chain lives entirely in
+// the second phase; the first phase's junction has no causal branch, so
+// every test there is negative and the last branch survives untested —
+// the GIWP phase must then clear it without misclassifying.
+func TestJunctionWithNoCausalBranch(t *testing.T) {
+	var nodes []predicate.ID
+	var edges [][2]predicate.ID
+	parent := map[predicate.ID]predicate.ID{}
+	// Phase 0: three parallel spurious predicates hanging off the
+	// trigger; phase 1: the causal chain C0→C1.
+	for i := 0; i < 3; i++ {
+		id := predicate.ID(fmt.Sprintf("S%d", i))
+		nodes = append(nodes, id)
+		parent[id] = ""
+	}
+	nodes = append(nodes, "C0", "C1", predicate.FailureID)
+	parent["C0"] = ""
+	parent["C1"] = "C0"
+	for i := 0; i < 3; i++ {
+		edges = append(edges, [2]predicate.ID{predicate.ID(fmt.Sprintf("S%d", i)), "C0"})
+	}
+	edges = append(edges, [2]predicate.ID{"C0", "C1"}, [2]predicate.ID{"C1", predicate.FailureID})
+	dag, err := acdag.FromEdges(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &truthWorld{parent: parent, last: "C1"}
+	res, err := Discover(dag, w, AIDOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []predicate.ID{"C0", "C1", predicate.FailureID}
+	if !reflect.DeepEqual(res.Path, want) {
+		t.Fatalf("path = %v, want %v", res.Path, want)
+	}
+}
+
+func TestPruningStats(t *testing.T) {
+	d, w := paperWorld(t)
+	res, err := Discover(d, w, AIDOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := res.PruningStats()
+	if s1 <= 0 || s2 <= 0 {
+		t.Fatalf("PruningStats = (%v, %v), want positive", s1, s2)
+	}
+	// 11 predicates classified over len(Rounds) rounds.
+	wantS1 := 11.0 / float64(res.Interventions())
+	if s1 != wantS1 {
+		t.Fatalf("S1 = %v, want %v", s1, wantS1)
+	}
+	// Three confirmed causes.
+	if s2 != 11.0/3 {
+		t.Fatalf("S2 = %v, want %v", s2, 11.0/3)
+	}
+	empty := &Result{}
+	if a, b := empty.PruningStats(); a != 0 || b != 0 {
+		t.Fatal("empty result should have zero stats")
+	}
+}

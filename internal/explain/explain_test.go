@@ -1,0 +1,128 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"aid/internal/core"
+	"aid/internal/predicate"
+)
+
+func fixtureCorpus() *predicate.Corpus {
+	c := predicate.NewCorpus()
+	c.AddPred(predicate.FailurePredicate())
+	c.AddPred(predicate.Predicate{
+		ID: "race:A|B@idx", Kind: predicate.KindDataRace,
+		Methods: []string{"A", "B"}, Object: "idx",
+		Desc: "data race between A and B on idx",
+	})
+	c.AddPred(predicate.Predicate{
+		ID: "ret:C#0", Kind: predicate.KindWrongReturn,
+		Desc: "method C returns incorrect value",
+	})
+	c.AddPred(predicate.Predicate{ID: "slow:D#0", Kind: predicate.KindTooSlow,
+		Desc: "method D runs too slow"})
+	return c
+}
+
+func fixtureResult() *core.Result {
+	return &core.Result{
+		Path:     []predicate.ID{"race:A|B@idx", "ret:C#0", predicate.FailureID},
+		Spurious: []predicate.ID{"slow:D#0"},
+		Rounds: []core.Round{
+			{Intervened: []predicate.ID{"race:A|B@idx", "ret:C#0"}, Stopped: true, Phase: "giwp"},
+			{Intervened: []predicate.ID{"race:A|B@idx"}, Stopped: true,
+				Confirmed: "race:A|B@idx", Phase: "giwp"},
+			{Intervened: []predicate.ID{"ret:C#0"}, Stopped: true,
+				Confirmed: "ret:C#0", Pruned: []predicate.ID{"slow:D#0"}, Phase: "giwp"},
+		},
+	}
+}
+
+func TestBuildNarrative(t *testing.T) {
+	n := Build(fixtureCorpus(), fixtureResult())
+	if !strings.Contains(n.RootCause, "race on idx") {
+		t.Fatalf("root cause = %q", n.RootCause)
+	}
+	if len(n.Steps) != 3 {
+		t.Fatalf("steps = %v", n.Steps)
+	}
+	if !strings.HasPrefix(n.Steps[1], "(2) which causes:") {
+		t.Fatalf("step 2 = %q", n.Steps[1])
+	}
+	if !strings.Contains(n.Steps[2], "application fails") {
+		t.Fatalf("final step = %q", n.Steps[2])
+	}
+	if n.RuledOut != 1 || n.Interventions != 3 {
+		t.Fatalf("counts = %d ruled out, %d rounds", n.RuledOut, n.Interventions)
+	}
+	if len(n.Evidence) != 3 {
+		t.Fatalf("evidence = %v", n.Evidence)
+	}
+	if !strings.Contains(n.Evidence[0], "contains a cause") {
+		t.Fatalf("evidence[0] = %q", n.Evidence[0])
+	}
+	if !strings.Contains(n.Evidence[1], "confirming the counterfactual cause") {
+		t.Fatalf("evidence[1] = %q", n.Evidence[1])
+	}
+	if !strings.Contains(n.Evidence[2], "ruled out 1 predicate") {
+		t.Fatalf("evidence[2] = %q", n.Evidence[2])
+	}
+}
+
+func TestNarrativeStringRendering(t *testing.T) {
+	out := Build(fixtureCorpus(), fixtureResult()).String()
+	for _, want := range []string{
+		"Root cause:", "How the failure unfolds:", "(1)", "(3)",
+		"3 intervention round(s)", "ruling out 1 non-causal",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("narrative missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNarrativeNoRootCause(t *testing.T) {
+	res := &core.Result{Path: []predicate.ID{predicate.FailureID}}
+	out := Build(fixtureCorpus(), res).String()
+	if !strings.Contains(out, "No counterfactual root cause") {
+		t.Fatalf("empty-result narrative wrong:\n%s", out)
+	}
+}
+
+func TestNarrativeFailureRoundEvidence(t *testing.T) {
+	res := &core.Result{
+		Path: []predicate.ID{predicate.FailureID},
+		Rounds: []core.Round{{
+			Intervened: []predicate.ID{"slow:D#0"}, Stopped: false,
+			Pruned: []predicate.ID{"slow:D#0"}, Phase: "giwp",
+		}},
+	}
+	n := Build(fixtureCorpus(), res)
+	if !strings.Contains(n.Evidence[0], "persisted") {
+		t.Fatalf("evidence = %q", n.Evidence[0])
+	}
+}
+
+func TestDescribeCompound(t *testing.T) {
+	c := fixtureCorpus()
+	comp, err := c.CompoundAnd("ret:C#0", "slow:D#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MaterializeCompound(comp)
+	res := &core.Result{Path: []predicate.ID{comp.ID, predicate.FailureID}}
+	n := Build(c, res)
+	if !strings.Contains(n.RootCause, "simultaneously") ||
+		!strings.Contains(n.RootCause, "AND") {
+		t.Fatalf("compound narrative = %q", n.RootCause)
+	}
+}
+
+func TestDescribeUnknownPredicate(t *testing.T) {
+	res := &core.Result{Path: []predicate.ID{"ghost", predicate.FailureID}}
+	n := Build(fixtureCorpus(), res)
+	if n.RootCause != "ghost" {
+		t.Fatalf("unknown predicate description = %q", n.RootCause)
+	}
+}

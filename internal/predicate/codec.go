@@ -1,0 +1,91 @@
+package predicate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The on-disk corpus format is a single JSON document holding the
+// predicate definitions (including repair recipes) and the per-execution
+// logs, so a corpus collected on one machine can be debugged offline —
+// the paper's separation of logging from analysis.
+
+type corpusFile struct {
+	Preds []Predicate   `json:"predicates"`
+	Logs  []execLogFile `json:"logs"`
+}
+
+type execLogFile struct {
+	ExecID string            `json:"execId"`
+	Failed bool              `json:"failed"`
+	Occ    map[ID]Occurrence `json:"occurrences"`
+}
+
+// Encode writes the corpus as JSON.
+func (c *Corpus) Encode(w io.Writer) error {
+	f := corpusFile{Preds: c.Preds}
+	for i := range c.Logs {
+		f.Logs = append(f.Logs, execLogFile{
+			ExecID: c.Logs[i].ExecID,
+			Failed: c.Logs[i].Failed,
+			Occ:    c.Logs[i].Occ,
+		})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&f); err != nil {
+		return fmt.Errorf("predicate: encode corpus: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeCorpus reads a corpus written by Encode.
+func DecodeCorpus(r io.Reader) (*Corpus, error) {
+	var f corpusFile
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("predicate: decode corpus: %w", err)
+	}
+	c := NewCorpus()
+	for _, p := range f.Preds {
+		c.AddPred(p)
+	}
+	for _, l := range f.Logs {
+		occ := l.Occ
+		if occ == nil {
+			occ = make(map[ID]Occurrence)
+		}
+		for id := range occ {
+			if c.Pred(id) == nil {
+				return nil, fmt.Errorf("predicate: log %q references unknown predicate %q", l.ExecID, id)
+			}
+		}
+		c.Logs = append(c.Logs, ExecLog{ExecID: l.ExecID, Failed: l.Failed, Occ: occ})
+	}
+	return c, nil
+}
+
+// WriteCorpusFile saves the corpus to path.
+func WriteCorpusFile(path string, c *Corpus) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("predicate: %w", err)
+	}
+	defer f.Close()
+	if err := c.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCorpusFile loads a corpus saved by WriteCorpusFile.
+func ReadCorpusFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("predicate: %w", err)
+	}
+	defer f.Close()
+	return DecodeCorpus(f)
+}

@@ -1,0 +1,121 @@
+package predicate
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aid/internal/trace"
+)
+
+func corpusFixture() *Corpus {
+	c := NewCorpus()
+	c.AddPred(FailurePredicate())
+	c.AddPred(Predicate{
+		ID: "race:A|B@x", Kind: KindDataRace,
+		Methods: []string{"A", "B"}, Object: "x", Stamp: ByStart,
+		Repair: Intervention{Kind: IvLockMethods, Methods: []string{"A", "B"}, Safe: true},
+		Desc:   "data race between A and B on x",
+	})
+	v := Predicate{
+		ID: "ret:C#1", Kind: KindWrongReturn,
+		Methods: []string{"C"}, Instance: 1, Stamp: ByEnd,
+		Repair: Intervention{Kind: IvOverrideReturn, Methods: []string{"C"}, Value: 7, Safe: true},
+	}
+	c.AddPred(v)
+	c.Logs = append(c.Logs,
+		ExecLog{ExecID: "s1", Occ: map[ID]Occurrence{}},
+		ExecLog{ExecID: "f1", Failed: true, Occ: map[ID]Occurrence{
+			FailureID:    {Start: 90, End: 91, Thread: NoThread},
+			"race:A|B@x": {Start: 5, End: 9, Thread: NoThread},
+			"ret:C#1":    {Start: 20, End: 30, Thread: 2},
+		}},
+	)
+	return c
+}
+
+func TestCorpusCodecRoundTrip(t *testing.T) {
+	c := corpusFixture()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Preds, c.Preds) {
+		t.Fatalf("predicates mismatch:\n got %+v\nwant %+v", got.Preds, c.Preds)
+	}
+	if len(got.Logs) != len(c.Logs) {
+		t.Fatalf("log count mismatch")
+	}
+	for i := range c.Logs {
+		if got.Logs[i].ExecID != c.Logs[i].ExecID || got.Logs[i].Failed != c.Logs[i].Failed {
+			t.Fatalf("log %d header mismatch", i)
+		}
+		if len(got.Logs[i].Occ) != len(c.Logs[i].Occ) {
+			t.Fatalf("log %d occurrences mismatch", i)
+		}
+		for id, occ := range c.Logs[i].Occ {
+			if got.Logs[i].Occ[id] != occ {
+				t.Fatalf("log %d occurrence %s mismatch", i, id)
+			}
+		}
+	}
+	// Index rebuilt: lookups work on the decoded corpus.
+	if got.Pred("race:A|B@x") == nil || !got.Pred("race:A|B@x").Repair.Safe {
+		t.Fatal("decoded corpus lost predicate index or repair")
+	}
+}
+
+func TestCorpusCodecFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.json")
+	c := corpusFixture()
+	if err := WriteCorpusFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpusFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ, inFail, failed := got.Counts("race:A|B@x")
+	if occ != 1 || inFail != 1 || failed != 1 {
+		t.Fatalf("Counts on decoded corpus = (%d,%d,%d)", occ, inFail, failed)
+	}
+	if _, err := ReadCorpusFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCorpusDecodeRejectsDanglingReference(t *testing.T) {
+	raw := `{"predicates":[{"ID":"p","Kind":5}],"logs":[{"execId":"f","failed":true,"occurrences":{"ghost":{"start":1,"end":2,"thread":-1}}}]}`
+	if _, err := DecodeCorpus(strings.NewReader(raw)); err == nil {
+		t.Fatal("dangling occurrence reference accepted")
+	}
+	if _, err := DecodeCorpus(strings.NewReader("{broken")); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+}
+
+func TestCorpusCodecPreservesThreads(t *testing.T) {
+	c := corpusFixture()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := got.Logs[1].Occ["ret:C#1"]
+	if occ.Thread != trace.ThreadID(2) {
+		t.Fatalf("thread attribution lost: %+v", occ)
+	}
+	if got.Logs[1].Occ[FailureID].Thread != NoThread {
+		t.Fatal("NoThread sentinel lost")
+	}
+}

@@ -1,0 +1,725 @@
+package predicate
+
+import (
+	"fmt"
+	"sort"
+
+	"aid/internal/trace"
+)
+
+// Config controls predicate extraction.
+type Config struct {
+	// SideEffectFree reports whether a method can safely have its return
+	// value altered or its exceptions absorbed (§3.3). Nil means no
+	// method is safe for those interventions; timing and locking
+	// interventions are always safe.
+	SideEffectFree func(method string) bool
+	// MaxOrderPairs caps the number of order-violation predicates
+	// (0 = unlimited). Order predicates are quadratic in the number of
+	// method instances; the cap keeps pathological corpora tractable.
+	MaxOrderPairs int
+	// DurationMargin is the significance threshold for duration
+	// predicates: a call is "too slow" only when it exceeds the success
+	// maximum by more than the margin (and "too fast" symmetrically).
+	// It suppresses tick-level artifacts of branch shape, akin to the
+	// statistical significance filters of SD tools.
+	DurationMargin trace.Time
+	// DropUnobserved removes predicates with no occurrences anywhere.
+	// On by default in Extract.
+	keepUnobserved bool
+}
+
+func (c Config) sideEffectFree(m string) bool {
+	return c.SideEffectFree != nil && c.SideEffectFree(m)
+}
+
+// instKey identifies a dynamic method instance across executions.
+type instKey struct {
+	m    string
+	inst int
+}
+
+func (k instKey) String() string { return fmt.Sprintf("%s#%d", k.m, k.inst) }
+
+// succStats aggregates per-instance behaviour over successful runs.
+type succStats struct {
+	present       int
+	minDur        trace.Time
+	maxDur        trace.Time
+	maxStart      trace.Time
+	ret           trace.Value
+	retSet        bool
+	retConsistent bool
+}
+
+// Extract evaluates the full predicate vocabulary over the trace corpus
+// and returns the predicate logs. It mirrors the paper's offline
+// predicate-extraction phase: success baselines are learned from the
+// successful executions, then every execution is scanned for
+// deviations.
+func Extract(s *trace.Set, cfg Config) *Corpus {
+	c := NewCorpus()
+	for i := range s.Executions {
+		e := &s.Executions[i]
+		c.Logs = append(c.Logs, ExecLog{
+			ExecID: e.ID,
+			Failed: e.Failed(),
+			Occ:    make(map[ID]Occurrence),
+		})
+	}
+
+	stats := successBaselines(s)
+
+	c.AddPred(FailurePredicate())
+	for i := range s.Executions {
+		e := &s.Executions[i]
+		if !e.Failed() || len(e.Calls) == 0 {
+			continue
+		}
+		var end trace.Time
+		for j := range e.Calls {
+			if e.Calls[j].End > end {
+				end = e.Calls[j].End
+			}
+		}
+		// F is stamped strictly after the last event: the failure
+		// manifests once everything observed has happened, so any
+		// predicate completing by the crash can temporally precede F.
+		c.Logs[i].Occ[FailureID] = Occurrence{Start: end, End: end + 1, Thread: NoThread}
+	}
+
+	extractPerCall(s, c, stats, cfg)
+	extractRaces(s, c)
+	extractOrderViolations(s, c, stats, cfg)
+	extractAtomicityViolations(s, c, cfg)
+
+	if !cfg.keepUnobserved {
+		c.DropUnobserved()
+	}
+	return c
+}
+
+func successBaselines(s *trace.Set) map[instKey]*succStats {
+	stats := make(map[instKey]*succStats)
+	for _, e := range s.Successes() {
+		for i := range e.Calls {
+			call := &e.Calls[i]
+			k := instKey{call.Method, call.Instance}
+			st, ok := stats[k]
+			if !ok {
+				st = &succStats{
+					minDur:        call.Duration(),
+					maxDur:        call.Duration(),
+					retConsistent: true,
+				}
+				stats[k] = st
+			}
+			st.present++
+			if d := call.Duration(); d < st.minDur {
+				st.minDur = d
+			} else if d > st.maxDur {
+				st.maxDur = d
+			}
+			if call.Start > st.maxStart {
+				st.maxStart = call.Start
+			}
+			if call.Failed() {
+				// A throwing success-run call has no usable return value.
+				st.retConsistent = false
+				continue
+			}
+			if !st.retSet {
+				st.ret = call.Return
+				st.retSet = true
+			} else if !st.ret.Equal(call.Return) {
+				st.retConsistent = false
+			}
+		}
+	}
+	return stats
+}
+
+// extractPerCall emits method-fails, too-slow, too-fast and wrong-return
+// predicates for every method instance.
+func extractPerCall(s *trace.Set, c *Corpus, stats map[instKey]*succStats, cfg Config) {
+	for i := range s.Executions {
+		e := &s.Executions[i]
+		log := &c.Logs[i]
+		for j := range e.Calls {
+			call := &e.Calls[j]
+			k := instKey{call.Method, call.Instance}
+			window := Occurrence{Start: call.Start, End: call.End, Thread: call.Thread}
+
+			if call.Failed() {
+				id := ID("fails:" + k.String())
+				c.AddPred(Predicate{
+					ID: id, Kind: KindMethodFails,
+					Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
+					Repair: catchRepair(k, stats[k], cfg),
+					Desc:   fmt.Sprintf("method %s (call #%d) throws %s", k.m, k.inst, call.Exception),
+				})
+				log.Occ[id] = window
+			}
+
+			st := stats[k]
+			if st == nil {
+				continue // no success baseline for this instance
+			}
+			if call.Duration() > st.maxDur+cfg.DurationMargin {
+				id := ID("slow:" + k.String())
+				c.AddPred(Predicate{
+					ID: id, Kind: KindTooSlow,
+					Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
+					Repair: prematureRepair(k, st, cfg),
+					Desc: fmt.Sprintf("method %s (call #%d) runs too slow (> %d ticks)",
+						k.m, k.inst, st.maxDur),
+				})
+				log.Occ[id] = window
+			}
+			if !call.Failed() && call.Duration() < st.minDur-cfg.DurationMargin {
+				id := ID("fast:" + k.String())
+				c.AddPred(Predicate{
+					ID: id, Kind: KindTooFast,
+					Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
+					Repair: Intervention{
+						Kind: IvDelayReturn, Methods: []string{k.m},
+						Delay: int64(st.minDur), Safe: true,
+					},
+					Desc: fmt.Sprintf("method %s (call #%d) runs too fast (< %d ticks)",
+						k.m, k.inst, st.minDur),
+				})
+				log.Occ[id] = window
+			}
+			// Lateness of a nested call is subsumed by its enclosing
+			// span's behaviour; only thread-root spans carry a
+			// meaningful scheduling-lateness signal (§4 Case 2: the
+			// caller's late start causes the callee's).
+			if call.Start > st.maxStart+cfg.DurationMargin && isThreadRoot(e, call) {
+				id := ID("late:" + k.String())
+				c.AddPred(Predicate{
+					ID: id, Kind: KindStartsLate,
+					Methods: []string{k.m}, Instance: k.inst, Stamp: ByStart,
+					// Lateness has no local repair (§4 Case 2): the cause
+					// lies upstream, so the predicate is diagnostic only.
+					Repair: Intervention{Kind: IvNone},
+					Desc: fmt.Sprintf("method %s (call #%d) starts later than expected (> tick %d)",
+						k.m, k.inst, st.maxStart),
+				})
+				log.Occ[id] = window
+			}
+			if !call.Failed() && st.retSet && st.retConsistent && !st.ret.Void &&
+				!call.Return.Void && !call.Return.Equal(st.ret) {
+				id := ID("ret:" + k.String())
+				c.AddPred(Predicate{
+					ID: id, Kind: KindWrongReturn,
+					Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
+					Repair: Intervention{
+						Kind: IvOverrideReturn, Methods: []string{k.m},
+						Value: st.ret.Int, Safe: cfg.sideEffectFree(k.m),
+					},
+					Desc: fmt.Sprintf("method %s (call #%d) returns incorrect value (correct: %s)",
+						k.m, k.inst, st.ret),
+				})
+				log.Occ[id] = window
+			}
+		}
+	}
+}
+
+func catchRepair(k instKey, st *succStats, cfg Config) Intervention {
+	var val int64
+	if st != nil && st.retSet && st.retConsistent && !st.ret.Void {
+		val = st.ret.Int
+	}
+	return Intervention{
+		Kind: IvCatchException, Methods: []string{k.m},
+		Value: val, Safe: cfg.sideEffectFree(k.m),
+	}
+}
+
+func prematureRepair(k instKey, st *succStats, cfg Config) Intervention {
+	iv := Intervention{
+		Kind: IvPrematureReturn, Methods: []string{k.m},
+		Safe: cfg.sideEffectFree(k.m),
+	}
+	if st.retSet && st.retConsistent && !st.ret.Void {
+		iv.Value = st.ret.Int
+	} else {
+		iv.Void = true
+	}
+	return iv
+}
+
+// accessWindow summarizes one span's accesses to one object: the time
+// interval from its first to its last access, whether any access is a
+// write, and the set of locks held by every access (a race needs one
+// unprotected conflicting pair, so only locks held across the whole
+// window rule a pair out).
+type accessWindow struct {
+	call     *trace.MethodCall
+	start    trace.Time
+	end      trace.Time
+	hasWrite bool
+	locks    []string // intersection of the window's access locksets
+}
+
+// extractRaces emits data-race predicates using access-window
+// interleaving: two method invocations on different threads race on X
+// when their access windows on X strictly interleave (each window's
+// first access happens before the other's last access), at least one
+// access is a write, and no common lock protects both windows. Strict
+// interleaving captures the harmful schedules — e.g. two read-modify-
+// write sections losing an update — while mere span-envelope overlap
+// with disjoint access windows does not race.
+func extractRaces(s *trace.Set, c *Corpus) {
+	for i := range s.Executions {
+		e := &s.Executions[i]
+		log := &c.Logs[i]
+		byObj := make(map[trace.ObjectID][]accessWindow)
+		for j := range e.Calls {
+			call := &e.Calls[j]
+			windows := make(map[trace.ObjectID]*accessWindow)
+			for a := range call.Accesses {
+				acc := &call.Accesses[a]
+				w, ok := windows[acc.Object]
+				if !ok {
+					w = &accessWindow{
+						call: call, start: acc.At, end: acc.At,
+						locks: append([]string(nil), acc.Locks...),
+					}
+					windows[acc.Object] = w
+				} else {
+					if acc.At < w.start {
+						w.start = acc.At
+					}
+					if acc.At > w.end {
+						w.end = acc.At
+					}
+					w.locks = intersect(w.locks, acc.Locks)
+				}
+				if acc.Kind == trace.Write {
+					w.hasWrite = true
+				}
+			}
+			for obj, w := range windows {
+				byObj[obj] = append(byObj[obj], *w)
+			}
+		}
+		objs := make([]trace.ObjectID, 0, len(byObj))
+		for o := range byObj {
+			objs = append(objs, o)
+		}
+		sort.Slice(objs, func(a, b int) bool { return objs[a] < objs[b] })
+		for _, obj := range objs {
+			ws := byObj[obj]
+			for x := 0; x < len(ws); x++ {
+				for y := x + 1; y < len(ws); y++ {
+					a, b := &ws[x], &ws[y]
+					if a.call.Thread == b.call.Thread {
+						continue
+					}
+					if !a.hasWrite && !b.hasWrite {
+						continue
+					}
+					// Strict interleaving: each window starts before
+					// the other ends.
+					if !(a.start < b.end && b.start < a.end) {
+						continue
+					}
+					if sharesLock(a.locks, b.locks) {
+						continue
+					}
+					m1, m2 := a.call.Method, b.call.Method
+					if m1 > m2 {
+						m1, m2 = m2, m1
+					}
+					id := ID(fmt.Sprintf("race:%s|%s@%s", m1, m2, obj))
+					c.AddPred(Predicate{
+						ID: id, Kind: KindDataRace,
+						Methods: dedupe(m1, m2), Object: obj, Stamp: ByStart,
+						Repair: Intervention{
+							Kind: IvLockMethods, Methods: dedupe(m1, m2), Safe: true,
+						},
+						Desc: fmt.Sprintf("data race between %s and %s on %s", m1, m2, obj),
+					})
+					start := maxTime(a.start, b.start)
+					end := minTime(a.end, b.end)
+					if prev, ok := log.Occ[id]; ok {
+						if prev.Start < start {
+							start = prev.Start
+						}
+						if prev.End > end {
+							end = prev.End
+						}
+					}
+					log.Occ[id] = Occurrence{Start: start, End: end, Thread: NoThread}
+				}
+			}
+		}
+	}
+}
+
+// intersect returns the elements present in both string sets.
+func intersect(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sharesLock(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func dedupe(ms ...string) []string {
+	var out []string
+	for _, m := range ms {
+		dup := false
+		for _, o := range out {
+			if o == m {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func maxTime(a, b trace.Time) trace.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b trace.Time) trace.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// extractOrderViolations finds instance pairs (A, B) that are strictly
+// ordered A-then-B in every successful execution and emits the
+// predicate "B starts before A ends" wherever the order flips.
+//
+// Two restrictions keep the predicate set meaningful:
+//
+//   - Only leaf spans (instances that enclose no other same-thread span
+//     in any successful run) participate: a non-leaf span's ordering
+//     against another method is subsumed by its innermost child's, and
+//     emitting both would create several overlapping order predicates
+//     whose repairs are interchangeable — violating the
+//     single-causal-path assumption AID relies on (§5.1).
+//   - The pair must conflict on a shared object (both access some X,
+//     at least one writing): without a data dependency, the relative
+//     order of two methods cannot affect the outcome.
+func extractOrderViolations(s *trace.Set, c *Corpus, stats map[instKey]*succStats, cfg Config) {
+	succs := s.Successes()
+	if len(succs) == 0 {
+		return
+	}
+	// Keys present in every success are order-baseline candidates.
+	var keys []instKey
+	for k, st := range stats {
+		if st.present == len(succs) && leafInAll(succs, k) {
+			keys = append(keys, k)
+		}
+	}
+	profiles := accessProfiles(succs, keys)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].m != keys[j].m {
+			return keys[i].m < keys[j].m
+		}
+		return keys[i].inst < keys[j].inst
+	})
+	// ordered[a][b] = true while A ends before B starts in all successes
+	// seen so far.
+	type pair struct{ a, b int }
+	ordered := make(map[pair]bool)
+	for ai := range keys {
+		for bi := range keys {
+			if ai != bi {
+				ordered[pair{ai, bi}] = true
+			}
+		}
+	}
+	find := func(e *trace.Execution, k instKey) *trace.MethodCall {
+		return e.Call(k.m, k.inst)
+	}
+	for _, e := range succs {
+		calls := make([]*trace.MethodCall, len(keys))
+		for i, k := range keys {
+			calls[i] = find(e, k)
+		}
+		for ai := range keys {
+			for bi := range keys {
+				if ai == bi || !ordered[pair{ai, bi}] {
+					continue
+				}
+				a, b := calls[ai], calls[bi]
+				if a == nil || b == nil || a.End > b.Start {
+					ordered[pair{ai, bi}] = false
+				}
+			}
+		}
+	}
+	emitted := 0
+	for ai := range keys {
+		for bi := range keys {
+			if ai == bi || !ordered[pair{ai, bi}] {
+				continue
+			}
+			if !conflicting(profiles[keys[ai]], profiles[keys[bi]]) {
+				continue
+			}
+			if cfg.MaxOrderPairs > 0 && emitted >= cfg.MaxOrderPairs {
+				return
+			}
+			ka, kb := keys[ai], keys[bi]
+			id := ID(fmt.Sprintf("order:%s<%s", ka, kb))
+			pred := Predicate{
+				ID: id, Kind: KindOrderViolation,
+				Methods: dedupe(ka.m, kb.m), Instance: ka.inst, Stamp: ByStart,
+				Repair: Intervention{
+					Kind: IvEnforceOrder, Methods: []string{ka.m, kb.m}, Safe: true,
+				},
+				Desc: fmt.Sprintf("%s starts before %s ends (expected order: %s then %s)",
+					kb, ka, ka, kb),
+			}
+			added := false
+			for i := range s.Executions {
+				e := &s.Executions[i]
+				a, b := find(e, ka), find(e, kb)
+				if a == nil || b == nil || a.End <= b.Start {
+					continue
+				}
+				if !added {
+					c.AddPred(pred)
+					added = true
+					emitted++
+				}
+				c.Logs[i].Occ[id] = Occurrence{Start: b.Start, End: a.End, Thread: NoThread}
+			}
+		}
+	}
+}
+
+// extractAtomicityViolations finds same-thread span pairs (A, B) both
+// accessing an object X with no intervening remote write in any
+// successful run, and emits a predicate where a remote write slips
+// between them. The repair serializes the pair's common parent with the
+// writer; without a common parent the violation cannot be safely
+// repaired at method granularity and the intervention is marked unsafe.
+func extractAtomicityViolations(s *trace.Set, c *Corpus, cfg Config) {
+	type cand struct {
+		a, b instKey
+		obj  trace.ObjectID
+	}
+	// Candidate pairs from successes: consecutive same-thread accesses
+	// to the same object from two different spans.
+	violatedInSuccess := make(map[cand]bool)
+	candidates := make(map[cand]bool)
+	scan := func(e *trace.Execution, record func(cd cand, violated bool, gapStart, gapEnd trace.Time)) {
+		type access struct {
+			call *trace.MethodCall
+			at   trace.Time
+			kind trace.AccessKind
+		}
+		byObj := make(map[trace.ObjectID][]access)
+		for j := range e.Calls {
+			call := &e.Calls[j]
+			for a := range call.Accesses {
+				acc := &call.Accesses[a]
+				byObj[acc.Object] = append(byObj[acc.Object], access{call, acc.At, acc.Kind})
+			}
+		}
+		for obj, accs := range byObj {
+			sort.Slice(accs, func(x, y int) bool { return accs[x].at < accs[y].at })
+			for x := 0; x < len(accs); x++ {
+				for y := x + 1; y < len(accs); y++ {
+					a, b := accs[x], accs[y]
+					if a.call.Thread != b.call.Thread || a.call == b.call {
+						continue
+					}
+					cd := cand{
+						a:   instKey{a.call.Method, a.call.Instance},
+						b:   instKey{b.call.Method, b.call.Instance},
+						obj: obj,
+					}
+					violated := false
+					for z := x + 1; z < y; z++ {
+						w := accs[z]
+						if w.call.Thread != a.call.Thread && w.kind == trace.Write {
+							violated = true
+							break
+						}
+					}
+					record(cd, violated, a.at, b.at)
+					y = len(accs) // only the next foreign-span access matters
+				}
+			}
+		}
+	}
+	for _, e := range s.Successes() {
+		scan(e, func(cd cand, violated bool, _, _ trace.Time) {
+			candidates[cd] = true
+			if violated {
+				violatedInSuccess[cd] = true
+			}
+		})
+	}
+	for i := range s.Executions {
+		e := &s.Executions[i]
+		log := &c.Logs[i]
+		scan(e, func(cd cand, violated bool, gapStart, gapEnd trace.Time) {
+			if !violated || !candidates[cd] || violatedInSuccess[cd] {
+				return
+			}
+			id := ID(fmt.Sprintf("atom:%s,%s@%s", cd.a, cd.b, cd.obj))
+			parent := commonParent(e, cd.a, cd.b)
+			repair := Intervention{Kind: IvNone}
+			if parent != "" {
+				repair = Intervention{
+					Kind:    IvLockMethods,
+					Methods: []string{parent},
+					Safe:    true,
+				}
+			}
+			c.AddPred(Predicate{
+				ID: id, Kind: KindAtomicityViolation,
+				Methods: dedupe(cd.a.m, cd.b.m), Object: cd.obj, Stamp: ByStart,
+				Repair: repair,
+				Desc: fmt.Sprintf("atomicity of %s then %s on %s violated by a remote write",
+					cd.a, cd.b, cd.obj),
+			})
+			log.Occ[id] = Occurrence{Start: gapStart, End: gapEnd, Thread: NoThread}
+		})
+	}
+}
+
+// isThreadRoot reports whether no other same-thread span strictly
+// encloses the call.
+func isThreadRoot(e *trace.Execution, call *trace.MethodCall) bool {
+	for i := range e.Calls {
+		p := &e.Calls[i]
+		if p == call || p.Thread != call.Thread {
+			continue
+		}
+		if p.Start <= call.Start && p.End >= call.End &&
+			(p.Start < call.Start || p.End > call.End) {
+			return false
+		}
+	}
+	return true
+}
+
+// accessProfile records which objects an instance reads and writes.
+type accessProfile struct {
+	reads  map[trace.ObjectID]bool
+	writes map[trace.ObjectID]bool
+}
+
+// accessProfiles unions each key's object accesses over the successes.
+func accessProfiles(succs []*trace.Execution, keys []instKey) map[instKey]accessProfile {
+	out := make(map[instKey]accessProfile, len(keys))
+	for _, k := range keys {
+		p := accessProfile{
+			reads:  make(map[trace.ObjectID]bool),
+			writes: make(map[trace.ObjectID]bool),
+		}
+		for _, e := range succs {
+			call := e.Call(k.m, k.inst)
+			if call == nil {
+				continue
+			}
+			for _, a := range call.Accesses {
+				if a.Kind == trace.Write {
+					p.writes[a.Object] = true
+				} else {
+					p.reads[a.Object] = true
+				}
+			}
+		}
+		out[k] = p
+	}
+	return out
+}
+
+// conflicting reports whether two profiles touch a common object with
+// at least one write.
+func conflicting(a, b accessProfile) bool {
+	for obj := range a.writes {
+		if b.reads[obj] || b.writes[obj] {
+			return true
+		}
+	}
+	for obj := range b.writes {
+		if a.reads[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// leafInAll reports whether the instance encloses no other same-thread
+// span in any of the given executions.
+func leafInAll(execs []*trace.Execution, k instKey) bool {
+	for _, e := range execs {
+		parent := e.Call(k.m, k.inst)
+		if parent == nil {
+			continue
+		}
+		for i := range e.Calls {
+			child := &e.Calls[i]
+			if child == parent || child.Thread != parent.Thread {
+				continue
+			}
+			if child.Start >= parent.Start && child.End <= parent.End &&
+				(child.Start > parent.Start || child.End < parent.End) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// commonParent returns the innermost span of the pair's thread that
+// encloses both instances, or "".
+func commonParent(e *trace.Execution, a, b instKey) string {
+	ca, cb := e.Call(a.m, a.inst), e.Call(b.m, b.inst)
+	if ca == nil || cb == nil || ca.Thread != cb.Thread {
+		return ""
+	}
+	var best *trace.MethodCall
+	for i := range e.Calls {
+		p := &e.Calls[i]
+		if p.Thread != ca.Thread || p == ca || p == cb {
+			continue
+		}
+		if p.Start <= ca.Start && p.End >= cb.End {
+			if best == nil || p.Start > best.Start {
+				best = p
+			}
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	return best.Method
+}

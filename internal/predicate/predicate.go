@@ -1,0 +1,385 @@
+// Package predicate models runtime predicates and extracts them from
+// execution traces.
+//
+// A predicate is a Boolean statement about one execution ("there is a
+// data race between M1 and M2 on X", "method M returns an incorrect
+// value", ...). Following the paper (§3.2 and Appendix A), AID separates
+// instrumentation from predicate extraction: traces are collected once
+// and predicates are evaluated offline, so new predicate designs need no
+// re-instrumentation. Multiple dynamic executions of the same statement
+// (loops, repeated calls) map to separate predicate instances.
+//
+// Every predicate carries the fault-injection recipe that repairs it
+// (forces it to its value in successful executions), per Fig. 2 of the
+// paper; package inject translates recipes into sim plans.
+package predicate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aid/internal/trace"
+)
+
+// ID uniquely names a predicate within a corpus.
+type ID string
+
+// Kind classifies predicates by the runtime condition they capture.
+type Kind int
+
+// Predicate kinds. KindFailure is the distinguished predicate F that
+// holds exactly in failed executions.
+const (
+	KindFailure Kind = iota
+	KindDataRace
+	KindMethodFails
+	KindTooSlow
+	KindTooFast
+	KindWrongReturn
+	KindOrderViolation
+	KindAtomicityViolation
+	KindCompound
+	// KindStartsLate captures §4's Case 2: a method begins later than in
+	// any successful run. Lateness is inherited from the environment
+	// (the caller started late, a predecessor ran long), so there is no
+	// local repair — the predicate is diagnostic only and never enters
+	// the AC-DAG's intervenable set.
+	KindStartsLate
+)
+
+var kindNames = map[Kind]string{
+	KindFailure:            "failure",
+	KindDataRace:           "data-race",
+	KindMethodFails:        "method-fails",
+	KindTooSlow:            "runs-too-slow",
+	KindTooFast:            "runs-too-fast",
+	KindWrongReturn:        "wrong-return",
+	KindOrderViolation:     "order-violation",
+	KindAtomicityViolation: "atomicity-violation",
+	KindCompound:           "compound",
+	KindStartsLate:         "starts-late",
+}
+
+// String returns the kind's name.
+func (k Kind) String() string { return kindNames[k] }
+
+// Durational reports whether the predicate describes an ongoing
+// condition spanning its whole window (a duration anomaly) rather than
+// an instantaneous event. The AC-DAG orders a durational predicate
+// against an instantaneous one by the duration's start — the ongoing
+// condition enables events that occur within or after its window (§4's
+// pairwise precedence policies).
+func (k Kind) Durational() bool { return k == KindTooSlow || k == KindTooFast }
+
+// StampPolicy selects the representative timestamp of an occurrence for
+// temporal-precedence comparisons (§4: some predicate kinds order by
+// start time, others by end time).
+type StampPolicy int
+
+const (
+	// ByStart orders occurrences by window start (e.g. "starts later
+	// than expected": the enclosing span's lateness causes the callee's).
+	ByStart StampPolicy = iota
+	// ByEnd orders occurrences by window end (e.g. "runs too slow": the
+	// callee's slowness causes the caller's, and the callee ends first).
+	ByEnd
+)
+
+// InterventionKind names a fault-injection mechanism from Fig. 2.
+type InterventionKind int
+
+// Intervention kinds; IvNone marks predicates that cannot be repaired.
+const (
+	IvNone InterventionKind = iota
+	// IvLockMethods serializes the named methods with one shared lock
+	// (repairs data races and atomicity violations).
+	IvLockMethods
+	// IvCatchException wraps the method in a try-catch (repairs
+	// "method fails").
+	IvCatchException
+	// IvPrematureReturn returns the correct value immediately (repairs
+	// "runs too slow").
+	IvPrematureReturn
+	// IvDelayReturn delays the method's return (repairs "runs too fast").
+	IvDelayReturn
+	// IvOverrideReturn forces the correct return value (repairs
+	// "returns incorrect value").
+	IvOverrideReturn
+	// IvEnforceOrder makes the second method wait for the first
+	// (repairs order violations).
+	IvEnforceOrder
+	// IvGroup composes several interventions (compound predicates).
+	IvGroup
+)
+
+// Intervention is the declarative repair recipe for a predicate.
+type Intervention struct {
+	Kind    InterventionKind
+	Methods []string
+	// Value / Void configure return-value interventions.
+	Value int64
+	Void  bool
+	// Delay configures delay interventions (ticks).
+	Delay int64
+	// Safe reports whether the intervention has no undesirable side
+	// effects (§3.3): return-value and exception interventions are safe
+	// only on side-effect-free methods; timing and locking interventions
+	// are always safe.
+	Safe bool
+	// Parts holds the component interventions of an IvGroup.
+	Parts []Intervention
+}
+
+// Predicate is one Boolean runtime condition plus the metadata AID
+// needs: its timestamp policy and its repair recipe.
+type Predicate struct {
+	ID       ID
+	Kind     Kind
+	Methods  []string
+	Instance int
+	Object   trace.ObjectID
+	// Members lists component predicate IDs for compound predicates.
+	Members []ID
+	Stamp   StampPolicy
+	Repair  Intervention
+	// Desc is a human-readable statement of the condition.
+	Desc string
+}
+
+// String returns the predicate's description, falling back to its ID.
+func (p *Predicate) String() string {
+	if p.Desc != "" {
+		return p.Desc
+	}
+	return string(p.ID)
+}
+
+// Occurrence is one manifestation of a predicate in one execution: a
+// time window within the run, attributed to a thread when the
+// predicate concerns a single thread's span (Thread = -1 for
+// multi-thread or global predicates). Thread attribution lets the
+// AC-DAG order two durational predicates by nesting only when they
+// belong to the same thread.
+type Occurrence struct {
+	Start  trace.Time     `json:"start"`
+	End    trace.Time     `json:"end"`
+	Thread trace.ThreadID `json:"thread"`
+}
+
+// NoThread marks occurrences not attributable to a single thread.
+const NoThread trace.ThreadID = -1
+
+// StampTime returns the representative timestamp under the policy.
+func (o Occurrence) StampTime(p StampPolicy) trace.Time {
+	if p == ByEnd {
+		return o.End
+	}
+	return o.Start
+}
+
+// ExecLog is the predicate log of one execution: which predicates
+// occurred and when.
+type ExecLog struct {
+	ExecID string
+	Failed bool
+	Occ    map[ID]Occurrence
+}
+
+// Has reports whether the predicate occurred in this execution.
+func (l *ExecLog) Has(id ID) bool {
+	_, ok := l.Occ[id]
+	return ok
+}
+
+// Corpus is a set of predicates plus their logs over a set of
+// executions — the input to statistical debugging and the AC-DAG.
+type Corpus struct {
+	Preds []Predicate
+	Logs  []ExecLog
+	byID  map[ID]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{byID: make(map[ID]int)}
+}
+
+// AddPred registers a predicate; re-adding an existing ID is a no-op.
+func (c *Corpus) AddPred(p Predicate) {
+	if _, ok := c.byID[p.ID]; ok {
+		return
+	}
+	c.byID[p.ID] = len(c.Preds)
+	c.Preds = append(c.Preds, p)
+}
+
+// Pred returns the predicate with the given ID, or nil.
+func (c *Corpus) Pred(id ID) *Predicate {
+	i, ok := c.byID[id]
+	if !ok {
+		return nil
+	}
+	return &c.Preds[i]
+}
+
+// IDs returns all predicate IDs in registration order.
+func (c *Corpus) IDs() []ID {
+	out := make([]ID, len(c.Preds))
+	for i := range c.Preds {
+		out[i] = c.Preds[i].ID
+	}
+	return out
+}
+
+// Counts returns (#executions where id occurred, #failed executions
+// where id occurred, #failed executions).
+func (c *Corpus) Counts(id ID) (occurred, occurredInFailed, failed int) {
+	for i := range c.Logs {
+		l := &c.Logs[i]
+		if l.Failed {
+			failed++
+		}
+		if l.Has(id) {
+			occurred++
+			if l.Failed {
+				occurredInFailed++
+			}
+		}
+	}
+	return
+}
+
+// FailedLogs returns the logs of failed executions.
+func (c *Corpus) FailedLogs() []*ExecLog {
+	var out []*ExecLog
+	for i := range c.Logs {
+		if c.Logs[i].Failed {
+			out = append(out, &c.Logs[i])
+		}
+	}
+	return out
+}
+
+// SuccessLogs returns the logs of successful executions.
+func (c *Corpus) SuccessLogs() []*ExecLog {
+	var out []*ExecLog
+	for i := range c.Logs {
+		if !c.Logs[i].Failed {
+			out = append(out, &c.Logs[i])
+		}
+	}
+	return out
+}
+
+// DropUnobserved removes predicates that never occur in any log, keeping
+// the corpus small. Returns the number removed.
+func (c *Corpus) DropUnobserved() int {
+	keep := make([]Predicate, 0, len(c.Preds))
+	removed := 0
+	for i := range c.Preds {
+		id := c.Preds[i].ID
+		seen := false
+		for j := range c.Logs {
+			if c.Logs[j].Has(id) {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			keep = append(keep, c.Preds[i])
+		} else {
+			removed++
+		}
+	}
+	c.Preds = keep
+	c.byID = make(map[ID]int, len(keep))
+	for i := range c.Preds {
+		c.byID[c.Preds[i].ID] = i
+	}
+	return removed
+}
+
+// FailureID is the ID of the distinguished failure predicate F.
+const FailureID ID = "FAILURE"
+
+// FailurePredicate builds the predicate F indicating the failure itself.
+func FailurePredicate() Predicate {
+	return Predicate{
+		ID:    FailureID,
+		Kind:  KindFailure,
+		Stamp: ByEnd,
+		Desc:  "the execution fails",
+	}
+}
+
+// CompoundAnd builds the conjunction of existing predicates: it occurs
+// in an execution iff all members occur; its window spans the members'
+// windows and its stamp is the latest member stamp (a conjunction
+// completes when its last conjunct holds). Its repair composes the
+// member repairs. Members must be registered in the corpus.
+func (c *Corpus) CompoundAnd(members ...ID) (Predicate, error) {
+	if len(members) < 2 {
+		return Predicate{}, fmt.Errorf("predicate: compound needs >= 2 members, got %d", len(members))
+	}
+	sorted := append([]ID(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	parts := make([]string, len(sorted))
+	var repair Intervention
+	repair.Kind = IvGroup
+	repair.Safe = true
+	var descs []string
+	for i, m := range sorted {
+		p := c.Pred(m)
+		if p == nil {
+			return Predicate{}, fmt.Errorf("predicate: compound member %q not in corpus", m)
+		}
+		parts[i] = string(m)
+		repair.Parts = append(repair.Parts, p.Repair)
+		if !p.Repair.Safe {
+			repair.Safe = false
+		}
+		descs = append(descs, p.String())
+	}
+	id := ID("and(" + strings.Join(parts, ",") + ")")
+	pred := Predicate{
+		ID:      id,
+		Kind:    KindCompound,
+		Members: sorted,
+		Stamp:   ByEnd,
+		Repair:  repair,
+		Desc:    "(" + strings.Join(descs, ") AND (") + ")",
+	}
+	return pred, nil
+}
+
+// MaterializeCompound registers the compound predicate and fills its
+// occurrences in every log where all members occur.
+func (c *Corpus) MaterializeCompound(p Predicate) {
+	c.AddPred(p)
+	for i := range c.Logs {
+		l := &c.Logs[i]
+		var window Occurrence
+		all := true
+		for j, m := range p.Members {
+			occ, ok := l.Occ[m]
+			if !ok {
+				all = false
+				break
+			}
+			if j == 0 {
+				window = occ
+				continue
+			}
+			if occ.Start < window.Start {
+				window.Start = occ.Start
+			}
+			if occ.End > window.End {
+				window.End = occ.End
+			}
+		}
+		if all {
+			l.Occ[p.ID] = window
+		}
+	}
+}

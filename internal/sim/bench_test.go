@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// BenchmarkRunRacy measures one simulated execution of the racy
+// two-thread program (the simulator's hot path).
+func BenchmarkRunRacy(b *testing.B) {
+	p := racyProgram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := MustRun(p, int64(i), RunOptions{})
+		if len(e.Calls) == 0 {
+			b.Fatal("no spans recorded")
+		}
+	}
+}
+
+// BenchmarkRunInjected measures execution under a fault-injection plan.
+func BenchmarkRunInjected(b *testing.B) {
+	p := racyProgram()
+	plan := Plan{"Worker": {GlobalLocks: []string{"inj"}, DelayStart: 3}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := MustRun(p, int64(i), RunOptions{Plan: plan})
+		if e.Failed() {
+			b.Fatal("injected run failed")
+		}
+	}
+}
+
+// BenchmarkScheduler measures raw scheduler throughput on a loop-heavy
+// single-thread program (steps per op).
+func BenchmarkScheduler(b *testing.B) {
+	p := NewProgram("loop", "Main")
+	p.AddFunc("Main",
+		Assign{Dst: "i", Src: Lit(0)},
+		While{Cond: Cond{A: V("i"), Op: LT, B: Lit(1000)}, Body: []Op{
+			Arith{Dst: "i", A: V("i"), Op: OpAdd, B: Lit(1)},
+		}},
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MustRun(p, 1, RunOptions{})
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the program's functions as readable pseudo-code,
+// for documentation and debugging of case-study definitions.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (entry %s)\n", p.Name, p.Entry)
+	for _, name := range p.FuncNames() {
+		f := p.Funcs[name]
+		marker := ""
+		if f.SideEffectFree {
+			marker = " // side-effect free"
+		}
+		fmt.Fprintf(&b, "\nfunc %s()%s\n", name, marker)
+		writeOps(&b, f.Body, 1)
+	}
+	return b.String()
+}
+
+func writeOps(b *strings.Builder, ops []Op, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, op := range ops {
+		switch o := op.(type) {
+		case Assign:
+			fmt.Fprintf(b, "%s%s = %s\n", indent, o.Dst, o.Src)
+		case Arith:
+			fmt.Fprintf(b, "%s%s = %s %s %s\n", indent, o.Dst, o.A, arithSym(o.Op), o.B)
+		case ReadGlobal:
+			fmt.Fprintf(b, "%s%s = load %s\n", indent, o.Dst, o.Var)
+		case WriteGlobal:
+			fmt.Fprintf(b, "%sstore %s = %s\n", indent, o.Var, o.Src)
+		case ArrayRead:
+			fmt.Fprintf(b, "%s%s = %s[%s]\n", indent, o.Dst, o.Arr, o.Index)
+		case ArrayWrite:
+			fmt.Fprintf(b, "%s%s[%s] = %s\n", indent, o.Arr, o.Index, o.Src)
+		case ArrayLen:
+			fmt.Fprintf(b, "%s%s = len(%s)\n", indent, o.Dst, o.Arr)
+		case ArrayResize:
+			fmt.Fprintf(b, "%sresize %s to %s\n", indent, o.Arr, o.Len)
+		case Lock:
+			fmt.Fprintf(b, "%slock %s\n", indent, o.Mu)
+		case Unlock:
+			fmt.Fprintf(b, "%sunlock %s\n", indent, o.Mu)
+		case Sleep:
+			fmt.Fprintf(b, "%ssleep %s\n", indent, o.Ticks)
+		case WaitUntil:
+			fmt.Fprintf(b, "%swait until %s == %s\n", indent, o.Var, o.Val)
+		case Call:
+			if o.Dst != "" {
+				fmt.Fprintf(b, "%s%s = call %s()\n", indent, o.Dst, o.Fn)
+			} else {
+				fmt.Fprintf(b, "%scall %s()\n", indent, o.Fn)
+			}
+		case Return:
+			fmt.Fprintf(b, "%sreturn %s\n", indent, o.Val)
+		case ReturnVoid:
+			fmt.Fprintf(b, "%sreturn\n", indent)
+		case Throw:
+			fmt.Fprintf(b, "%sthrow %s\n", indent, o.Kind)
+		case Try:
+			fmt.Fprintf(b, "%stry {\n", indent)
+			writeOps(b, o.Body, depth+1)
+			fmt.Fprintf(b, "%s} catch %s {\n", indent, o.CatchKind)
+			writeOps(b, o.Handler, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		case If:
+			fmt.Fprintf(b, "%sif %s %s %s {\n", indent, o.Cond.A, cmpSym(o.Cond.Op), o.Cond.B)
+			writeOps(b, o.Then, depth+1)
+			if len(o.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				writeOps(b, o.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case While:
+			fmt.Fprintf(b, "%swhile %s %s %s {\n", indent, o.Cond.A, cmpSym(o.Cond.Op), o.Cond.B)
+			writeOps(b, o.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		case Spawn:
+			if o.Dst != "" {
+				fmt.Fprintf(b, "%s%s = spawn %s()\n", indent, o.Dst, o.Fn)
+			} else {
+				fmt.Fprintf(b, "%sspawn %s()\n", indent, o.Fn)
+			}
+		case Join:
+			fmt.Fprintf(b, "%sjoin %s\n", indent, o.Thread)
+		case Random:
+			fmt.Fprintf(b, "%s%s = random(%s)\n", indent, o.Dst, o.N)
+		case ReadClock:
+			fmt.Fprintf(b, "%s%s = now()\n", indent, o.Dst)
+		case Fail:
+			fmt.Fprintf(b, "%sfail %q\n", indent, o.Sig)
+		case Nop:
+			fmt.Fprintf(b, "%snop\n", indent)
+		default:
+			fmt.Fprintf(b, "%s<%s>\n", indent, op.opName())
+		}
+	}
+}
+
+func arithSym(op ArithOp) string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	}
+	return "?"
+}
+
+func cmpSym(op CmpOp) string {
+	switch op {
+	case EQ:
+		return "=="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleCoversOps(t *testing.T) {
+	p := NewProgram("demo", "Main")
+	p.Arrays["arr"] = []int64{1, 2}
+	p.AddFunc("Helper", Return{Val: Lit(1)}).SideEffectFree = true
+	p.AddFunc("Main",
+		Assign{Dst: "x", Src: Lit(3)},
+		Arith{Dst: "y", A: V("x"), Op: OpMul, B: Lit(2)},
+		ReadGlobal{Var: "g", Dst: "v"},
+		WriteGlobal{Var: "g", Src: V("v")},
+		ArrayRead{Arr: "arr", Index: Lit(0), Dst: "a"},
+		ArrayWrite{Arr: "arr", Index: Lit(1), Src: V("a")},
+		ArrayLen{Arr: "arr", Dst: "n"},
+		ArrayResize{Arr: "arr", Len: Lit(4)},
+		Lock{Mu: "m"},
+		Unlock{Mu: "m"},
+		Sleep{Ticks: Lit(5)},
+		WaitUntil{Var: "flag", Val: Lit(1)},
+		Call{Fn: "Helper", Dst: "h"},
+		Try{Body: []Op{Throw{Kind: "E"}}, CatchKind: "E", Handler: []Op{Nop{}}},
+		If{Cond: Cond{A: V("x"), Op: GT, B: Lit(0)},
+			Then: []Op{Nop{}}, Else: []Op{Nop{}}},
+		While{Cond: Cond{A: V("x"), Op: LT, B: Lit(1)}, Body: []Op{Nop{}}},
+		Spawn{Fn: "Helper", Dst: "t"},
+		Join{Thread: V("t")},
+		Random{Dst: "r", N: Lit(4)},
+		ReadClock{Dst: "now"},
+		Fail{Sig: "boom"},
+		ReturnVoid{},
+	)
+	out := p.Disassemble()
+	for _, want := range []string{
+		"program demo (entry Main)",
+		"func Helper() // side-effect free",
+		"x = 3", "y = x * 2", "v = load g", "store g = v",
+		"a = arr[0]", "arr[1] = a", "n = len(arr)", "resize arr to 4",
+		"lock m", "unlock m", "sleep 5", "wait until flag == 1",
+		"h = call Helper()", "try {", "} catch E {",
+		"if x > 0 {", "} else {", "while x < 1 {",
+		"t = spawn Helper()", "join t", "r = random(4)",
+		"now = now()", `fail "boom"`, "return",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleCaseStudyPrograms(t *testing.T) {
+	// The disassembler must render every op the case studies use
+	// without hitting the fallback branch.
+	p := racyProgram()
+	out := p.Disassemble()
+	if strings.Contains(out, "<") {
+		t.Fatalf("fallback rendering in:\n%s", out)
+	}
+}

@@ -1,0 +1,38 @@
+package statdebug
+
+import (
+	"fmt"
+	"strings"
+
+	"aid/internal/predicate"
+)
+
+// FormatScores renders the SD ranking as a table — what a statistical
+// debugger would hand the developer (contrast with AID's causal path).
+// topN = 0 prints everything.
+func FormatScores(c *predicate.Corpus, topN int) string {
+	scores := Scores(c)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %9s %7s %6s %5s\n", "Predicate", "Precision", "Recall", "F1", "Occ")
+	n := 0
+	for _, s := range scores {
+		if s.Pred == predicate.FailureID {
+			continue
+		}
+		if topN > 0 && n >= topN {
+			fmt.Fprintf(&b, "... (%d more)\n", len(scores)-1-n)
+			break
+		}
+		desc := string(s.Pred)
+		if p := c.Pred(s.Pred); p != nil && p.Desc != "" {
+			desc = p.Desc
+		}
+		if len(desc) > 50 {
+			desc = desc[:47] + "..."
+		}
+		fmt.Fprintf(&b, "%-52s %9.2f %7.2f %6.2f %5d\n",
+			desc, s.Precision, s.Recall, s.F1, s.Occurrences)
+		n++
+	}
+	return b.String()
+}

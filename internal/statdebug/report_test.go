@@ -1,0 +1,66 @@
+package statdebug
+
+import (
+	"strings"
+	"testing"
+
+	"aid/internal/predicate"
+)
+
+func TestFormatScores(t *testing.T) {
+	outcomes := []bool{false, true}
+	c := corpus(outcomes, map[predicate.ID][]bool{
+		"good": {false, true},
+		"bad":  {true, false},
+	})
+	out := FormatScores(c, 0)
+	if !strings.Contains(out, "good") || !strings.Contains(out, "bad") {
+		t.Fatalf("report missing predicates:\n%s", out)
+	}
+	if strings.Contains(out, string(predicate.FailureID)) {
+		t.Fatal("report should omit the failure predicate")
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 3 { // header + 2 predicates
+		t.Fatalf("report has %d lines:\n%s", lines, out)
+	}
+	// The perfect predicate ranks first.
+	if strings.Index(out, "good") > strings.Index(out, "bad") {
+		t.Fatal("ranking order wrong")
+	}
+}
+
+func TestFormatScoresTopN(t *testing.T) {
+	outcomes := []bool{false, true}
+	rows := map[predicate.ID][]bool{}
+	for _, id := range []predicate.ID{"p1", "p2", "p3", "p4"} {
+		rows[id] = []bool{false, true}
+	}
+	c := corpus(outcomes, rows)
+	out := FormatScores(c, 2)
+	if !strings.Contains(out, "more)") {
+		t.Fatalf("truncation marker missing:\n%s", out)
+	}
+}
+
+func TestFormatScoresTruncatesLongDescriptions(t *testing.T) {
+	c := predicate.NewCorpus()
+	c.AddPred(predicate.FailurePredicate())
+	long := strings.Repeat("x", 80)
+	c.AddPred(predicate.Predicate{ID: "p", Desc: long})
+	c.Logs = append(c.Logs, predicate.ExecLog{
+		ExecID: "f", Failed: true,
+		Occ: map[predicate.ID]predicate.Occurrence{
+			"p": {}, predicate.FailureID: {},
+		},
+	})
+	out := FormatScores(c, 0)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 100 {
+			t.Fatalf("line too long: %q", line)
+		}
+	}
+	if !strings.Contains(out, "...") {
+		t.Fatal("long description not truncated")
+	}
+}

@@ -1,0 +1,235 @@
+// Package statdebug implements statistical debugging (SD) over predicate
+// logs: it scores predicates by precision and recall against the failure
+// and selects the discriminative ones.
+//
+// SD is both the first stage of AID's pipeline (AID consumes SD's
+// fully-discriminative predicates, §3.1) and the baseline it improves
+// on: SD alone reports many correlated predicates without separating
+// causal ones or explaining the failure (Fig. 7, column 3).
+package statdebug
+
+import (
+	"math"
+	"sort"
+
+	"aid/internal/predicate"
+)
+
+// Score is the SD ranking record of one predicate.
+type Score struct {
+	Pred predicate.ID
+	// Precision = #failed executions where P occurs / #executions where
+	// P occurs.
+	Precision float64
+	// Recall = #failed executions where P occurs / #failed executions.
+	Recall float64
+	// F1 is the harmonic mean of precision and recall.
+	F1 float64
+	// Occurrences and FailedOccurrences are the raw counts.
+	Occurrences       int
+	FailedOccurrences int
+}
+
+// fullyDiscriminative reports 100% precision and recall.
+func (s Score) fullyDiscriminative() bool {
+	return s.Precision == 1 && s.Recall == 1
+}
+
+// Scores computes precision and recall for every predicate in the
+// corpus, sorted by F1 (descending), then precision, then ID for
+// stability. Corpora with no failed executions yield zero recall
+// everywhere.
+func Scores(c *predicate.Corpus) []Score {
+	out := make([]Score, 0, len(c.Preds))
+	for i := range c.Preds {
+		id := c.Preds[i].ID
+		occ, inFail, failed := c.Counts(id)
+		s := Score{Pred: id, Occurrences: occ, FailedOccurrences: inFail}
+		if occ > 0 {
+			s.Precision = float64(inFail) / float64(occ)
+		}
+		if failed > 0 {
+			s.Recall = float64(inFail) / float64(failed)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].F1 != out[j].F1 {
+			return out[i].F1 > out[j].F1
+		}
+		if out[i].Precision != out[j].Precision {
+			return out[i].Precision > out[j].Precision
+		}
+		return out[i].Pred < out[j].Pred
+	})
+	return out
+}
+
+// Discriminative returns predicates meeting the precision and recall
+// thresholds, excluding the failure predicate itself.
+func Discriminative(c *predicate.Corpus, minPrecision, minRecall float64) []predicate.ID {
+	var out []predicate.ID
+	for _, s := range Scores(c) {
+		if s.Pred == predicate.FailureID {
+			continue
+		}
+		if s.Precision >= minPrecision && s.Recall >= minRecall && s.Occurrences > 0 {
+			out = append(out, s.Pred)
+		}
+	}
+	return out
+}
+
+// FullyDiscriminative returns predicates that occur in every failed
+// execution and in no successful one (100% precision and recall) —
+// AID's working set. The failure predicate is excluded.
+//
+// AID targets counterfactual causes, so it also excludes program
+// invariants: a predicate that occurs in every execution regardless of
+// outcome has precision < 1 whenever successes exist and is filtered
+// naturally; with zero successes in the corpus nothing is trustworthy
+// and the result is empty.
+func FullyDiscriminative(c *predicate.Corpus) []predicate.ID {
+	succ := len(c.SuccessLogs())
+	fail := len(c.FailedLogs())
+	if succ == 0 || fail == 0 {
+		return nil
+	}
+	var out []predicate.ID
+	for _, s := range Scores(c) {
+		if s.Pred == predicate.FailureID {
+			continue
+		}
+		if s.fullyDiscriminative() {
+			out = append(out, s.Pred)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GenerateCompounds finds pairs of partially-discriminative predicates
+// whose conjunction is fully discriminative, materializes them in the
+// corpus, and returns the new predicates. This is the paper's modeling
+// of nondeterministic root causes ("A and B in conjunction cause the
+// failure", §3.2): neither conjunct reaches 100% precision alone, but
+// the compound does.
+//
+// maxCompounds caps the number generated (0 = unlimited).
+func GenerateCompounds(c *predicate.Corpus, maxCompounds int) []predicate.Predicate {
+	scores := Scores(c)
+	byID := make(map[predicate.ID]Score, len(scores))
+	var candidates []predicate.ID
+	for _, s := range scores {
+		byID[s.Pred] = s
+		// Candidates correlate with failure but are not fully
+		// discriminative on their own.
+		if s.Pred == predicate.FailureID || s.fullyDiscriminative() || s.FailedOccurrences == 0 {
+			continue
+		}
+		candidates = append(candidates, s.Pred)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	fails := c.FailedLogs()
+	succs := c.SuccessLogs()
+	var out []predicate.Predicate
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			if maxCompounds > 0 && len(out) >= maxCompounds {
+				return out
+			}
+			a, b := candidates[i], candidates[j]
+			if !conjunctionFullyDiscriminative(fails, succs, a, b) {
+				continue
+			}
+			comp, err := c.CompoundAnd(a, b)
+			if err != nil {
+				continue
+			}
+			if c.Pred(comp.ID) != nil {
+				continue
+			}
+			c.MaterializeCompound(comp)
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+func conjunctionFullyDiscriminative(fails, succs []*predicate.ExecLog, a, b predicate.ID) bool {
+	for _, l := range fails {
+		if !l.Has(a) || !l.Has(b) {
+			return false
+		}
+	}
+	for _, l := range succs {
+		if l.Has(a) && l.Has(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary aggregates SD output for reporting: counts at each filter
+// level, as in Fig. 7.
+type Summary struct {
+	TotalPredicates       int
+	Discriminative        int
+	FullyDiscriminative   int
+	FullyDiscriminativeID []predicate.ID
+}
+
+// Summarize computes the SD summary of a corpus. Discriminative counts
+// use the conventional thresholds precision >= 0.5, recall = 1.
+func Summarize(c *predicate.Corpus) Summary {
+	full := FullyDiscriminative(c)
+	return Summary{
+		TotalPredicates:       len(c.Preds),
+		Discriminative:        len(Discriminative(c, 0.5, 1)),
+		FullyDiscriminative:   len(full),
+		FullyDiscriminativeID: full,
+	}
+}
+
+// EntropyGain ranks a predicate by the information its occurrence gives
+// about the outcome (a HOLMES/CBI-style metric); exposed for analysis
+// tooling and tests of ranking alternatives.
+func EntropyGain(c *predicate.Corpus, id predicate.ID) float64 {
+	var n, fail, occ, occFail float64
+	for i := range c.Logs {
+		n++
+		l := &c.Logs[i]
+		if l.Failed {
+			fail++
+		}
+		if l.Has(id) {
+			occ++
+			if l.Failed {
+				occFail++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	h := entropy(fail / n)
+	var cond float64
+	if occ > 0 {
+		cond += occ / n * entropy(occFail/occ)
+	}
+	if occ < n {
+		cond += (n - occ) / n * entropy((fail-occFail)/(n-occ))
+	}
+	return h - cond
+}
+
+func entropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

@@ -1,0 +1,212 @@
+package synthetic
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"aid/internal/core"
+	"aid/internal/grouptest"
+	"aid/internal/predicate"
+)
+
+// ErrMisidentified reports that an approach's discovered causes differ
+// from the ground truth. On deterministic worlds this is a bug; under
+// noise it is a measurable event — a round's repeated runs can all miss
+// the failure's manifestation, making a spurious group look causal.
+var ErrMisidentified = errors.New("discovered causes do not match ground truth")
+
+// Approach names the four strategies compared in Fig. 8.
+type Approach string
+
+// The four approaches of Fig. 8.
+const (
+	TAGT  Approach = "TAGT"
+	AIDPB Approach = "AID-P-B"
+	AIDP  Approach = "AID-P"
+	AID   Approach = "AID"
+)
+
+// Approaches lists them in the paper's legend order.
+var Approaches = []Approach{TAGT, AIDPB, AIDP, AID}
+
+// Cell aggregates one (approach, MAXt) cell of Fig. 8.
+type Cell struct {
+	Approach  Approach
+	MaxT      int
+	Average   float64 // average #interventions (left plot)
+	WorstCase int     // maximum #interventions (right plot)
+	Instances int
+}
+
+// Setting aggregates one MAXt column: all four approaches plus the
+// average predicate count (the grey dotted line).
+type Setting struct {
+	MaxT     int
+	AvgPreds float64
+	AvgD     float64
+	Cells    map[Approach]Cell
+	// Misidentified counts instances whose discovered path deviated
+	// from the ground truth — zero on deterministic worlds, possible
+	// under noise when every run of a round misses the manifestation.
+	Misidentified map[Approach]int
+}
+
+// Noise configures optional runtime nondeterminism for experiment runs
+// (zero value = deterministic single-observation worlds).
+type Noise struct {
+	// Runs is the number of executions per intervention round (min 1).
+	Runs int
+	// ManifestProb is the per-run chance the bug trigger recurs.
+	ManifestProb float64
+	// SymptomNoise is the per-run chance a spurious predicate flickers.
+	SymptomNoise float64
+}
+
+func (n Noise) enabled() bool {
+	return n.Runs > 1 || n.SymptomNoise > 0 || (n.ManifestProb > 0 && n.ManifestProb < 1)
+}
+
+// RunInstance measures one approach on one instance, verifying that the
+// discovered causal path matches the ground truth.
+func RunInstance(inst *Instance, approach Approach, seed int64) (int, error) {
+	return RunInstanceNoisy(inst, approach, seed, Noise{})
+}
+
+// RunInstanceNoisy is RunInstance under an optional noise model.
+func RunInstanceNoisy(inst *Instance, approach Approach, seed int64, noise Noise) (int, error) {
+	w := inst.World
+	var iv core.Intervener = w
+	oracle := w.Oracle
+	if noise.enabled() {
+		fw := NewFlakyWorld(w, noise.Runs, noise.ManifestProb, noise.SymptomNoise, seed^0x51ab5)
+		iv = fw
+		oracle = func(group []predicate.ID) (bool, error) {
+			obs, err := fw.Intervene(group)
+			if err != nil {
+				return false, err
+			}
+			for _, o := range obs {
+				if o.Failed {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+	}
+	switch approach {
+	case TAGT:
+		// The Fig. 8 baseline uses the same halving scheme as GIWP so
+		// the ablation isolates AID's ordering and pruning; see
+		// grouptest.Halving.
+		res, err := grouptest.Halving(w.SortedPreds(), oracle, seed)
+		if err != nil {
+			return 0, err
+		}
+		got := append([]predicate.ID(nil), res.Causes...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		want := append([]predicate.ID(nil), w.Path...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !reflect.DeepEqual(got, want) {
+			return res.Tests, fmt.Errorf("synthetic: TAGT found %v, want %v: %w", got, want, ErrMisidentified)
+		}
+		return res.Tests, nil
+	case AID, AIDP, AIDPB:
+		var opts core.Options
+		switch approach {
+		case AID:
+			opts = core.AIDOptions(seed)
+		case AIDP:
+			opts = core.AIDPOptions(seed)
+		default:
+			opts = core.AIDPBOptions(seed)
+		}
+		dag, err := w.DAG()
+		if err != nil {
+			return 0, err
+		}
+		res, err := core.Discover(dag, iv, opts)
+		if err != nil {
+			return 0, err
+		}
+		if !reflect.DeepEqual(res.Path, w.WantPath()) {
+			return res.Interventions(), fmt.Errorf("synthetic: %s found %v, want %v: %w",
+				approach, res.Path, w.WantPath(), ErrMisidentified)
+		}
+		return res.Interventions(), nil
+	default:
+		return 0, fmt.Errorf("synthetic: unknown approach %q", approach)
+	}
+}
+
+// RunSetting generates `instances` applications for one MAXt value and
+// measures all four approaches on each (Fig. 8, one x-axis position).
+func RunSetting(maxT, instances int, baseSeed int64) (*Setting, error) {
+	return RunSettingNoisy(maxT, instances, baseSeed, Noise{})
+}
+
+// RunSettingNoisy is RunSetting under an optional noise model,
+// measuring robustness of the sweep to runtime nondeterminism.
+func RunSettingNoisy(maxT, instances int, baseSeed int64, noise Noise) (*Setting, error) {
+	s := &Setting{
+		MaxT:          maxT,
+		Cells:         make(map[Approach]Cell),
+		Misidentified: make(map[Approach]int),
+	}
+	sums := make(map[Approach]int)
+	worst := make(map[Approach]int)
+	var predSum, dSum int
+	for i := 0; i < instances; i++ {
+		seed := baseSeed + int64(i)*7919
+		inst, err := Generate(Params{MaxThreads: maxT, Seed: seed, LateSymptoms: -1})
+		if err != nil {
+			return nil, err
+		}
+		predSum += inst.N
+		dSum += inst.D
+		for _, ap := range Approaches {
+			n, err := RunInstanceNoisy(inst, ap, seed^0x5deece66d, noise)
+			if err != nil {
+				if noise.enabled() && errors.Is(err, ErrMisidentified) {
+					s.Misidentified[ap]++
+				} else {
+					return nil, err
+				}
+			}
+			sums[ap] += n
+			if n > worst[ap] {
+				worst[ap] = n
+			}
+		}
+	}
+	s.AvgPreds = float64(predSum) / float64(instances)
+	s.AvgD = float64(dSum) / float64(instances)
+	for _, ap := range Approaches {
+		s.Cells[ap] = Cell{
+			Approach:  ap,
+			MaxT:      maxT,
+			Average:   float64(sums[ap]) / float64(instances),
+			WorstCase: worst[ap],
+			Instances: instances,
+		}
+	}
+	return s, nil
+}
+
+// Figure8MaxTs are the x-axis values of Fig. 8.
+var Figure8MaxTs = []int{2, 10, 18, 26, 34, 42}
+
+// RunFigure8 runs the full sweep: `instances` applications per MAXt
+// (the paper uses 500).
+func RunFigure8(instances int, baseSeed int64) ([]*Setting, error) {
+	var out []*Setting
+	for _, maxT := range Figure8MaxTs {
+		s, err := RunSetting(maxT, instances, baseSeed+int64(maxT)*1000003)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package synthetic
+
+import (
+	"math/rand"
+
+	"aid/internal/core"
+	"aid/internal/predicate"
+)
+
+// FlakyWorld wraps a World with runtime nondeterminism, modeling the
+// situation the paper handles with repeated executions per intervention
+// (§5.3, footnote 1): even under a fixed injection plan, a concurrent
+// application's runs differ — spurious symptoms may fail to manifest,
+// and the failure itself may need several runs to reproduce.
+//
+// Per observation run:
+//   - the hidden bug trigger recurs only with probability ManifestProb
+//     (the buggy interleaving does not reproduce every run); a run
+//     without the trigger observes no discriminative predicates at all,
+//     like a lucky replay — which keeps Definition 2 sound, since
+//     causal predicates are then absent together with the failure;
+//   - when the trigger recurs, each spurious predicate that would fire
+//     flickers off with probability SymptomNoise (its manifestation
+//     depends on timing), while the causal chain fires
+//     deterministically (the deterministic-effect assumption).
+//
+// Each Intervene call performs Runs executions; a single failing run is
+// a counter-example (core treats stopped = no run failed).
+type FlakyWorld struct {
+	World *World
+	// Runs is the number of executions per intervention round.
+	Runs int
+	// ManifestProb is the chance the bug trigger recurs per run.
+	ManifestProb float64
+	// SymptomNoise is the chance a spurious predicate flickers off.
+	SymptomNoise float64
+
+	rng *rand.Rand
+}
+
+// NewFlakyWorld wraps w with the given noise parameters.
+func NewFlakyWorld(w *World, runs int, manifestProb, symptomNoise float64, seed int64) *FlakyWorld {
+	return &FlakyWorld{
+		World:        w,
+		Runs:         runs,
+		ManifestProb: manifestProb,
+		SymptomNoise: symptomNoise,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+var _ core.Intervener = (*FlakyWorld)(nil)
+
+// Intervene implements core.Intervener with noisy repeated runs.
+func (f *FlakyWorld) Intervene(preds []predicate.ID) ([]core.Observation, error) {
+	forced := make(map[predicate.ID]bool, len(preds))
+	for _, p := range preds {
+		forced[p] = true
+	}
+	causal := make(map[predicate.ID]bool, len(f.World.Path))
+	for _, c := range f.World.Path {
+		causal[c] = true
+	}
+	out := make([]core.Observation, 0, f.Runs)
+	for r := 0; r < f.Runs; r++ {
+		obs := core.Observation{Observed: make(map[predicate.ID]bool)}
+		if f.rng.Float64() >= f.ManifestProb {
+			// The buggy interleaving did not recur: a clean run with no
+			// discriminative predicates and no failure.
+			out = append(out, obs)
+			continue
+		}
+		fired, wouldFail := f.World.Fire(forced)
+		for id := range fired {
+			if causal[id] || f.rng.Float64() >= f.SymptomNoise {
+				obs.Observed[id] = true
+			}
+		}
+		obs.Failed = wouldFail
+		out = append(out, obs)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package synthetic
+
+import (
+	"reflect"
+	"testing"
+
+	"aid/internal/core"
+	"aid/internal/predicate"
+)
+
+func TestFlakyWorldObservationSemantics(t *testing.T) {
+	inst := mustGen(t, 4, 3)
+	f := NewFlakyWorld(inst.World, 50, 0.5, 0.3, 7)
+	obs, err := f.Intervene(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 50 {
+		t.Fatalf("got %d observations, want 50", len(obs))
+	}
+	manifested, clean := 0, 0
+	for _, o := range obs {
+		if o.Failed {
+			manifested++
+			// Causal predicates never flicker when the trigger recurs.
+			for _, c := range inst.World.Path {
+				if !o.Observed[c] {
+					t.Fatalf("causal predicate %s flickered in a failing run", c)
+				}
+			}
+		} else if len(o.Observed) == 0 {
+			clean++
+		} else {
+			t.Fatal("non-manifesting run observed predicates without failing")
+		}
+	}
+	if manifested == 0 || clean == 0 {
+		t.Fatalf("flakiness not exercised: %d manifested, %d clean", manifested, clean)
+	}
+}
+
+func TestFlakyWorldSymptomFlicker(t *testing.T) {
+	inst := mustGen(t, 6, 11)
+	if inst.N-inst.D < 2 {
+		t.Skip("instance has too few spurious predicates")
+	}
+	f := NewFlakyWorld(inst.World, 200, 1.0, 0.4, 9)
+	obs, err := f.Intervene(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flickered := false
+	for _, o := range obs {
+		for _, p := range inst.World.Preds {
+			if !o.Observed[p] {
+				flickered = true
+			}
+		}
+	}
+	if !flickered {
+		t.Fatal("no spurious predicate ever flickered at 40% noise")
+	}
+}
+
+// AID must still recover the exact causal path under realistic
+// flakiness, because a single failing run per round is a sufficient
+// counter-example and lucky runs silence causal predicates together
+// with the failure.
+func TestAIDConvergesOnFlakyWorlds(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		inst := mustGen(t, 6, seed)
+		dag, err := inst.World.DAG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 8 runs/round, 70% manifestation: a missed counter-example in
+		// a round needs 0.3^8 ≈ 0.007% — negligible.
+		flaky := NewFlakyWorld(inst.World, 8, 0.7, 0.25, seed^0x9e37)
+		res, err := core.Discover(dag, flaky, core.AIDOptions(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Path, inst.World.WantPath()) {
+			t.Fatalf("seed %d: flaky path = %v, want %v", seed, res.Path, inst.World.WantPath())
+		}
+	}
+}
+
+// Under extreme noise (one run per round, rare manifestation) some
+// instances get misidentified; RunSettingNoisy must count them instead
+// of failing, and deterministic runs must never report any.
+func TestMisidentificationAccounting(t *testing.T) {
+	noisy, err := RunSettingNoisy(6, 30, 77, Noise{Runs: 1, ManifestProb: 0.5, SymptomNoise: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalWrong := 0
+	for _, ap := range Approaches {
+		totalWrong += noisy.Misidentified[ap]
+	}
+	if totalWrong == 0 {
+		t.Fatal("extreme noise produced no misidentifications in 120 runs — accounting suspect")
+	}
+	det, err := RunSetting(6, 10, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range Approaches {
+		if det.Misidentified[ap] != 0 {
+			t.Fatalf("deterministic sweep misidentified %d for %s", det.Misidentified[ap], ap)
+		}
+	}
+}
+
+// With a perfectly reliable trigger and zero noise, the flaky wrapper
+// must agree with the deterministic world round for round.
+func TestFlakyWorldDegeneratesToDeterministic(t *testing.T) {
+	inst := mustGen(t, 5, 2)
+	f := NewFlakyWorld(inst.World, 1, 1.0, 0, 1)
+	probe := []predicate.ID{inst.World.Path[0]}
+	flakyObs, err := f.Intervene(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detObs, err := inst.World.Intervene(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flakyObs[0].Failed != detObs[0].Failed {
+		t.Fatal("degenerate flaky world disagrees on failure")
+	}
+	if !reflect.DeepEqual(flakyObs[0].Observed, detObs[0].Observed) {
+		t.Fatal("degenerate flaky world disagrees on observations")
+	}
+}

@@ -1,0 +1,172 @@
+// Package synthetic generates applications with known root causes for
+// the paper's synthetic benchmark (§7.2 / Fig. 8).
+//
+// The paper generates multi-threaded applications with MAXt ∈ [2, 40]
+// threads, N ∈ [4, 284] fully-discriminative predicates, and a known
+// causal path of D ∈ [1, N/log N] predicates, then measures how many
+// group interventions TAGT, AID-P-B, AID-P and AID need to recover the
+// path. We model each application as a ground-truth causal world: a
+// tree of predicates rooted at a hidden bug trigger, a designated
+// causal chain whose last element determines the failure, and an
+// AC-DAG that over-approximates the tree with temporal precedence
+// (fork-join phases whose parallel branches are mutually unordered).
+// Interventions evaluate against the ground truth, which is exactly
+// what the paper's synthetic study measures — every approach finds the
+// correct path; only the intervention counts differ.
+package synthetic
+
+import (
+	"fmt"
+	"sort"
+
+	"aid/internal/acdag"
+	"aid/internal/core"
+	"aid/internal/predicate"
+)
+
+// World is a ground-truth causal model with a known causal path.
+type World struct {
+	// Preds lists every predicate (excluding the failure predicate F).
+	Preds []predicate.ID
+	// Parent is the true causal tree; "" denotes the hidden bug trigger,
+	// which fires in every (simulated) failing run.
+	Parent map[predicate.ID]predicate.ID
+	// Path is the true causal chain C0 … Ck; the failure occurs iff Ck
+	// fires. Every other predicate is a spurious symptom.
+	Path []predicate.ID
+	// Edges are the AC-DAG edges (a superset of the true tree's
+	// transitive reduction, before closure).
+	Edges [][2]predicate.ID
+
+	dag *acdag.DAG
+}
+
+// DAG returns (building lazily) the world's AC-DAG including F.
+func (w *World) DAG() (*acdag.DAG, error) {
+	if w.dag != nil {
+		return w.dag, nil
+	}
+	nodes := append(append([]predicate.ID(nil), w.Preds...), predicate.FailureID)
+	d, err := acdag.FromEdges(nodes, w.Edges)
+	if err != nil {
+		return nil, fmt.Errorf("synthetic: %w", err)
+	}
+	w.dag = d
+	return d, nil
+}
+
+// Last returns the final causal predicate (the failure's direct cause).
+func (w *World) Last() predicate.ID { return w.Path[len(w.Path)-1] }
+
+// Fire evaluates the ground truth under an intervention: a predicate
+// fires iff it is not forced and its parent fires (the trigger always
+// fires). It returns the fired set and whether the failure occurs.
+func (w *World) Fire(forced map[predicate.ID]bool) (map[predicate.ID]bool, bool) {
+	fired := make(map[predicate.ID]bool, len(w.Preds))
+	memo := make(map[predicate.ID]int, len(w.Preds)) // 0 unknown, 1 true, 2 false
+	var eval func(id predicate.ID) bool
+	eval = func(id predicate.ID) bool {
+		switch memo[id] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		v := !forced[id]
+		if v {
+			if par := w.Parent[id]; par != "" {
+				v = eval(par)
+			}
+		}
+		if v {
+			memo[id] = 1
+		} else {
+			memo[id] = 2
+		}
+		return v
+	}
+	for _, id := range w.Preds {
+		if eval(id) {
+			fired[id] = true
+		}
+	}
+	return fired, fired[w.Last()]
+}
+
+// Intervene implements core.Intervener: one deterministic observation
+// per round (the paper's deterministic-effect assumption).
+func (w *World) Intervene(preds []predicate.ID) ([]core.Observation, error) {
+	forced := make(map[predicate.ID]bool, len(preds))
+	for _, p := range preds {
+		if p == predicate.FailureID {
+			return nil, fmt.Errorf("synthetic: cannot intervene on the failure predicate")
+		}
+		forced[p] = true
+	}
+	fired, failed := w.Fire(forced)
+	return []core.Observation{{Failed: failed, Observed: fired}}, nil
+}
+
+// Oracle adapts the world to grouptest.Oracle semantics: true iff the
+// failure stops under the group intervention.
+func (w *World) Oracle(group []predicate.ID) (bool, error) {
+	obs, err := w.Intervene(group)
+	if err != nil {
+		return false, err
+	}
+	return !obs[0].Failed, nil
+}
+
+// Validate checks internal consistency: the causal chain is parented
+// correctly, every parent precedes its child in the AC-DAG, and the
+// path reaches F.
+func (w *World) Validate() error {
+	if len(w.Path) == 0 {
+		return fmt.Errorf("synthetic: empty causal path")
+	}
+	set := make(map[predicate.ID]bool, len(w.Preds))
+	for _, p := range w.Preds {
+		set[p] = true
+	}
+	for i, c := range w.Path {
+		if !set[c] {
+			return fmt.Errorf("synthetic: path element %s not a predicate", c)
+		}
+		want := predicate.ID("")
+		if i > 0 {
+			want = w.Path[i-1]
+		}
+		if w.Parent[c] != want {
+			return fmt.Errorf("synthetic: path element %s has parent %s, want %q", c, w.Parent[c], want)
+		}
+	}
+	d, err := w.DAG()
+	if err != nil {
+		return err
+	}
+	for child, par := range w.Parent {
+		if par == "" {
+			continue
+		}
+		if !d.Precedes(par, child) {
+			return fmt.Errorf("synthetic: true parent %s does not precede %s in the AC-DAG", par, child)
+		}
+	}
+	if !d.Precedes(w.Last(), predicate.FailureID) {
+		return fmt.Errorf("synthetic: last causal predicate %s has no AC-DAG path to F", w.Last())
+	}
+	return nil
+}
+
+// WantPath returns the expected discovery result: the causal chain
+// followed by F.
+func (w *World) WantPath() []predicate.ID {
+	return append(append([]predicate.ID(nil), w.Path...), predicate.FailureID)
+}
+
+// SortedPreds returns the predicates in stable order (test helper).
+func (w *World) SortedPreds() []predicate.ID {
+	out := append([]predicate.ID(nil), w.Preds...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

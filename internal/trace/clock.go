@@ -1,0 +1,97 @@
+package trace
+
+// LamportClock implements Lamport's logical clock for ordering events
+// across threads whose physical clocks cannot be compared directly.
+// The paper (§4) notes that temporal precedence can be derived from
+// logical clocks when computer clocks are too coarse or unsynchronized;
+// the simulator uses a single global tick counter, but distributed
+// workloads route event ordering through this clock.
+//
+// The zero value is ready to use. LamportClock is not safe for
+// concurrent use; each thread owns one clock and exchanges timestamps
+// on synchronization edges.
+type LamportClock struct {
+	now Time
+}
+
+// Now returns the current clock value without advancing it.
+func (c *LamportClock) Now() Time { return c.now }
+
+// Tick advances the clock for a local event and returns the new time.
+func (c *LamportClock) Tick() Time {
+	c.now++
+	return c.now
+}
+
+// Witness merges a timestamp received from another thread (message
+// receive, lock acquisition, join) and returns the advanced local time:
+// max(local, remote) + 1.
+func (c *LamportClock) Witness(remote Time) Time {
+	if remote > c.now {
+		c.now = remote
+	}
+	c.now++
+	return c.now
+}
+
+// VectorClock tracks one logical component per thread, giving the exact
+// happens-before partial order. AID only needs a conservative
+// over-approximation of precedence, but the race extractor uses vector
+// clocks to separate genuinely concurrent accesses from ordered ones.
+type VectorClock map[ThreadID]Time
+
+// NewVectorClock returns an empty vector clock.
+func NewVectorClock() VectorClock { return make(VectorClock) }
+
+// Copy returns an independent copy of the clock.
+func (v VectorClock) Copy() VectorClock {
+	out := make(VectorClock, len(v))
+	for k, t := range v {
+		out[k] = t
+	}
+	return out
+}
+
+// Tick advances the component of the given thread.
+func (v VectorClock) Tick(id ThreadID) { v[id]++ }
+
+// Join merges another clock component-wise (max).
+func (v VectorClock) Join(o VectorClock) {
+	for k, t := range o {
+		if t > v[k] {
+			v[k] = t
+		}
+	}
+}
+
+// HappensBefore reports whether v ≤ o component-wise and v ≠ o, i.e.
+// every event counted by v is ordered before o's frontier.
+func (v VectorClock) HappensBefore(o VectorClock) bool {
+	le := true
+	lt := false
+	for k, t := range v {
+		ot := o[k]
+		if t > ot {
+			le = false
+			break
+		}
+		if t < ot {
+			lt = true
+		}
+	}
+	if !le {
+		return false
+	}
+	// Components present only in o also witness strict progress.
+	for k, ot := range o {
+		if ot > v[k] {
+			lt = true
+		}
+	}
+	return lt
+}
+
+// Concurrent reports whether neither clock happens before the other.
+func (v VectorClock) Concurrent(o VectorClock) bool {
+	return !v.HappensBefore(o) && !o.HappensBefore(v)
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Encode writes the execution set as a stream of JSON lines (one
+// execution per line), the on-disk format of predicate-log corpora.
+func Encode(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range s.Executions {
+		if err := enc.Encode(&s.Executions[i]); err != nil {
+			return fmt.Errorf("trace: encode execution %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a JSON-lines execution stream produced by Encode.
+func Decode(r io.Reader) (*Set, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	s := &Set{}
+	for i := 0; ; i++ {
+		var e Execution
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("trace: decode execution %d: %w", i, err)
+		}
+		s.Executions = append(s.Executions, e)
+	}
+	return s, nil
+}
+
+// WriteFile saves the set to path.
+func WriteFile(path string, s *Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := Encode(f, s); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a set saved by WriteFile.
+func ReadFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

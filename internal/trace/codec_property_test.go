@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomExecution generates a structurally valid execution with random
+// spans, accesses and outcomes.
+func randomExecution(rng *rand.Rand, id int) Execution {
+	e := Execution{
+		ID:   string(rune('a'+id%26)) + "-exec",
+		Seed: rng.Int63n(1 << 30),
+	}
+	if rng.Intn(2) == 1 {
+		e.Outcome = Failure
+		e.FailureSig = "sig-" + string(rune('A'+rng.Intn(4)))
+	}
+	nCalls := rng.Intn(6)
+	for c := 0; c < nCalls; c++ {
+		start := Time(rng.Intn(100))
+		call := MethodCall{
+			Method: "M" + string(rune('0'+rng.Intn(5))),
+			Thread: ThreadID(rng.Intn(3)),
+			Start:  start,
+			End:    start + Time(1+rng.Intn(50)),
+			Return: IntValue(int64(rng.Intn(10) - 5)),
+		}
+		if rng.Intn(3) == 0 {
+			call.Return = VoidValue()
+		}
+		if rng.Intn(4) == 0 {
+			call.Exception = "Exc" + string(rune('0'+rng.Intn(3)))
+		}
+		nAcc := rng.Intn(3)
+		for a := 0; a < nAcc; a++ {
+			acc := Access{
+				Object: ObjectID("obj" + string(rune('0'+rng.Intn(3)))),
+				Kind:   AccessKind(rng.Intn(2)),
+				At:     call.Start + Time(rng.Intn(int(call.End-call.Start))),
+			}
+			if rng.Intn(2) == 1 {
+				acc.Locks = []string{"mu" + string(rune('0'+rng.Intn(2)))}
+			}
+			call.Accesses = append(call.Accesses, acc)
+		}
+		e.Calls = append(e.Calls, call)
+	}
+	return e
+}
+
+// Property: Encode/Decode round-trips arbitrary execution sets exactly.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prop := func() bool {
+		s := &Set{}
+		n := rng.Intn(8)
+		for i := 0; i < n; i++ {
+			s.Add(randomExecution(rng, i))
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, s); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if len(s.Executions) == 0 {
+			return len(got.Executions) == 0
+		}
+		return reflect.DeepEqual(got, s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add canonicalizes — after Add, calls are sorted by start
+// time and instances number per method in order.
+func TestAddCanonicalizesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	prop := func() bool {
+		s := &Set{}
+		s.Add(randomExecution(rng, 0))
+		e := &s.Executions[0]
+		seen := map[string]int{}
+		for i := range e.Calls {
+			if i > 0 && e.Calls[i].Start < e.Calls[i-1].Start {
+				return false
+			}
+			if e.Calls[i].Instance != seen[e.Calls[i].Method] {
+				return false
+			}
+			seen[e.Calls[i].Method]++
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
