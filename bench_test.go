@@ -14,6 +14,7 @@ package aid_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"aid/internal/casestudy"
@@ -76,6 +77,30 @@ func BenchmarkFigure8(b *testing.B) {
 				b.ReportMetric(c.Average, string(ap)+"-avg")
 				b.ReportMetric(float64(c.WorstCase), string(ap)+"-worst")
 			}
+		})
+	}
+}
+
+// BenchmarkPoolScaling compares the pipeline at one pool worker versus
+// GOMAXPROCS workers on the same case study — the two runs must agree
+// on every metric (the pool's determinism contract), differing only in
+// wall-clock.
+func BenchmarkPoolScaling(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rc := benchRC()
+			rc.Workers = workers
+			var last *casestudy.Report
+			for i := 0; i < b.N; i++ {
+				rep, err := casestudy.Run(casestudy.Kafka(), rc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rep
+			}
+			b.ReportMetric(float64(last.AIDInterventions), "AID-interventions")
+			b.ReportMetric(float64(last.TAGTInterventions), "TAGT-interventions")
 		})
 	}
 }

@@ -34,6 +34,7 @@ func main() {
 		dot       = flag.Bool("dot", false, "print the AC-DAG in Graphviz format and exit")
 		sd        = flag.Bool("sd", false, "print the statistical-debugging ranking and exit (the SD baseline)")
 		saveTrace = flag.String("save-traces", "", "save the collected trace corpus to this file (JSON lines)")
+		workers   = flag.Int("workers", 0, "execution-pool width (0 = GOMAXPROCS); output is identical for any width")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		Successes: *successes, Failures: *failures,
 		SeedCap: 20000, ReplaySeeds: *replays, Seed: *seed,
 		Variant: *variant, Compounds: *compounds,
+		Workers: *workers,
 	}
 
 	if *dot || *sd || *saveTrace != "" {

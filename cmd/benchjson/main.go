@@ -1,0 +1,146 @@
+// Command benchjson regenerates the paper's figures and writes the
+// wall-clock plus figure metrics as machine-readable JSON, so the
+// perf trajectory of the pipeline can be tracked across commits.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_pipeline.json] [-instances 60] [-successes 30] [-failures 30] [-workers 0] [-baseline old.json]
+//
+// With -baseline, the named file's "current" section is embedded as
+// "baseline" in the output, giving a self-contained before/after
+// record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"aid/internal/casestudy"
+	"aid/internal/par"
+	"aid/internal/synthetic"
+)
+
+// Figure is one benchmarked figure workload: its wall-clock and the
+// paper metrics it reproduces.
+type Figure struct {
+	Name    string             `json:"name"`
+	NsPerOp int64              `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one full measurement pass.
+type Run struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	Note       string   `json:"note,omitempty"`
+	Figures    []Figure `json:"figures"`
+}
+
+// Doc is the on-disk document: the current run plus an optional
+// baseline for before/after comparison.
+type Doc struct {
+	Baseline *Run `json:"baseline,omitempty"`
+	Current  *Run `json:"current"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_pipeline.json", "output file")
+		instances = flag.Int("instances", 60, "Fig. 8 instances per MAXt setting")
+		successes = flag.Int("successes", 30, "Fig. 7 successes per study")
+		failures  = flag.Int("failures", 30, "Fig. 7 failures per study")
+		workers   = flag.Int("workers", 0, "execution-pool width (0 = GOMAXPROCS)")
+		baseline  = flag.String("baseline", "", "embed this file's current run as the baseline")
+	)
+	flag.Parse()
+
+	// Read the baseline up front so a bad path fails before the
+	// (minutes-long at paper scale) measurement pass, not after.
+	var prevRun *Run
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var prev Doc
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *baseline, err))
+		}
+		prevRun = prev.Current
+	}
+
+	run := &Run{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		// Record the resolved pool width, not the 0 sentinel, so the
+		// perf record says what actually ran.
+		Workers: par.Workers(*workers),
+	}
+
+	for _, s := range casestudy.All() {
+		rc := casestudy.DefaultRunConfig()
+		rc.Successes, rc.Failures = *successes, *failures
+		rc.Workers = *workers
+		fmt.Fprintf(os.Stderr, "benchjson: Figure7/%s...\n", s.Name)
+		start := time.Now()
+		rep, err := casestudy.Run(s, rc)
+		if err != nil {
+			fatal(err)
+		}
+		run.Figures = append(run.Figures, Figure{
+			Name:    "Figure7/" + s.Name,
+			NsPerOp: time.Since(start).Nanoseconds(),
+			Metrics: map[string]float64{
+				"discrim-preds":      float64(rep.Discriminative),
+				"causal-path":        float64(rep.CausalPathLen),
+				"AID-interventions":  float64(rep.AIDInterventions),
+				"TAGT-interventions": float64(rep.TAGTInterventions),
+				"TAGT-bound":         float64(rep.TAGTWorstCase),
+			},
+		})
+	}
+
+	for _, maxT := range synthetic.Figure8MaxTs {
+		fmt.Fprintf(os.Stderr, "benchjson: Figure8/MAXt=%d...\n", maxT)
+		start := time.Now()
+		st, err := synthetic.RunSettingOpts(maxT, *instances, 1234,
+			synthetic.SweepOptions{Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		m := map[string]float64{"avg-preds": st.AvgPreds}
+		for _, ap := range synthetic.Approaches {
+			c := st.Cells[ap]
+			m[string(ap)+"-avg"] = c.Average
+			m[string(ap)+"-worst"] = float64(c.WorstCase)
+		}
+		run.Figures = append(run.Figures, Figure{
+			Name:    fmt.Sprintf("Figure8/MAXt=%d", maxT),
+			NsPerOp: time.Since(start).Nanoseconds(),
+			Metrics: m,
+		})
+	}
+
+	doc := &Doc{Baseline: prevRun, Current: run}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d figures)\n", *out, len(run.Figures))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -21,12 +21,14 @@ func main() {
 		failures  = flag.Int("failures", 50, "failed executions per study")
 		seed      = flag.Int64("seed", 1, "algorithm seed")
 		replays   = flag.Int("replays", 5, "re-executions per intervention round")
+		workers   = flag.Int("workers", 0, "execution-pool width (0 = GOMAXPROCS); output is identical for any width")
 	)
 	flag.Parse()
 
 	rc := casestudy.RunConfig{
 		Successes: *successes, Failures: *failures,
 		SeedCap: 20000, ReplaySeeds: *replays, Seed: *seed,
+		Workers: *workers,
 	}
 	var reports []*casestudy.Report
 	for _, s := range casestudy.All() {

@@ -22,6 +22,7 @@ func main() {
 		instances = flag.Int("instances", 500, "applications per MAXt setting (paper: 500)")
 		seed      = flag.Int64("seed", 1, "base generation seed")
 		flaky     = flag.Bool("flaky", false, "add runtime nondeterminism: 6 runs/round, 75% failure manifestation, 20% symptom flicker")
+		workers   = flag.Int("workers", 0, "instance-pool width (0 = GOMAXPROCS); output is identical for any width")
 	)
 	flag.Parse()
 
@@ -31,7 +32,8 @@ func main() {
 	}
 	var settings []*synthetic.Setting
 	for _, maxT := range synthetic.Figure8MaxTs {
-		s, err := synthetic.RunSettingNoisy(maxT, *instances, *seed+int64(maxT)*1000003, noise)
+		s, err := synthetic.RunSettingOpts(maxT, *instances, *seed+int64(maxT)*1000003,
+			synthetic.SweepOptions{Noise: noise, Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "synthbench:", err)
 			os.Exit(1)

@@ -13,6 +13,7 @@
 //
 //	trace      execution-trace model (spans, accesses, logical clocks)
 //	sim        deterministic concurrency simulator + fault injection
+//	par        shared worker-pool engine (deterministic ordered fan-out)
 //	predicate  predicate vocabulary and extraction from traces
 //	statdebug  statistical debugging (precision/recall, SD baseline)
 //	acdag      the approximate causal DAG (AC-DAG) of §4

@@ -1,0 +1,3 @@
+module aid
+
+go 1.24

@@ -25,11 +25,13 @@ import (
 )
 
 // DAG is an immutable approximate causal DAG. Nodes are predicate IDs;
-// Precedes is the transitive (closed) precedence relation.
+// Precedes is the transitive (closed) precedence relation, stored as
+// row bitsets so closure and reachability run word-parallel.
 type DAG struct {
 	nodes []predicate.ID
 	idx   map[predicate.ID]int
-	prec  [][]bool // prec[i][j]: node i consistently precedes node j
+	prec  []bitset // prec[i] has j: node i consistently precedes node j
+	pred  []bitset // transpose of prec, built by close()
 }
 
 // BuildOptions configures DAG construction from a corpus.
@@ -92,9 +94,9 @@ func Build(c *predicate.Corpus, candidates []predicate.ID, opts BuildOptions) (*
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 
 	d := newDAG(nodes)
-	durPair := make([][]bool, len(nodes))
+	durPair := make([]bitset, len(nodes))
 	for i := range durPair {
-		durPair[i] = make([]bool, len(nodes))
+		durPair[i] = newBitset(len(nodes))
 	}
 	for i, a := range nodes {
 		pa := c.Pred(a)
@@ -103,7 +105,9 @@ func Build(c *predicate.Corpus, candidates []predicate.ID, opts BuildOptions) (*
 				continue
 			}
 			pb := c.Pred(b)
-			durPair[i][j] = pa.Kind.Durational() && pb.Kind.Durational()
+			if pa.Kind.Durational() && pb.Kind.Durational() {
+				durPair[i].set(j)
+			}
 			precedes := true
 			for _, l := range fails {
 				if !pairPrecedes(pa, pb, l.Occ[a], l.Occ[b]) {
@@ -111,7 +115,9 @@ func Build(c *predicate.Corpus, candidates []predicate.ID, opts BuildOptions) (*
 					break
 				}
 			}
-			d.prec[i][j] = precedes
+			if precedes {
+				d.prec[i].set(j)
+			}
 		}
 	}
 	// Every other rule reduces to comparing fixed per-log timestamps
@@ -172,20 +178,25 @@ func pairPrecedes(pa, pb *predicate.Predicate, oa, ob predicate.Occurrence) bool
 // connected components until the graph is acyclic; if a cycle somehow
 // survives without such edges, all its edges drop (conservative
 // fallback).
-func (d *DAG) breakCycles(durPair [][]bool) {
+func (d *DAG) breakCycles(durPair []bitset) {
 	for iter := 0; iter < len(d.nodes)+1; iter++ {
 		comp := d.sccs()
 		changed := false
 		cyclic := false
 		for u := 0; u < len(d.nodes); u++ {
-			for v := 0; v < len(d.nodes); v++ {
-				if d.prec[u][v] && comp[u] == comp[v] {
-					cyclic = true
-					if durPair == nil || durPair[u][v] {
-						d.prec[u][v] = false
-						changed = true
-					}
+			var drop []int
+			d.prec[u].forEach(func(v int) {
+				if comp[u] != comp[v] {
+					return
 				}
+				cyclic = true
+				if durPair == nil || durPair[u].has(v) {
+					drop = append(drop, v)
+					changed = true
+				}
+			})
+			for _, v := range drop {
+				d.prec[u].unset(v)
 			}
 		}
 		if !cyclic {
@@ -206,17 +217,19 @@ func (d *DAG) sccs() []int {
 		comp[i] = -1
 	}
 	// Kosaraju: order by finish time on the forward graph, then label
-	// components on the reverse graph.
+	// components on the reverse graph (a transient transpose — d.pred is
+	// only built once construction finishes).
+	rev := transpose(d.prec, n)
 	var order []int
 	visited := make([]bool, n)
 	var dfs1 func(u int)
 	dfs1 = func(u int) {
 		visited[u] = true
-		for v := 0; v < n; v++ {
-			if d.prec[u][v] && !visited[v] {
+		d.prec[u].forEach(func(v int) {
+			if !visited[v] {
 				dfs1(v)
 			}
-		}
+		})
 		order = append(order, u)
 	}
 	for u := 0; u < n; u++ {
@@ -227,11 +240,11 @@ func (d *DAG) sccs() []int {
 	var dfs2 func(u, label int)
 	dfs2 = func(u, label int) {
 		comp[u] = label
-		for v := 0; v < n; v++ {
-			if d.prec[v][u] && comp[v] == -1 {
+		rev[u].forEach(func(v int) {
+			if comp[v] == -1 {
 				dfs2(v, label)
 			}
-		}
+		})
 	}
 	label := 0
 	for i := n - 1; i >= 0; i-- {
@@ -256,11 +269,11 @@ func FromEdges(nodes []predicate.ID, edges [][2]predicate.ID) (*DAG, error) {
 		if i == j {
 			return nil, fmt.Errorf("acdag: self-loop on %s", e[0])
 		}
-		d.prec[i][j] = true
+		d.prec[i].set(j)
 	}
 	d.close()
 	for i := range d.nodes {
-		if d.prec[i][i] {
+		if d.prec[i].has(i) {
 			return nil, fmt.Errorf("acdag: cycle through %s", d.nodes[i])
 		}
 	}
@@ -271,30 +284,30 @@ func newDAG(nodes []predicate.ID) *DAG {
 	d := &DAG{
 		nodes: nodes,
 		idx:   make(map[predicate.ID]int, len(nodes)),
-		prec:  make([][]bool, len(nodes)),
+		prec:  make([]bitset, len(nodes)),
 	}
 	for i, id := range nodes {
 		d.idx[id] = i
-		d.prec[i] = make([]bool, len(nodes))
+		d.prec[i] = newBitset(len(nodes))
 	}
 	return d
 }
 
-// close computes the transitive closure in place (Floyd–Warshall).
+// close computes the transitive closure in place (word-parallel
+// Floyd–Warshall: row i absorbs row k whenever i reaches k) and builds
+// the transposed relation for ancestor queries. It is the final
+// construction step; the DAG is immutable afterwards.
 func (d *DAG) close() {
 	n := len(d.nodes)
 	for k := 0; k < n; k++ {
+		rk := d.prec[k]
 		for i := 0; i < n; i++ {
-			if !d.prec[i][k] {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if d.prec[k][j] {
-					d.prec[i][j] = true
-				}
+			if d.prec[i].has(k) {
+				d.prec[i].orWith(rk)
 			}
 		}
 	}
+	d.pred = transpose(d.prec, n)
 }
 
 // Nodes returns all node IDs in stable order.
@@ -315,7 +328,7 @@ func (d *DAG) Has(id predicate.ID) bool {
 func (d *DAG) Precedes(a, b predicate.ID) bool {
 	i, ok1 := d.idx[a]
 	j, ok2 := d.idx[b]
-	return ok1 && ok2 && d.prec[i][j]
+	return ok1 && ok2 && d.prec[i].has(j)
 }
 
 // Ancestors returns every node that precedes id.
@@ -325,11 +338,7 @@ func (d *DAG) Ancestors(id predicate.ID) []predicate.ID {
 		return nil
 	}
 	var out []predicate.ID
-	for i := range d.nodes {
-		if d.prec[i][j] {
-			out = append(out, d.nodes[i])
-		}
-	}
+	d.pred[j].forEach(func(i int) { out = append(out, d.nodes[i]) })
 	return out
 }
 
@@ -340,11 +349,7 @@ func (d *DAG) Descendants(id predicate.ID) []predicate.ID {
 		return nil
 	}
 	var out []predicate.ID
-	for j := range d.nodes {
-		if d.prec[i][j] {
-			out = append(out, d.nodes[j])
-		}
-	}
+	d.prec[i].forEach(func(j int) { out = append(out, d.nodes[j]) })
 	return out
 }
 
@@ -353,43 +358,45 @@ func (d *DAG) Descendants(id predicate.ID) []predicate.ID {
 // ending at P among alive nodes. Nodes at the same level are mutually
 // unordered — the junctions of Algorithm 2.
 func (d *DAG) LevelsWithin(alive map[predicate.ID]bool) map[predicate.ID]int {
-	levels := make(map[predicate.ID]int)
-	in := func(id predicate.ID) bool { return alive == nil || alive[id] }
+	n := len(d.nodes)
+	aliveMask := ones(n)
+	if alive != nil {
+		aliveMask = newBitset(n)
+		for i, id := range d.nodes {
+			if alive[id] {
+				aliveMask.set(i)
+			}
+		}
+	}
 	// Longest-chain DP over the partial order: process nodes in
-	// ascending ancestor count within the alive set.
+	// ascending alive-ancestor count (a word-parallel popcount per
+	// node), computing levels on dense indices and materializing the ID
+	// map only at the end.
 	type rec struct {
-		id   predicate.ID
+		i    int
 		rank int
 	}
 	var order []rec
-	for _, id := range d.nodes {
-		if !in(id) {
-			continue
-		}
-		rank := 0
-		for _, a := range d.Ancestors(id) {
-			if in(a) {
-				rank++
-			}
-		}
-		order = append(order, rec{id, rank})
-	}
+	aliveMask.forEach(func(i int) {
+		order = append(order, rec{i, d.pred[i].countAnd(aliveMask)})
+	})
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].rank != order[j].rank {
 			return order[i].rank < order[j].rank
 		}
-		return order[i].id < order[j].id
+		return d.nodes[order[i].i] < d.nodes[order[j].i]
 	})
+	lvls := make([]int, n)
+	levels := make(map[predicate.ID]int, len(order))
 	for _, r := range order {
 		lvl := 0
-		for _, a := range d.Ancestors(r.id) {
-			if in(a) {
-				if l := levels[a] + 1; l > lvl {
-					lvl = l
-				}
+		d.pred[r.i].forEachAnd(aliveMask, func(a int) {
+			if l := lvls[a] + 1; l > lvl {
+				lvl = l
 			}
-		}
-		levels[r.id] = lvl
+		})
+		lvls[r.i] = lvl
+		levels[d.nodes[r.i]] = lvl
 	}
 	return levels
 }
@@ -435,8 +442,8 @@ func (d *DAG) TopoOrderWithin(alive map[predicate.ID]bool, rng *rand.Rand) []pre
 // Roots returns nodes with no ancestors.
 func (d *DAG) Roots() []predicate.ID {
 	var out []predicate.ID
-	for _, id := range d.nodes {
-		if len(d.Ancestors(id)) == 0 {
+	for i, id := range d.nodes {
+		if d.pred[i].count() == 0 {
 			out = append(out, id)
 		}
 	}
@@ -448,25 +455,44 @@ func (d *DAG) Roots() []predicate.ID {
 // with every alive descendant of P that is not a descendant of any
 // other member. The failure predicate never belongs to a branch.
 func (d *DAG) Branches(junction []predicate.ID, alive map[predicate.ID]bool) map[predicate.ID][]predicate.ID {
-	in := func(id predicate.ID) bool { return alive == nil || alive[id] }
+	n := len(d.nodes)
+	aliveMask := ones(n)
+	if alive != nil {
+		aliveMask = newBitset(n)
+		for i, id := range d.nodes {
+			if alive[id] {
+				aliveMask.set(i)
+			}
+		}
+	}
+	if f, ok := d.idx[predicate.FailureID]; ok {
+		aliveMask.unset(f)
+	}
 	out := make(map[predicate.ID][]predicate.ID, len(junction))
 	for _, p := range junction {
 		branch := []predicate.ID{p}
-		for _, q := range d.Descendants(p) {
-			if !in(q) || q == predicate.FailureID {
+		pi, ok := d.idx[p]
+		if !ok {
+			out[p] = branch
+			continue
+		}
+		// Word-parallel exclusivity: P's branch is its alive descendants
+		// minus every other member's descendant set.
+		bits := d.prec[pi].clone()
+		for w := range bits {
+			bits[w] &= aliveMask[w]
+		}
+		for _, other := range junction {
+			if other == p {
 				continue
 			}
-			exclusive := true
-			for _, other := range junction {
-				if other != p && d.Precedes(other, q) {
-					exclusive = false
-					break
+			if oi, ok := d.idx[other]; ok {
+				for w := range bits {
+					bits[w] &^= d.prec[oi][w]
 				}
 			}
-			if exclusive {
-				branch = append(branch, q)
-			}
 		}
+		bits.forEach(func(q int) { branch = append(branch, d.nodes[q]) })
 		out[p] = branch
 	}
 	return out
@@ -478,21 +504,14 @@ func (d *DAG) ReductionEdges() [][2]predicate.ID {
 	var out [][2]predicate.ID
 	n := len(d.nodes)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if !d.prec[i][j] {
-				continue
-			}
-			direct := true
-			for k := 0; k < n; k++ {
-				if k != i && k != j && d.prec[i][k] && d.prec[k][j] {
-					direct = false
-					break
-				}
-			}
-			if direct {
+		d.prec[i].forEach(func(j int) {
+			// i → j is direct iff no witness k with i ⇝ k ⇝ j: the
+			// word-parallel intersection of i's descendants with j's
+			// ancestors.
+			if !d.prec[i].intersectsExcept(d.pred[j], i, j) {
 				out = append(out, [2]predicate.ID{d.nodes[i], d.nodes[j]})
 			}
-		}
+		})
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a][0] != out[b][0] {

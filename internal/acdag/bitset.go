@@ -1,0 +1,115 @@
+package acdag
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers packed
+// 64 per word — the row representation of the DAG's precedence matrix.
+// Row operations (union, intersection, rank) run word-parallel, turning
+// the O(n³) boolean transitive closure into O(n³/64) and reachability
+// queries into a handful of word scans.
+type bitset []uint64
+
+// newBitset returns an empty set with capacity for n elements.
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) unset(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// orWith unions o into b.
+func (b bitset) orWith(o bitset) {
+	for w := range b {
+		b[w] |= o[w]
+	}
+}
+
+// clone returns an independent copy.
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// count returns the number of set elements.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// countAnd returns |b ∩ o| without materializing the intersection.
+func (b bitset) countAnd(o bitset) int {
+	n := 0
+	for w := range b {
+		n += bits.OnesCount64(b[w] & o[w])
+	}
+	return n
+}
+
+// forEach calls fn for every set element in ascending order.
+func (b bitset) forEach(fn func(i int)) {
+	for w, word := range b {
+		base := w << 6
+		for word != 0 {
+			fn(base + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// forEachAnd calls fn for every element of b ∩ o in ascending order.
+func (b bitset) forEachAnd(o bitset, fn func(i int)) {
+	for w := range b {
+		word := b[w] & o[w]
+		base := w << 6
+		for word != 0 {
+			fn(base + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// intersectsExcept reports whether b ∩ o contains any element other
+// than i and j — the word-parallel transitive-reduction witness test.
+func (b bitset) intersectsExcept(o bitset, i, j int) bool {
+	for w := range b {
+		word := b[w] & o[w]
+		if w == i>>6 {
+			word &^= 1 << (uint(i) & 63)
+		}
+		if w == j>>6 {
+			word &^= 1 << (uint(j) & 63)
+		}
+		if word != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ones returns a set with the first n elements set (the "everything
+// alive" mask).
+func ones(n int) bitset {
+	b := newBitset(n)
+	for i := 0; i < n/64; i++ {
+		b[i] = ^uint64(0)
+	}
+	if rem := n & 63; rem != 0 {
+		b[n>>6] = (1 << uint(rem)) - 1
+	}
+	return b
+}
+
+// transpose flips an n×n row matrix: out[j] has i iff rows[i] has j.
+func transpose(rows []bitset, n int) []bitset {
+	out := make([]bitset, n)
+	for j := range out {
+		out[j] = newBitset(n)
+	}
+	for i := 0; i < n; i++ {
+		rows[i].forEach(func(j int) { out[j].set(i) })
+	}
+	return out
+}

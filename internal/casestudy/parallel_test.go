@@ -1,0 +1,70 @@
+package casestudy
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestRunDeterministicAcrossWorkers is the pipeline's determinism
+// regression test: the full report of a case study must be byte-
+// identical whether the execution pool runs one worker or many.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	s := Npgsql()
+	rc := DefaultRunConfig()
+	rc.Successes, rc.Failures = 20, 20
+	rc.ReplaySeeds = 3
+
+	rc.Workers = 1
+	seq, err := Run(s, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, 8} {
+		rc.Workers = workers
+		par, err := Run(s, rc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: report differs from single-worker run", workers)
+		}
+		seqJSON, err := json.Marshal(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parJSON, err := json.Marshal(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(seqJSON) != string(parJSON) {
+			t.Fatalf("workers=%d: serialized report not byte-identical", workers)
+		}
+	}
+}
+
+// TestCollectDeterministicAcrossWorkers pins the chunked sweep's
+// contract: the corpus and failing seeds match the sequential sweep
+// exactly for any pool width.
+func TestCollectDeterministicAcrossWorkers(t *testing.T) {
+	s := Kafka()
+	rc := DefaultRunConfig()
+	rc.Successes, rc.Failures = 15, 15
+
+	rc.Workers = 1
+	seqSet, seqSeeds, err := Collect(s, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Workers = 7
+	parSet, parSeeds, err := Collect(s, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqSeeds, parSeeds) {
+		t.Fatalf("failing seeds differ: %v vs %v", seqSeeds, parSeeds)
+	}
+	if !reflect.DeepEqual(seqSet, parSet) {
+		t.Fatal("collected corpus differs between worker counts")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"aid/internal/explain"
 	"aid/internal/grouptest"
 	"aid/internal/inject"
+	"aid/internal/par"
 	"aid/internal/predicate"
 	"aid/internal/sim"
 	"aid/internal/statdebug"
@@ -78,6 +79,10 @@ type RunConfig struct {
 	// Variant selects the AID ablation: "aid" (default), "aid-p" (no
 	// predicate pruning) or "aid-p-b" (no predicate or branch pruning).
 	Variant string
+	// Workers is the execution-pool width for trace collection and
+	// intervention replay; <= 0 means GOMAXPROCS. Any width produces
+	// bit-identical reports (see internal/par's determinism contract).
+	Workers int
 }
 
 func (rc RunConfig) options() (core.Options, error) {
@@ -135,34 +140,63 @@ type Report struct {
 	AID *core.Result
 }
 
+// collectChunk sizes the seed chunks of a parallel sweep, per worker.
+// Larger chunks amortize pool overhead; smaller chunks waste fewer
+// executions past the quota cut-off.
+const collectChunk = 16
+
 // Collect runs the program over increasing seeds until the target
 // numbers of successes and failures are gathered; it returns the trace
 // corpus and the failing seeds.
+//
+// Seeds are swept in chunks across rc.Workers pool workers; chunk
+// results are consumed in seed order with the same quota logic as a
+// sequential sweep, so the collected corpus is bit-identical for any
+// worker count. The sweep cuts off at the first chunk that fills both
+// quotas (at most one chunk of executions is wasted).
 func Collect(s *Study, rc RunConfig) (*trace.Set, []int64, error) {
 	set := &trace.Set{}
 	var failSeeds []int64
 	succ, fail := 0, 0
-	for seed := int64(1); seed <= int64(rc.SeedCap); seed++ {
+	chunk := int64(par.Workers(rc.Workers) * collectChunk)
+	var seeds []int64
+	for base := int64(1); base <= int64(rc.SeedCap); base += chunk {
 		if succ >= rc.Successes && fail >= rc.Failures {
 			break
 		}
-		exec, err := sim.Run(s.Program, seed, sim.RunOptions{MaxSteps: s.MaxSteps})
+		hi := base + chunk - 1
+		if hi > int64(rc.SeedCap) {
+			hi = int64(rc.SeedCap)
+		}
+		seeds = seeds[:0]
+		for seed := base; seed <= hi; seed++ {
+			seeds = append(seeds, seed)
+		}
+		execs, err := sim.RunBatch(s.Program, seeds, sim.BatchOptions{
+			Run:     sim.RunOptions{MaxSteps: s.MaxSteps},
+			Workers: rc.Workers,
+		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("casestudy %s: %w", s.Name, err)
 		}
-		if exec.Failed() {
-			if exec.FailureSig != s.FailureSig || fail >= rc.Failures {
-				continue
+		for i, exec := range execs {
+			if succ >= rc.Successes && fail >= rc.Failures {
+				break
 			}
-			fail++
-			failSeeds = append(failSeeds, seed)
-		} else {
-			if succ >= rc.Successes {
-				continue
+			if exec.Failed() {
+				if exec.FailureSig != s.FailureSig || fail >= rc.Failures {
+					continue
+				}
+				fail++
+				failSeeds = append(failSeeds, seeds[i])
+			} else {
+				if succ >= rc.Successes {
+					continue
+				}
+				succ++
 			}
-			succ++
+			set.Executions = append(set.Executions, exec)
 		}
-		set.Executions = append(set.Executions, exec)
 	}
 	if succ < rc.Successes || fail < rc.Failures {
 		return nil, nil, fmt.Errorf("casestudy %s: collected %d successes / %d failures within %d seeds (want %d/%d)",
@@ -200,6 +234,7 @@ func Run(s *Study, rc RunConfig) (*Report, error) {
 		Cfg:        cfg,
 		FailureSig: s.FailureSig,
 		MaxSteps:   s.MaxSteps,
+		Workers:    rc.Workers,
 	}
 
 	opts, err := rc.options()
@@ -309,11 +344,20 @@ func ByName(name string) *Study {
 }
 
 // failureRate estimates the study's intermittent failure rate over n
-// seeds (diagnostics and tests).
+// seeds (diagnostics and tests), sweeping the seeds across the pool.
 func failureRate(s *Study, n int) float64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	execs, err := sim.RunBatch(s.Program, seeds, sim.BatchOptions{
+		Run: sim.RunOptions{MaxSteps: s.MaxSteps},
+	})
+	if err != nil {
+		panic(err)
+	}
 	fails := 0
-	for seed := int64(1); seed <= int64(n); seed++ {
-		exec := sim.MustRun(s.Program, seed, sim.RunOptions{MaxSteps: s.MaxSteps})
+	for _, exec := range execs {
 		if exec.Failed() && exec.FailureSig == s.FailureSig {
 			fails++
 		}

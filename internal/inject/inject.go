@@ -117,8 +117,17 @@ type Executor struct {
 	FailureSig string
 	// MaxSteps bounds each re-execution (0 = sim default).
 	MaxSteps int
+	// Workers is the pool width for replaying Seeds concurrently within
+	// one intervention round; <= 0 means GOMAXPROCS. Replays are
+	// consumed in seed order, so observations are identical for any
+	// width.
+	Workers int
 	// RunsUsed counts total re-executions across rounds (for reporting).
 	RunsUsed int
+
+	// extractor caches the baseline-derived extraction state across
+	// rounds (built lazily on first use).
+	extractor *predicate.Extractor
 }
 
 var _ core.Intervener = (*Executor)(nil)
@@ -129,17 +138,18 @@ func (e *Executor) Intervene(preds []predicate.ID) ([]core.Observation, error) {
 	if err != nil {
 		return nil, err
 	}
-	set := &trace.Set{}
-	for _, b := range e.Baselines {
-		set.Executions = append(set.Executions, b)
-	}
-	first := len(set.Executions)
 	var failed []bool
-	for _, seed := range e.Seeds {
-		exec, err := sim.Run(e.Prog, seed, sim.RunOptions{Plan: plan, MaxSteps: e.MaxSteps})
-		if err != nil {
-			return nil, fmt.Errorf("inject: re-execution seed %d: %w", seed, err)
-		}
+	// Replay the failing seeds concurrently; RunBatch returns them in
+	// seed order, so everything downstream sees the sequential view.
+	execs, err := sim.RunBatch(e.Prog, e.Seeds, sim.BatchOptions{
+		Run:     sim.RunOptions{Plan: plan, MaxSteps: e.MaxSteps},
+		Workers: e.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("inject: re-execution: %w", err)
+	}
+	for i := range execs {
+		exec := &execs[i]
 		e.RunsUsed++
 		isF := exec.Failed() && (e.FailureSig == "" || exec.FailureSig == e.FailureSig)
 		failed = append(failed, isF)
@@ -150,17 +160,28 @@ func (e *Executor) Intervene(preds []predicate.ID) ([]core.Observation, error) {
 		// it failed for extraction purposes; the observation's Failed
 		// flag is taken from the real outcome recorded above.
 		exec.Outcome = trace.Failure
-		set.Executions = append(set.Executions, exec)
 	}
-	rc := predicate.Extract(set, e.Cfg)
+	// The baselines never change between rounds: extract them once and
+	// rescan only the replays each round.
+	if e.extractor == nil {
+		x, err := predicate.NewExtractor(e.Baselines, e.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("inject: %w", err)
+		}
+		e.extractor = x
+	}
+	first := len(e.Baselines)
+	rc := e.extractor.Extract(execs)
 	// Compound predicates are materialized by statistical debugging,
 	// not by extraction; mirror the corpus's compounds so they stay
 	// observable in intervened runs (a compound occurs iff all its
-	// members do).
+	// members do). Only the replay logs are filled: the baseline logs
+	// are shared with the extractor's cached template and must stay
+	// unwritten (observations below read replay logs only).
 	for i := range e.Corpus.Preds {
 		p := &e.Corpus.Preds[i]
 		if p.Kind == predicate.KindCompound {
-			rc.MaterializeCompound(*p)
+			rc.MaterializeCompoundFrom(*p, first)
 		}
 	}
 	forced := make(map[predicate.ID]bool, len(preds))
@@ -168,7 +189,7 @@ func (e *Executor) Intervene(preds []predicate.ID) ([]core.Observation, error) {
 		forced[p] = true
 	}
 	var out []core.Observation
-	for i := first; i < len(set.Executions); i++ {
+	for i := first; i < len(rc.Logs); i++ {
 		log := &rc.Logs[i]
 		obs := core.Observation{
 			Failed:   failed[i-first],

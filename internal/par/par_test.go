@@ -1,0 +1,90 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Map(100, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v for n=0", got, err)
+	}
+}
+
+// TestMapLowestIndexError pins the sequential-equivalence contract:
+// the reported error is the one a sequential loop would hit first,
+// even when a later task errors earlier in wall-clock.
+func TestMapLowestIndexError(t *testing.T) {
+	_, err := Map(32, 4, func(i int) (int, error) {
+		if i == 5 {
+			time.Sleep(5 * time.Millisecond) // errors late in wall-clock
+			return 0, fmt.Errorf("err-%d", i)
+		}
+		if i > 5 && i%3 == 0 {
+			return 0, fmt.Errorf("err-%d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "err-5" {
+		t.Fatalf("got %v, want err-5 (the sequential-first error)", err)
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	_, err := Map(8, 2, func(i int) (int, error) {
+		if i == 3 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 3 {
+		t.Fatalf("got %v, want *PanicError at index 3", err)
+	}
+}
+
+// TestMapCancelsOnFirstError checks that after the first error the
+// pool stops claiming new work instead of sweeping every item.
+func TestMapCancelsOnFirstError(t *testing.T) {
+	const n = 64
+	var ran [n]bool
+	_, err := Map(n, 4, func(i int) (struct{}, error) {
+		ran[i] = true
+		if i == 3 {
+			return struct{}{}, errors.New("boom")
+		}
+		// Later tasks dawdle so the error lands while only a handful of
+		// tasks are in flight.
+		time.Sleep(time.Millisecond)
+		return struct{}{}, nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("want boom error, got %v", err)
+	}
+	executed := 0
+	for _, r := range ran {
+		if r {
+			executed++
+		}
+	}
+	if executed == n {
+		t.Fatalf("pool executed all %d tasks despite early error", n)
+	}
+}

@@ -76,6 +76,34 @@ func BenchmarkExtractRaces(b *testing.B) {
 			e := &set.Executions[j]
 			c.Logs = append(c.Logs, ExecLog{ExecID: e.ID, Failed: e.Failed(), Occ: map[ID]Occurrence{}})
 		}
-		extractRaces(set, c)
+		extractRaces(set.Executions, 0, c)
+	}
+}
+
+// BenchmarkExtractorRounds measures cached re-extraction: one baseline
+// scan, then repeated replay-only rounds (the intervention-replay
+// pattern).
+func BenchmarkExtractorRounds(b *testing.B) {
+	set := benchSet(40, 30)
+	var baselines, replays []trace.Execution
+	for _, e := range set.Executions {
+		if e.Failed() {
+			replays = append(replays, e)
+		} else {
+			baselines = append(baselines, e)
+		}
+	}
+	cfg := Config{DurationMargin: 4}
+	x, err := NewExtractor(baselines, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Extract(replays)
+		if len(c.Preds) == 0 {
+			b.Fatal("no predicates extracted")
+		}
 	}
 }

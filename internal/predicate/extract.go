@@ -57,6 +57,10 @@ type succStats struct {
 // predicate-extraction phase: success baselines are learned from the
 // successful executions, then every execution is scanned for
 // deviations.
+//
+// When the same success baselines are reused against changing failure
+// replays round after round (intervention replay), use an Extractor
+// instead: it caches all baseline-derived state.
 func Extract(s *trace.Set, cfg Config) *Corpus {
 	c := NewCorpus()
 	for i := range s.Executions {
@@ -68,11 +72,39 @@ func Extract(s *trace.Set, cfg Config) *Corpus {
 		})
 	}
 
-	stats := successBaselines(s)
+	succs := s.Successes()
+	stats := successBaselines(succs)
 
 	c.AddPred(FailurePredicate())
-	for i := range s.Executions {
-		e := &s.Executions[i]
+	stampFailures(s.Executions, 0, c)
+	extractPerCall(s.Executions, 0, c, stats, cfg)
+	extractRaces(s.Executions, 0, c)
+	if ost, succRows := buildOrderState(succs, stats); ost != nil {
+		rows := make([][]*trace.MethodCall, len(s.Executions))
+		si := 0
+		for i := range s.Executions {
+			if s.Executions[i].Outcome == trace.Success {
+				rows[i] = succRows[si] // already indexed by buildOrderState
+				si++
+			} else {
+				rows[i] = callRow(&s.Executions[i], ost.keyIdx, len(ost.keys))
+			}
+		}
+		emitOrderViolations(c, ost, rows, cfg)
+	}
+	emitAtomicityViolations(s.Executions, 0, c, buildAtomState(succs))
+
+	if !cfg.keepUnobserved {
+		c.DropUnobserved()
+	}
+	return c
+}
+
+// stampFailures records the failure predicate F in every failed
+// execution's log; execs[k] corresponds to c.Logs[off+k].
+func stampFailures(execs []trace.Execution, off int, c *Corpus) {
+	for i := range execs {
+		e := &execs[i]
 		if !e.Failed() || len(e.Calls) == 0 {
 			continue
 		}
@@ -85,23 +117,13 @@ func Extract(s *trace.Set, cfg Config) *Corpus {
 		// F is stamped strictly after the last event: the failure
 		// manifests once everything observed has happened, so any
 		// predicate completing by the crash can temporally precede F.
-		c.Logs[i].Occ[FailureID] = Occurrence{Start: end, End: end + 1, Thread: NoThread}
+		c.Logs[off+i].Occ[FailureID] = Occurrence{Start: end, End: end + 1, Thread: NoThread}
 	}
-
-	extractPerCall(s, c, stats, cfg)
-	extractRaces(s, c)
-	extractOrderViolations(s, c, stats, cfg)
-	extractAtomicityViolations(s, c, cfg)
-
-	if !cfg.keepUnobserved {
-		c.DropUnobserved()
-	}
-	return c
 }
 
-func successBaselines(s *trace.Set) map[instKey]*succStats {
+func successBaselines(succs []*trace.Execution) map[instKey]*succStats {
 	stats := make(map[instKey]*succStats)
-	for _, e := range s.Successes() {
+	for _, e := range succs {
 		for i := range e.Calls {
 			call := &e.Calls[i]
 			k := instKey{call.Method, call.Instance}
@@ -140,11 +162,12 @@ func successBaselines(s *trace.Set) map[instKey]*succStats {
 }
 
 // extractPerCall emits method-fails, too-slow, too-fast and wrong-return
-// predicates for every method instance.
-func extractPerCall(s *trace.Set, c *Corpus, stats map[instKey]*succStats, cfg Config) {
-	for i := range s.Executions {
-		e := &s.Executions[i]
-		log := &c.Logs[i]
+// predicates for every method instance; execs[k] corresponds to
+// c.Logs[off+k].
+func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instKey]*succStats, cfg Config) {
+	for i := range execs {
+		e := &execs[i]
+		log := &c.Logs[off+i]
 		for j := range e.Calls {
 			call := &e.Calls[j]
 			k := instKey{call.Method, call.Instance}
@@ -271,24 +294,36 @@ type accessWindow struct {
 // interleaving captures the harmful schedules — e.g. two read-modify-
 // write sections losing an update — while mere span-envelope overlap
 // with disjoint access windows does not race.
-func extractRaces(s *trace.Set, c *Corpus) {
-	for i := range s.Executions {
-		e := &s.Executions[i]
-		log := &c.Logs[i]
-		byObj := make(map[trace.ObjectID][]accessWindow)
+func extractRaces(execs []trace.Execution, off int, c *Corpus) {
+	// Scratch buffers shared across executions and calls: the window
+	// index and storage are truncated, not reallocated, per call, and
+	// the per-object buckets persist across executions (same objects
+	// recur in every trace of a corpus).
+	winIdx := make(map[trace.ObjectID]int)
+	var wins []accessWindow
+	bucketIdx := make(map[trace.ObjectID]int)
+	var buckets [][]accessWindow
+	var objs []trace.ObjectID
+	for i := range execs {
+		e := &execs[i]
+		log := &c.Logs[off+i]
+		objs = objs[:0]
 		for j := range e.Calls {
 			call := &e.Calls[j]
-			windows := make(map[trace.ObjectID]*accessWindow)
+			clear(winIdx)
+			wins = wins[:0]
 			for a := range call.Accesses {
 				acc := &call.Accesses[a]
-				w, ok := windows[acc.Object]
+				wi, ok := winIdx[acc.Object]
 				if !ok {
-					w = &accessWindow{
+					wi = len(wins)
+					winIdx[acc.Object] = wi
+					wins = append(wins, accessWindow{
 						call: call, start: acc.At, end: acc.At,
 						locks: append([]string(nil), acc.Locks...),
-					}
-					windows[acc.Object] = w
+					})
 				} else {
+					w := &wins[wi]
 					if acc.At < w.start {
 						w.start = acc.At
 					}
@@ -298,20 +333,25 @@ func extractRaces(s *trace.Set, c *Corpus) {
 					w.locks = intersect(w.locks, acc.Locks)
 				}
 				if acc.Kind == trace.Write {
-					w.hasWrite = true
+					wins[wi].hasWrite = true
 				}
 			}
-			for obj, w := range windows {
-				byObj[obj] = append(byObj[obj], *w)
+			for obj, wi := range winIdx {
+				bi, ok := bucketIdx[obj]
+				if !ok {
+					bi = len(buckets)
+					bucketIdx[obj] = bi
+					buckets = append(buckets, nil)
+				}
+				if len(buckets[bi]) == 0 {
+					objs = append(objs, obj)
+				}
+				buckets[bi] = append(buckets[bi], wins[wi])
 			}
-		}
-		objs := make([]trace.ObjectID, 0, len(byObj))
-		for o := range byObj {
-			objs = append(objs, o)
 		}
 		sort.Slice(objs, func(a, b int) bool { return objs[a] < objs[b] })
 		for _, obj := range objs {
-			ws := byObj[obj]
+			ws := buckets[bucketIdx[obj]]
 			for x := 0; x < len(ws); x++ {
 				for y := x + 1; y < len(ws); y++ {
 					a, b := &ws[x], &ws[y]
@@ -355,6 +395,11 @@ func extractRaces(s *trace.Set, c *Corpus) {
 					log.Occ[id] = Occurrence{Start: start, End: end, Thread: NoThread}
 				}
 			}
+		}
+		// Truncate this execution's buckets for reuse by the next one.
+		for _, obj := range objs {
+			bi := bucketIdx[obj]
+			buckets[bi] = buckets[bi][:0]
 		}
 	}
 }
@@ -429,69 +474,115 @@ func minTime(a, b trace.Time) trace.Time {
 //   - The pair must conflict on a shared object (both access some X,
 //     at least one writing): without a data dependency, the relative
 //     order of two methods cannot affect the outcome.
-func extractOrderViolations(s *trace.Set, c *Corpus, stats map[instKey]*succStats, cfg Config) {
-	succs := s.Successes()
+//
+// orderState is the success-derived half of order-violation extraction:
+// the baseline instance keys, which pairs stayed strictly ordered in
+// every success, and the keys' access profiles. It is immutable once
+// built, so an Extractor reuses it across replay rounds.
+type orderState struct {
+	keys     []instKey
+	keyIdx   map[instKey]int
+	ordered  []bool // flat keys×keys matrix: a-then-b in all successes
+	profiles []accessProfile
+}
+
+// buildOrderState computes the order baseline from the successes, or
+// nil when no order predicate can exist. It also returns the callRows
+// of the successes (aligned with succs) so callers reuse them instead
+// of re-indexing the same executions.
+func buildOrderState(succs []*trace.Execution, stats map[instKey]*succStats) (*orderState, [][]*trace.MethodCall) {
 	if len(succs) == 0 {
-		return
+		return nil, nil
 	}
 	// Keys present in every success are order-baseline candidates.
+	nonLeaf := nonLeafKeys(succs)
 	var keys []instKey
 	for k, st := range stats {
-		if st.present == len(succs) && leafInAll(succs, k) {
+		if st.present == len(succs) && !nonLeaf[k] {
 			keys = append(keys, k)
 		}
 	}
-	profiles := accessProfiles(succs, keys)
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].m != keys[j].m {
 			return keys[i].m < keys[j].m
 		}
 		return keys[i].inst < keys[j].inst
 	})
-	// ordered[a][b] = true while A ends before B starts in all successes
-	// seen so far.
-	type pair struct{ a, b int }
-	ordered := make(map[pair]bool)
-	for ai := range keys {
-		for bi := range keys {
+	nk := len(keys)
+	if nk == 0 {
+		return nil, nil
+	}
+	keyIdx := make(map[instKey]int, nk)
+	for i, k := range keys {
+		keyIdx[k] = i
+	}
+	succRows := make([][]*trace.MethodCall, len(succs))
+	for si, e := range succs {
+		succRows[si] = callRow(e, keyIdx, nk)
+	}
+	// ordered[ai*nk+bi] = true while A ends before B starts in all
+	// successes seen so far (flat matrix, not a struct-keyed map).
+	ordered := make([]bool, nk*nk)
+	for ai := 0; ai < nk; ai++ {
+		for bi := 0; bi < nk; bi++ {
 			if ai != bi {
-				ordered[pair{ai, bi}] = true
+				ordered[ai*nk+bi] = true
 			}
 		}
 	}
-	find := func(e *trace.Execution, k instKey) *trace.MethodCall {
-		return e.Call(k.m, k.inst)
-	}
-	for _, e := range succs {
-		calls := make([]*trace.MethodCall, len(keys))
-		for i, k := range keys {
-			calls[i] = find(e, k)
-		}
-		for ai := range keys {
-			for bi := range keys {
-				if ai == bi || !ordered[pair{ai, bi}] {
+	for _, row := range succRows {
+		for ai := 0; ai < nk; ai++ {
+			a := row[ai]
+			for bi := 0; bi < nk; bi++ {
+				if ai == bi || !ordered[ai*nk+bi] {
 					continue
 				}
-				a, b := calls[ai], calls[bi]
-				if a == nil || b == nil || a.End > b.Start {
-					ordered[pair{ai, bi}] = false
+				if b := row[bi]; a == nil || b == nil || a.End > b.Start {
+					ordered[ai*nk+bi] = false
 				}
 			}
 		}
 	}
+	return &orderState{
+		keys:     keys,
+		keyIdx:   keyIdx,
+		ordered:  ordered,
+		profiles: accessProfiles(succRows, keys),
+	}, succRows
+}
+
+// callRow indexes one execution's calls by baseline key: one pass per
+// execution replaces a linear Execution.Call scan per (pair, execution)
+// probe — the dominant cost of large corpora.
+func callRow(e *trace.Execution, keyIdx map[instKey]int, nk int) []*trace.MethodCall {
+	row := make([]*trace.MethodCall, nk)
+	for ci := range e.Calls {
+		call := &e.Calls[ci]
+		if ki, ok := keyIdx[instKey{call.Method, call.Instance}]; ok {
+			row[ki] = call
+		}
+	}
+	return row
+}
+
+// emitOrderViolations emits the predicate "B starts before A ends" for
+// every baseline-ordered conflicting pair wherever the order flips;
+// rows[i] is the callRow of the execution behind c.Logs[i].
+func emitOrderViolations(c *Corpus, st *orderState, rows [][]*trace.MethodCall, cfg Config) {
+	nk := len(st.keys)
 	emitted := 0
-	for ai := range keys {
-		for bi := range keys {
-			if ai == bi || !ordered[pair{ai, bi}] {
+	for ai := range st.keys {
+		for bi := range st.keys {
+			if ai == bi || !st.ordered[ai*nk+bi] {
 				continue
 			}
-			if !conflicting(profiles[keys[ai]], profiles[keys[bi]]) {
+			if !conflicting(st.profiles[ai], st.profiles[bi]) {
 				continue
 			}
 			if cfg.MaxOrderPairs > 0 && emitted >= cfg.MaxOrderPairs {
 				return
 			}
-			ka, kb := keys[ai], keys[bi]
+			ka, kb := st.keys[ai], st.keys[bi]
 			id := ID(fmt.Sprintf("order:%s<%s", ka, kb))
 			pred := Predicate{
 				ID: id, Kind: KindOrderViolation,
@@ -503,9 +594,8 @@ func extractOrderViolations(s *trace.Set, c *Corpus, stats map[instKey]*succStat
 					kb, ka, ka, kb),
 			}
 			added := false
-			for i := range s.Executions {
-				e := &s.Executions[i]
-				a, b := find(e, ka), find(e, kb)
+			for i := range rows {
+				a, b := rows[i][ai], rows[i][bi]
 				if a == nil || b == nil || a.End <= b.Start {
 					continue
 				}
@@ -520,75 +610,101 @@ func extractOrderViolations(s *trace.Set, c *Corpus, stats map[instKey]*succStat
 	}
 }
 
-// extractAtomicityViolations finds same-thread span pairs (A, B) both
-// accessing an object X with no intervening remote write in any
-// successful run, and emits a predicate where a remote write slips
-// between them. The repair serializes the pair's common parent with the
-// writer; without a common parent the violation cannot be safely
-// repaired at method granularity and the intervention is marked unsafe.
-func extractAtomicityViolations(s *trace.Set, c *Corpus, cfg Config) {
-	type cand struct {
-		a, b instKey
-		obj  trace.ObjectID
+// Atomicity violations (buildAtomState + emitAtomicityViolations) find
+// same-thread span pairs (A, B) both accessing an object X with no
+// intervening remote write in any successful run, and emit a predicate
+// where a remote write slips between them. The repair serializes the
+// pair's common parent with the writer; without a common parent the
+// violation cannot be safely repaired at method granularity and the
+// intervention is marked unsafe.
+
+// atomCand is a candidate atomicity pair: two same-thread spans with
+// consecutive accesses to one object.
+type atomCand struct {
+	a, b instKey
+	obj  trace.ObjectID
+}
+
+// atomState is the success-derived half of atomicity extraction,
+// immutable once built.
+type atomState struct {
+	candidates        map[atomCand]bool
+	violatedInSuccess map[atomCand]bool
+}
+
+// scanAtomicity walks one execution's object-access sequences and
+// reports each candidate pair with whether a remote write intervened.
+func scanAtomicity(e *trace.Execution, record func(cd atomCand, violated bool, gapStart, gapEnd trace.Time)) {
+	type access struct {
+		call *trace.MethodCall
+		at   trace.Time
+		kind trace.AccessKind
 	}
-	// Candidate pairs from successes: consecutive same-thread accesses
-	// to the same object from two different spans.
-	violatedInSuccess := make(map[cand]bool)
-	candidates := make(map[cand]bool)
-	scan := func(e *trace.Execution, record func(cd cand, violated bool, gapStart, gapEnd trace.Time)) {
-		type access struct {
-			call *trace.MethodCall
-			at   trace.Time
-			kind trace.AccessKind
+	byObj := make(map[trace.ObjectID][]access)
+	for j := range e.Calls {
+		call := &e.Calls[j]
+		for a := range call.Accesses {
+			acc := &call.Accesses[a]
+			byObj[acc.Object] = append(byObj[acc.Object], access{call, acc.At, acc.Kind})
 		}
-		byObj := make(map[trace.ObjectID][]access)
-		for j := range e.Calls {
-			call := &e.Calls[j]
-			for a := range call.Accesses {
-				acc := &call.Accesses[a]
-				byObj[acc.Object] = append(byObj[acc.Object], access{call, acc.At, acc.Kind})
-			}
-		}
-		for obj, accs := range byObj {
-			sort.Slice(accs, func(x, y int) bool { return accs[x].at < accs[y].at })
-			for x := 0; x < len(accs); x++ {
-				for y := x + 1; y < len(accs); y++ {
-					a, b := accs[x], accs[y]
-					if a.call.Thread != b.call.Thread || a.call == b.call {
-						continue
-					}
-					cd := cand{
-						a:   instKey{a.call.Method, a.call.Instance},
-						b:   instKey{b.call.Method, b.call.Instance},
-						obj: obj,
-					}
-					violated := false
-					for z := x + 1; z < y; z++ {
-						w := accs[z]
-						if w.call.Thread != a.call.Thread && w.kind == trace.Write {
-							violated = true
-							break
-						}
-					}
-					record(cd, violated, a.at, b.at)
-					y = len(accs) // only the next foreign-span access matters
+	}
+	for obj, accs := range byObj {
+		sort.Slice(accs, func(x, y int) bool { return accs[x].at < accs[y].at })
+		for x := 0; x < len(accs); x++ {
+			for y := x + 1; y < len(accs); y++ {
+				a, b := accs[x], accs[y]
+				if a.call.Thread != b.call.Thread || a.call == b.call {
+					continue
 				}
+				cd := atomCand{
+					a:   instKey{a.call.Method, a.call.Instance},
+					b:   instKey{b.call.Method, b.call.Instance},
+					obj: obj,
+				}
+				violated := false
+				for z := x + 1; z < y; z++ {
+					w := accs[z]
+					if w.call.Thread != a.call.Thread && w.kind == trace.Write {
+						violated = true
+						break
+					}
+				}
+				record(cd, violated, a.at, b.at)
+				y = len(accs) // only the next foreign-span access matters
 			}
 		}
 	}
-	for _, e := range s.Successes() {
-		scan(e, func(cd cand, violated bool, _, _ trace.Time) {
-			candidates[cd] = true
+}
+
+// buildAtomState collects candidate pairs from the successes:
+// consecutive same-thread accesses to the same object from two
+// different spans.
+func buildAtomState(succs []*trace.Execution) *atomState {
+	st := &atomState{
+		candidates:        make(map[atomCand]bool),
+		violatedInSuccess: make(map[atomCand]bool),
+	}
+	for _, e := range succs {
+		scanAtomicity(e, func(cd atomCand, violated bool, _, _ trace.Time) {
+			st.candidates[cd] = true
 			if violated {
-				violatedInSuccess[cd] = true
+				st.violatedInSuccess[cd] = true
 			}
 		})
 	}
-	for i := range s.Executions {
-		e := &s.Executions[i]
-		log := &c.Logs[i]
-		scan(e, func(cd cand, violated bool, gapStart, gapEnd trace.Time) {
-			if !violated || !candidates[cd] || violatedInSuccess[cd] {
+	return st
+}
+
+// emitAtomicityViolations emits a predicate wherever a remote write
+// slips between a success-established candidate pair; execs[k]
+// corresponds to c.Logs[off+k]. Successful executions can never emit
+// (a violation there is, by construction, violatedInSuccess).
+func emitAtomicityViolations(execs []trace.Execution, off int, c *Corpus, st *atomState) {
+	for i := range execs {
+		e := &execs[i]
+		log := &c.Logs[off+i]
+		scanAtomicity(e, func(cd atomCand, violated bool, gapStart, gapEnd trace.Time) {
+			if !violated || !st.candidates[cd] || st.violatedInSuccess[cd] {
 				return
 			}
 			id := ID(fmt.Sprintf("atom:%s,%s@%s", cd.a, cd.b, cd.obj))
@@ -635,16 +751,18 @@ type accessProfile struct {
 	writes map[trace.ObjectID]bool
 }
 
-// accessProfiles unions each key's object accesses over the successes.
-func accessProfiles(succs []*trace.Execution, keys []instKey) map[instKey]accessProfile {
-	out := make(map[instKey]accessProfile, len(keys))
-	for _, k := range keys {
+// accessProfiles unions each key's object accesses over the success
+// rows (rows[s][ki] is success s's call for key ki), returning one
+// profile per key index.
+func accessProfiles(rows [][]*trace.MethodCall, keys []instKey) []accessProfile {
+	out := make([]accessProfile, len(keys))
+	for ki := range keys {
 		p := accessProfile{
-			reads:  make(map[trace.ObjectID]bool),
-			writes: make(map[trace.ObjectID]bool),
+			reads:  make(map[trace.ObjectID]bool, 4),
+			writes: make(map[trace.ObjectID]bool, 4),
 		}
-		for _, e := range succs {
-			call := e.Call(k.m, k.inst)
+		for _, row := range rows {
+			call := row[ki]
 			if call == nil {
 				continue
 			}
@@ -656,7 +774,7 @@ func accessProfiles(succs []*trace.Execution, keys []instKey) map[instKey]access
 				}
 			}
 		}
-		out[k] = p
+		out[ki] = p
 	}
 	return out
 }
@@ -677,26 +795,32 @@ func conflicting(a, b accessProfile) bool {
 	return false
 }
 
-// leafInAll reports whether the instance encloses no other same-thread
-// span in any of the given executions.
-func leafInAll(execs []*trace.Execution, k instKey) bool {
-	for _, e := range execs {
-		parent := e.Call(k.m, k.inst)
-		if parent == nil {
-			continue
-		}
+// nonLeafKeys finds every instance that strictly encloses another
+// same-thread span in some success — one pass over each execution's
+// span pairs instead of a per-key Execution.Call scan.
+func nonLeafKeys(succs []*trace.Execution) map[instKey]bool {
+	out := make(map[instKey]bool)
+	for _, e := range succs {
 		for i := range e.Calls {
-			child := &e.Calls[i]
-			if child == parent || child.Thread != parent.Thread {
+			parent := &e.Calls[i]
+			k := instKey{parent.Method, parent.Instance}
+			if out[k] {
 				continue
 			}
-			if child.Start >= parent.Start && child.End <= parent.End &&
-				(child.Start > parent.Start || child.End < parent.End) {
-				return false
+			for j := range e.Calls {
+				child := &e.Calls[j]
+				if child == parent || child.Thread != parent.Thread {
+					continue
+				}
+				if child.Start >= parent.Start && child.End <= parent.End &&
+					(child.Start > parent.Start || child.End < parent.End) {
+					out[k] = true
+					break
+				}
 			}
 		}
 	}
-	return true
+	return out
 }
 
 // commonParent returns the innermost span of the pair's thread that

@@ -1,0 +1,113 @@
+package predicate
+
+import (
+	"fmt"
+
+	"aid/internal/trace"
+)
+
+// Extractor caches the baseline-derived half of predicate extraction
+// for a fixed set of successful executions, so that repeated
+// extractions against changing failure replays — one per intervention
+// round — skip re-scanning the baselines. For B baselines and R
+// replays per round it turns every round's O(B+R) scan into O(R).
+//
+// Extract(replays) returns exactly the corpus that
+//
+//	Extract(&trace.Set{Executions: baselines ++ replays}, cfg)
+//
+// would, provided every baseline is a successful execution and every
+// replay a failed one (the intervention-replay invariant: package
+// inject marks all replays failed before extraction). Under that
+// invariant baseline logs never gain occurrences from replay-derived
+// predicates, so the cached template logs are shared, not copied,
+// across rounds.
+type Extractor struct {
+	cfg      Config
+	stats    map[instKey]*succStats
+	order    *orderState
+	baseRows [][]*trace.MethodCall
+	atom     *atomState
+	// template holds the baseline logs and every predicate discoverable
+	// from the baselines alone (unobserved ones included; the per-round
+	// corpus applies DropUnobserved after merging).
+	template *Corpus
+}
+
+// NewExtractor scans the baseline executions once and caches every
+// derived structure. Every baseline must be a successful execution —
+// the shared-template contract only holds then (a failed baseline
+// could gain occurrences from replay-derived predicates round after
+// round) — so failed baselines are rejected. The cached state points
+// into the baselines slice, which must not be mutated afterwards.
+func NewExtractor(baselines []trace.Execution, cfg Config) (*Extractor, error) {
+	x := &Extractor{cfg: cfg}
+	c := NewCorpus()
+	succs := make([]*trace.Execution, 0, len(baselines))
+	for i := range baselines {
+		e := &baselines[i]
+		if e.Failed() {
+			return nil, fmt.Errorf("predicate: extractor baseline %q is a failed execution", e.ID)
+		}
+		c.Logs = append(c.Logs, ExecLog{
+			ExecID: e.ID,
+			Failed: false,
+			Occ:    make(map[ID]Occurrence),
+		})
+		succs = append(succs, e)
+	}
+	x.stats = successBaselines(succs)
+	c.AddPred(FailurePredicate())
+	extractPerCall(baselines, 0, c, x.stats, cfg)
+	extractRaces(baselines, 0, c)
+	// succs is exactly baselines (all successes), so buildOrderState's
+	// rows are the baseline rows; F stamping, order flips and atomicity
+	// emissions cannot occur in successes and are skipped here.
+	x.order, x.baseRows = buildOrderState(succs, x.stats)
+	x.atom = buildAtomState(succs)
+	x.template = c
+	return x, nil
+}
+
+// Extract evaluates the predicate vocabulary over baselines ++ replays,
+// rescanning only the replays. Log indices follow that order: logs
+// [0, len(baselines)) are the baselines', the rest the replays'.
+func (x *Extractor) Extract(replays []trace.Execution) *Corpus {
+	base := x.template
+	c := &Corpus{
+		Preds: append([]Predicate(nil), base.Preds...),
+		Logs:  make([]ExecLog, 0, len(base.Logs)+len(replays)),
+		byID:  make(map[ID]int, len(base.byID)+8),
+	}
+	for id, i := range base.byID {
+		c.byID[id] = i
+	}
+	// Baseline logs are shared with the template (immutable under the
+	// all-replays-fail invariant; see the type comment).
+	c.Logs = append(c.Logs, base.Logs...)
+	off := len(base.Logs)
+	for i := range replays {
+		e := &replays[i]
+		c.Logs = append(c.Logs, ExecLog{
+			ExecID: e.ID,
+			Failed: e.Failed(),
+			Occ:    make(map[ID]Occurrence),
+		})
+	}
+	stampFailures(replays, off, c)
+	extractPerCall(replays, off, c, x.stats, x.cfg)
+	extractRaces(replays, off, c)
+	if x.order != nil {
+		rows := make([][]*trace.MethodCall, 0, len(c.Logs))
+		rows = append(rows, x.baseRows...)
+		for i := range replays {
+			rows = append(rows, callRow(&replays[i], x.order.keyIdx, len(x.order.keys)))
+		}
+		emitOrderViolations(c, x.order, rows, x.cfg)
+	}
+	emitAtomicityViolations(replays, off, c, x.atom)
+	if !x.cfg.keepUnobserved {
+		c.DropUnobserved()
+	}
+	return c
+}

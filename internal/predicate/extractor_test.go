@@ -1,0 +1,87 @@
+package predicate
+
+import (
+	"reflect"
+	"testing"
+
+	"aid/internal/trace"
+)
+
+// TestExtractorMatchesOneShot asserts the cached path's contract: for
+// success-only baselines and failed replays, Extractor.Extract returns
+// exactly what a one-shot Extract over the concatenated set would.
+func TestExtractorMatchesOneShot(t *testing.T) {
+	set := benchSet(30, 24)
+	var baselines, replays []trace.Execution
+	for _, e := range set.Executions {
+		if e.Failed() {
+			replays = append(replays, e)
+		} else {
+			baselines = append(baselines, e)
+		}
+	}
+	cfg := Config{DurationMargin: 4}
+
+	merged := &trace.Set{}
+	merged.Executions = append(merged.Executions, baselines...)
+	merged.Executions = append(merged.Executions, replays...)
+	want := Extract(merged, cfg)
+
+	x, err := NewExtractor(baselines, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ { // rounds must not contaminate each other
+		got := x.Extract(replays)
+		if !reflect.DeepEqual(want.Preds, got.Preds) {
+			t.Fatalf("round %d: predicate table differs from one-shot extraction", round)
+		}
+		if len(want.Logs) != len(got.Logs) {
+			t.Fatalf("round %d: %d logs, want %d", round, len(got.Logs), len(want.Logs))
+		}
+		for i := range want.Logs {
+			if want.Logs[i].ExecID != got.Logs[i].ExecID ||
+				want.Logs[i].Failed != got.Logs[i].Failed ||
+				!reflect.DeepEqual(want.Logs[i].Occ, got.Logs[i].Occ) {
+				t.Fatalf("round %d: log %d (%s) differs from one-shot extraction",
+					round, i, want.Logs[i].ExecID)
+			}
+		}
+	}
+}
+
+// TestExtractorSubsetReplays checks a replay set different from the
+// baseline-building corpus (each round replays under a new plan, so the
+// traces differ round to round).
+func TestExtractorSubsetReplays(t *testing.T) {
+	set := benchSet(30, 24)
+	var baselines, replays []trace.Execution
+	for _, e := range set.Executions {
+		if e.Failed() {
+			replays = append(replays, e)
+		} else {
+			baselines = append(baselines, e)
+		}
+	}
+	cfg := Config{DurationMargin: 4}
+	x, err := NewExtractor(baselines, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut <= len(replays); cut++ {
+		sub := replays[:cut]
+		merged := &trace.Set{}
+		merged.Executions = append(merged.Executions, baselines...)
+		merged.Executions = append(merged.Executions, sub...)
+		want := Extract(merged, cfg)
+		got := x.Extract(sub)
+		if !reflect.DeepEqual(want.Preds, got.Preds) {
+			t.Fatalf("cut %d: predicate table differs from one-shot extraction", cut)
+		}
+		for i := range want.Logs {
+			if !reflect.DeepEqual(want.Logs[i].Occ, got.Logs[i].Occ) {
+				t.Fatalf("cut %d: log %d differs", cut, i)
+			}
+		}
+	}
+}

@@ -356,8 +356,15 @@ func (c *Corpus) CompoundAnd(members ...ID) (Predicate, error) {
 // MaterializeCompound registers the compound predicate and fills its
 // occurrences in every log where all members occur.
 func (c *Corpus) MaterializeCompound(p Predicate) {
+	c.MaterializeCompoundFrom(p, 0)
+}
+
+// MaterializeCompoundFrom is MaterializeCompound restricted to
+// Logs[from:]. Use it when the earlier logs are shared with a cached
+// extraction template (predicate.Extractor) and must stay unwritten.
+func (c *Corpus) MaterializeCompoundFrom(p Predicate, from int) {
 	c.AddPred(p)
-	for i := range c.Logs {
+	for i := from; i < len(c.Logs); i++ {
 		l := &c.Logs[i]
 		var window Occurrence
 		all := true

@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"aid/internal/par"
+	"aid/internal/trace"
+)
+
+// BatchOptions configures a RunBatch sweep.
+type BatchOptions struct {
+	// Run is applied to every execution (same plan, same step budget).
+	Run RunOptions
+	// Workers is the pool width; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RunBatch executes the program once per seed, fanning the runs across
+// a worker pool, and returns the executions in seed order.
+//
+// Each run is fully isolated (Run copies all mutable program state), so
+// the batch output is bit-identical to calling Run sequentially over
+// the same seeds regardless of worker count. The program and plan are
+// shared read-only across workers and must not be mutated concurrently.
+// The first error in seed order cancels the remaining runs; a run that
+// panics surfaces as a *par.PanicError instead of crashing the process.
+func RunBatch(p *Program, seeds []int64, opts BatchOptions) ([]trace.Execution, error) {
+	return par.Map(len(seeds), opts.Workers, func(i int) (trace.Execution, error) {
+		return Run(p, seeds[i], opts.Run)
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"aid/internal/core"
 	"aid/internal/grouptest"
+	"aid/internal/par"
 	"aid/internal/predicate"
 )
 
@@ -140,40 +141,82 @@ func RunInstanceNoisy(inst *Instance, approach Approach, seed int64, noise Noise
 	}
 }
 
+// SweepOptions configures a RunSetting sweep beyond its shape.
+type SweepOptions struct {
+	// Noise is the optional runtime-nondeterminism model.
+	Noise Noise
+	// Workers is the instance-pool width; <= 0 means GOMAXPROCS. Every
+	// instance is seeded independently and aggregated in instance order,
+	// so the Setting is identical for any width.
+	Workers int
+}
+
 // RunSetting generates `instances` applications for one MAXt value and
 // measures all four approaches on each (Fig. 8, one x-axis position).
 func RunSetting(maxT, instances int, baseSeed int64) (*Setting, error) {
-	return RunSettingNoisy(maxT, instances, baseSeed, Noise{})
+	return RunSettingOpts(maxT, instances, baseSeed, SweepOptions{})
 }
 
 // RunSettingNoisy is RunSetting under an optional noise model,
 // measuring robustness of the sweep to runtime nondeterminism.
 func RunSettingNoisy(maxT, instances int, baseSeed int64, noise Noise) (*Setting, error) {
+	return RunSettingOpts(maxT, instances, baseSeed, SweepOptions{Noise: noise})
+}
+
+// instResult is one instance's measurement across the four approaches.
+type instResult struct {
+	n, d  int
+	tests map[Approach]int
+	misid map[Approach]bool
+}
+
+// RunSettingOpts is RunSetting with explicit sweep options; instances
+// run concurrently on the worker pool.
+func RunSettingOpts(maxT, instances int, baseSeed int64, opts SweepOptions) (*Setting, error) {
 	s := &Setting{
 		MaxT:          maxT,
 		Cells:         make(map[Approach]Cell),
 		Misidentified: make(map[Approach]int),
 	}
-	sums := make(map[Approach]int)
-	worst := make(map[Approach]int)
-	var predSum, dSum int
-	for i := 0; i < instances; i++ {
+	noise := opts.Noise
+	results, err := par.Map(instances, opts.Workers, func(i int) (instResult, error) {
 		seed := baseSeed + int64(i)*7919
 		inst, err := Generate(Params{MaxThreads: maxT, Seed: seed, LateSymptoms: -1})
 		if err != nil {
-			return nil, err
+			return instResult{}, err
 		}
-		predSum += inst.N
-		dSum += inst.D
+		r := instResult{
+			n: inst.N, d: inst.D,
+			tests: make(map[Approach]int, len(Approaches)),
+			misid: make(map[Approach]bool, len(Approaches)),
+		}
 		for _, ap := range Approaches {
 			n, err := RunInstanceNoisy(inst, ap, seed^0x5deece66d, noise)
 			if err != nil {
 				if noise.enabled() && errors.Is(err, ErrMisidentified) {
-					s.Misidentified[ap]++
+					r.misid[ap] = true
 				} else {
-					return nil, err
+					return instResult{}, err
 				}
 			}
+			r.tests[ap] = n
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[Approach]int)
+	worst := make(map[Approach]int)
+	var predSum, dSum int
+	for _, r := range results {
+		predSum += r.n
+		dSum += r.d
+		for _, ap := range Approaches {
+			if r.misid[ap] {
+				s.Misidentified[ap]++
+			}
+			n := r.tests[ap]
 			sums[ap] += n
 			if n > worst[ap] {
 				worst[ap] = n

@@ -2,6 +2,7 @@ package synthetic
 
 import (
 	"math/rand"
+	"sort"
 
 	"aid/internal/core"
 	"aid/internal/predicate"
@@ -71,7 +72,15 @@ func (f *FlakyWorld) Intervene(preds []predicate.ID) ([]core.Observation, error)
 			continue
 		}
 		fired, wouldFail := f.World.Fire(forced)
+		// Draw flicker decisions in sorted ID order: iterating the map
+		// directly would pair RNG draws with predicates in Go's random
+		// map order, making the noise irreproducible despite the seed.
+		ids := make([]predicate.ID, 0, len(fired))
 		for id := range fired {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
 			if causal[id] || f.rng.Float64() >= f.SymptomNoise {
 				obs.Observed[id] = true
 			}
