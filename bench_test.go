@@ -13,33 +13,34 @@
 package aid_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
 
-	"aid/internal/casestudy"
-	"aid/internal/synthetic"
+	"aid"
 	"aid/internal/theory"
 )
 
-// benchRC is a trimmed corpus size so a full Fig. 7 row stays fast
+// benchOpts is a trimmed corpus size so a full Fig. 7 row stays fast
 // enough to iterate; cmd/casestudies runs the paper-scale 50+50 corpus.
-func benchRC() casestudy.RunConfig {
-	rc := casestudy.DefaultRunConfig()
-	rc.Successes, rc.Failures = 30, 30
-	return rc
+// The benchmarks drive the public facade, so the bench smoke doubles as
+// an end-to-end exercise of the pipeline API.
+func benchOpts(extra ...aid.Option) []aid.Option {
+	return append([]aid.Option{aid.WithCorpusSize(30, 30), aid.WithReplays(5)}, extra...)
 }
 
 // BenchmarkFigure7 regenerates one Fig. 7 row per sub-benchmark:
 // #discriminative predicates, causal-path length, AID and TAGT
 // interventions.
 func BenchmarkFigure7(b *testing.B) {
-	for _, s := range casestudy.All() {
+	for _, s := range aid.CaseStudies() {
 		s := s
 		b.Run(s.Name, func(b *testing.B) {
-			var last *casestudy.Report
+			pipeline := aid.New(benchOpts()...)
+			var last *aid.Report
 			for i := 0; i < b.N; i++ {
-				rep, err := casestudy.Run(s, benchRC())
+				rep, err := pipeline.Run(context.Background(), aid.FromStudy(s))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -60,19 +61,19 @@ func BenchmarkFigure7(b *testing.B) {
 // cmd/synthbench runs the full scale.
 func BenchmarkFigure8(b *testing.B) {
 	const instances = 60
-	for _, maxT := range synthetic.Figure8MaxTs {
+	for _, maxT := range aid.Figure8MaxTs() {
 		maxT := maxT
 		b.Run(fmt.Sprintf("MAXt=%d", maxT), func(b *testing.B) {
-			var last *synthetic.Setting
+			var last *aid.SyntheticSetting
 			for i := 0; i < b.N; i++ {
-				s, err := synthetic.RunSetting(maxT, instances, 1234)
+				s, err := aid.RunSyntheticSetting(context.Background(), maxT, instances, 1234)
 				if err != nil {
 					b.Fatal(err)
 				}
 				last = s
 			}
 			b.ReportMetric(last.AvgPreds, "avg-preds")
-			for _, ap := range synthetic.Approaches {
+			for _, ap := range aid.Approaches() {
 				c := last.Cells[ap]
 				b.ReportMetric(c.Average, string(ap)+"-avg")
 				b.ReportMetric(float64(c.WorstCase), string(ap)+"-worst")
@@ -89,11 +90,10 @@ func BenchmarkPoolScaling(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			rc := benchRC()
-			rc.Workers = workers
-			var last *casestudy.Report
+			pipeline := aid.New(benchOpts(aid.WithWorkers(workers))...)
+			var last *aid.Report
 			for i := 0; i < b.N; i++ {
-				rep, err := casestudy.Run(casestudy.Kafka(), rc)
+				rep, err := pipeline.Run(context.Background(), aid.FromStudy(aid.CaseStudyByName("kafka")))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -136,20 +136,20 @@ func BenchmarkExample3(b *testing.B) {
 // calls out): branch pruning, predicate pruning, topological ordering.
 func BenchmarkAblation(b *testing.B) {
 	const maxT, instances = 18, 40
-	for _, ap := range synthetic.Approaches {
+	for _, ap := range aid.Approaches() {
 		ap := ap
 		b.Run(string(ap), func(b *testing.B) {
 			var sum, worst int
 			for i := 0; i < b.N; i++ {
 				sum, worst = 0, 0
 				for k := 0; k < instances; k++ {
-					inst, err := synthetic.Generate(synthetic.Params{
+					inst, err := aid.GenerateSynthetic(aid.SyntheticParams{
 						MaxThreads: maxT, Seed: int64(k) * 31, LateSymptoms: -1,
 					})
 					if err != nil {
 						b.Fatal(err)
 					}
-					n, err := synthetic.RunInstance(inst, ap, int64(k))
+					n, err := aid.RunSyntheticInstance(context.Background(), inst, ap, int64(k))
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -1,0 +1,86 @@
+package aid_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aid"
+)
+
+// TestRunCancelledMidCollection cancels the context from the first
+// collection-progress event: Run must abort the sweep within one
+// task-drain and surface context.Canceled.
+func TestRunCancelledMidCollection(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	progress := 0
+	pipeline := aid.New(
+		aid.WithWorkers(2), // small chunks => several collection chunks
+		aid.WithObserver(aid.ObserverFunc(func(e aid.Event) {
+			if _, ok := e.(aid.CollectProgress); ok {
+				progress++
+				cancel()
+			}
+		})),
+	)
+	_, err := pipeline.Run(ctx, aid.FromStudy(aid.CaseStudyByName("npgsql")))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if progress == 0 {
+		t.Fatal("cancellation fired before any collection progress")
+	}
+}
+
+// TestRunCancelledMidIntervention cancels from the first intervention
+// round: discovery must stop before the next round with
+// context.Canceled.
+func TestRunCancelledMidIntervention(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rounds := 0
+	pipeline := aid.New(
+		aid.WithCorpusSize(20, 20),
+		aid.WithObserver(aid.ObserverFunc(func(e aid.Event) {
+			if _, ok := e.(aid.RoundDone); ok {
+				rounds++
+				cancel()
+			}
+		})),
+	)
+	_, err := pipeline.Run(ctx, aid.FromStudy(aid.CaseStudyByName("npgsql")))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if rounds != 1 {
+		t.Fatalf("discovery ran %d rounds after cancellation, want exactly 1", rounds)
+	}
+}
+
+// TestStageCallsPreCancelled checks every individually-callable stage
+// that takes a context rejects an already-cancelled one.
+func TestStageCallsPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pipeline := aid.New(aid.WithCorpusSize(20, 20))
+	src := aid.FromStudy(aid.CaseStudyByName("network"))
+	if _, err := pipeline.Collect(ctx, src); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Collect: got %v, want context.Canceled", err)
+	}
+
+	// A live context collects; the dead one must stop Discover.
+	traces, err := pipeline.Collect(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := pipeline.Extract(traces)
+	ranking := pipeline.Rank(corpus)
+	dag, _, err := pipeline.BuildDAG(corpus, ranking.Fully)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.Discover(ctx, traces, corpus, dag); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Discover: got %v, want context.Canceled", err)
+	}
+}

@@ -3,60 +3,83 @@
 // debugging, AC-DAG construction, causality-guided interventions, and
 // the TAGT baseline, printing the root cause and the causal explanation.
 //
+// It is a thin shell over the public aid facade: a configured
+// aid.Pipeline, an aid.TraceSource (live case study or a saved trace
+// corpus via -load-traces), and the shared aid.Report formatting.
+//
 // Usage:
 //
-//	aid -case npgsql [-successes 50] [-failures 50] [-seed 1] [-rounds] [-dot]
+//	aid -case npgsql [-successes 50] [-failures 50] [-seed 1] [-rounds] [-dot] [-json]
+//	aid -case npgsql -save-traces corpus.jsonl
+//	aid -case npgsql -load-traces corpus.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"aid/internal/acdag"
-	"aid/internal/casestudy"
-	"aid/internal/predicate"
-	"aid/internal/statdebug"
-	"aid/internal/trace"
+	"aid"
 )
 
 func main() {
 	var (
-		name      = flag.String("case", "npgsql", "case study: npgsql, kafka, cosmosdb, network, buildandtest, healthtelemetry")
-		successes = flag.Int("successes", 50, "successful executions to collect")
-		failures  = flag.Int("failures", 50, "failed executions to collect")
-		seed      = flag.Int64("seed", 1, "algorithm seed (tie-breaking)")
-		replays   = flag.Int("replays", 5, "re-executions per intervention round")
-		variant   = flag.String("variant", "aid", "algorithm variant: aid, aid-p, aid-p-b")
-		compounds = flag.Int("compounds", 0, "max compound (conjunction) predicates to materialize")
-		rounds    = flag.Bool("rounds", false, "print the intervention round log")
-		dot       = flag.Bool("dot", false, "print the AC-DAG in Graphviz format and exit")
-		sd        = flag.Bool("sd", false, "print the statistical-debugging ranking and exit (the SD baseline)")
-		saveTrace = flag.String("save-traces", "", "save the collected trace corpus to this file (JSON lines)")
-		workers   = flag.Int("workers", 0, "execution-pool width (0 = GOMAXPROCS); output is identical for any width")
+		name       = flag.String("case", "npgsql", "case study: npgsql, kafka, cosmosdb, network, buildandtest, healthtelemetry")
+		successes  = flag.Int("successes", 50, "successful executions to collect")
+		failures   = flag.Int("failures", 50, "failed executions to collect")
+		seed       = flag.Int64("seed", 1, "algorithm seed (tie-breaking)")
+		replays    = flag.Int("replays", 5, "re-executions per intervention round")
+		variant    = flag.String("variant", "aid", "algorithm variant: aid, aid-p, aid-p-b")
+		compounds  = flag.Int("compounds", 0, "max compound (conjunction) predicates to materialize")
+		rounds     = flag.Bool("rounds", false, "stream the intervention round log as it happens")
+		dot        = flag.Bool("dot", false, "print the AC-DAG in Graphviz format and exit")
+		sd         = flag.Bool("sd", false, "print the statistical-debugging ranking and exit (the SD baseline)")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON instead of text")
+		saveTraces = flag.String("save-traces", "", "save the collected trace corpus to this file (JSON lines)")
+		loadTraces = flag.String("load-traces", "", "load the trace corpus from this file instead of collecting")
+		workers    = flag.Int("workers", 0, "execution-pool width (0 = GOMAXPROCS); output is identical for any width")
 	)
 	flag.Parse()
 
-	study := casestudy.ByName(*name)
+	study := aid.CaseStudyByName(*name)
 	if study == nil {
 		fmt.Fprintf(os.Stderr, "aid: unknown case study %q; available:", *name)
-		for _, s := range casestudy.All() {
+		for _, s := range aid.CaseStudies() {
 			fmt.Fprintf(os.Stderr, " %s", s.Name)
 		}
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
 
-	rc := casestudy.RunConfig{
-		Successes: *successes, Failures: *failures,
-		SeedCap: 20000, ReplaySeeds: *replays, Seed: *seed,
-		Variant: *variant, Compounds: *compounds,
-		Workers: *workers,
+	opts := []aid.Option{
+		aid.WithCorpusSize(*successes, *failures),
+		aid.WithSeedCap(20000),
+		aid.WithReplays(*replays),
+		aid.WithSeed(*seed),
+		aid.WithVariant(aid.Variant(*variant)),
+		aid.WithCompounds(*compounds),
+		aid.WithWorkers(*workers),
+	}
+	// The -rounds log is an observer over the pipeline's event stream.
+	if *rounds {
+		opts = append(opts, aid.WithObserver(aid.ObserverFunc(func(e aid.Event) {
+			switch e.(type) {
+			case aid.RoundDone, aid.CauseConfirmed:
+				fmt.Fprintln(os.Stderr, e)
+			}
+		})))
+	}
+	pipeline := aid.New(opts...)
+
+	var source aid.TraceSource = aid.FromStudy(study)
+	if *loadTraces != "" {
+		source = aid.FromTraceFile(*loadTraces).ForStudy(study)
 	}
 
-	if *dot || *sd || *saveTrace != "" {
-		if err := inspect(study, rc, *dot, *sd, *saveTrace); err != nil {
+	ctx := context.Background()
+	if *dot || *sd || *saveTraces != "" {
+		if err := inspect(ctx, pipeline, source, *dot, *sd, *saveTraces); err != nil {
 			fmt.Fprintln(os.Stderr, "aid:", err)
 			os.Exit(1)
 		}
@@ -65,79 +88,58 @@ func main() {
 		}
 	}
 
-	rep, err := casestudy.Run(study, rc)
+	rep, err := pipeline.Run(ctx, source)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aid:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("case study:      %s (%s)\n", rep.Study, rep.Issue)
-	fmt.Printf("bug:             %s\n", rep.Description)
-	fmt.Printf("SD predicates:   %d fully discriminative (of %d extracted)\n",
-		rep.Discriminative, rep.TotalPredicates)
-	fmt.Printf("AC-DAG:          %d nodes, %d without a path to F\n", rep.DAGNodes, rep.NoPathToF)
-	fmt.Printf("root cause:      %s\n", rep.AID.RootCause())
-	fmt.Printf("causal path:     %d predicates\n", rep.CausalPathLen)
-	fmt.Printf("interventions:   AID %d, TAGT %d (worst-case bound %d)\n",
-		rep.AIDInterventions, rep.TAGTInterventions, rep.TAGTWorstCase)
-	s1, s2 := rep.AID.PruningStats()
-	fmt.Printf("pruning rates:   S1=%.1f discarded/round, S2=%.1f discarded/cause (§6)\n", s1, s2)
+	if *jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aid:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	fmt.Print(rep.Format())
 	fmt.Println()
 	fmt.Println(rep.Narrative)
 	if *rounds {
 		fmt.Println("\nintervention rounds:")
-		for i, r := range rep.AID.Rounds {
-			verdict := "failure persisted"
-			if r.Stopped {
-				verdict = "failure stopped"
-			}
-			fmt.Printf("  %2d [%s] intervene {%s} -> %s", i+1, r.Phase,
-				joinIDs(r.Intervened), verdict)
-			if r.Confirmed != "" {
-				fmt.Printf("; confirmed %s", r.Confirmed)
-			}
-			if len(r.Pruned) > 0 {
-				fmt.Printf("; pruned {%s}", joinIDs(r.Pruned))
-			}
-			fmt.Println()
-		}
+		fmt.Print(rep.FormatRounds())
 	}
 }
 
-// inspect runs the SD phase only and prints/saves the requested views.
-func inspect(study *casestudy.Study, rc casestudy.RunConfig, dot, sd bool, savePath string) error {
-	set, _, err := casestudy.Collect(study, rc)
+// inspect runs the early pipeline stages only and prints/saves the
+// requested views.
+func inspect(ctx context.Context, pipeline *aid.Pipeline, source aid.TraceSource, dot, sd bool, savePath string) error {
+	traces, err := pipeline.Collect(ctx, source)
 	if err != nil {
 		return err
 	}
 	if savePath != "" {
-		if err := trace.WriteFile(savePath, set); err != nil {
+		if err := aid.WriteTraces(savePath, traces); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "saved %d executions to %s\n", len(set.Executions), savePath)
+		fmt.Fprintf(os.Stderr, "saved %d executions to %s\n", len(traces.Set.Executions), savePath)
 	}
-	corpus := predicate.Extract(set, study.Config())
+	corpus := pipeline.Extract(traces)
+	ranking := pipeline.Rank(corpus)
 	if sd {
 		fmt.Printf("statistical debugging ranking for %s (%d predicates):\n\n",
-			study.Name, len(corpus.Preds))
-		fmt.Print(statdebug.FormatScores(corpus, 40))
+			source.Label(), len(corpus.Preds))
+		fmt.Print(ranking.Format(40))
 		return nil
 	}
 	if dot {
-		fully := statdebug.FullyDiscriminative(corpus)
-		dag, _, err := acdag.Build(corpus, fully, acdag.BuildOptions{})
+		dag, _, err := pipeline.BuildDAG(corpus, ranking.Fully)
 		if err != nil {
 			return err
 		}
 		fmt.Print(dag.Dot())
 	}
 	return nil
-}
-
-func joinIDs(ids []predicate.ID) string {
-	parts := make([]string, len(ids))
-	for i, id := range ids {
-		parts[i] = string(id)
-	}
-	return strings.Join(parts, ", ")
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,9 +20,7 @@ import (
 	"runtime"
 	"time"
 
-	"aid/internal/casestudy"
-	"aid/internal/par"
-	"aid/internal/synthetic"
+	"aid"
 )
 
 // Figure is one benchmarked figure workload: its wall-clock and the
@@ -81,16 +80,17 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		// Record the resolved pool width, not the 0 sentinel, so the
 		// perf record says what actually ran.
-		Workers: par.Workers(*workers),
+		Workers: aid.ResolveWorkers(*workers),
 	}
 
-	for _, s := range casestudy.All() {
-		rc := casestudy.DefaultRunConfig()
-		rc.Successes, rc.Failures = *successes, *failures
-		rc.Workers = *workers
+	pipeline := aid.New(
+		aid.WithCorpusSize(*successes, *failures),
+		aid.WithWorkers(*workers),
+	)
+	for _, s := range aid.CaseStudies() {
 		fmt.Fprintf(os.Stderr, "benchjson: Figure7/%s...\n", s.Name)
 		start := time.Now()
-		rep, err := casestudy.Run(s, rc)
+		rep, err := pipeline.Run(context.Background(), aid.FromStudy(s))
 		if err != nil {
 			fatal(err)
 		}
@@ -107,16 +107,16 @@ func main() {
 		})
 	}
 
-	for _, maxT := range synthetic.Figure8MaxTs {
+	for _, maxT := range aid.Figure8MaxTs() {
 		fmt.Fprintf(os.Stderr, "benchjson: Figure8/MAXt=%d...\n", maxT)
 		start := time.Now()
-		st, err := synthetic.RunSettingOpts(maxT, *instances, 1234,
-			synthetic.SweepOptions{Workers: *workers})
+		st, err := aid.RunSyntheticSweep(context.Background(), maxT, *instances, 1234,
+			aid.SyntheticSweepOptions{Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
 		m := map[string]float64{"avg-preds": st.AvgPreds}
-		for _, ap := range synthetic.Approaches {
+		for _, ap := range aid.Approaches() {
 			c := st.Cells[ap]
 			m[string(ap)+"-avg"] = c.Average
 			m[string(ap)+"-worst"] = float64(c.WorstCase)

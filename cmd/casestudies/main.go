@@ -1,6 +1,7 @@
 // Command casestudies regenerates the paper's Fig. 7: one row per case
 // study with the statistical-debugging predicate count, the causal path
-// length, and the intervention counts for AID versus TAGT.
+// length, and the intervention counts for AID versus TAGT, all via the
+// public aid facade.
 //
 // Usage:
 //
@@ -8,11 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"aid/internal/casestudy"
+	"aid"
 )
 
 func main() {
@@ -25,15 +27,18 @@ func main() {
 	)
 	flag.Parse()
 
-	rc := casestudy.RunConfig{
-		Successes: *successes, Failures: *failures,
-		SeedCap: 20000, ReplaySeeds: *replays, Seed: *seed,
-		Workers: *workers,
-	}
-	var reports []*casestudy.Report
-	for _, s := range casestudy.All() {
+	pipeline := aid.New(
+		aid.WithCorpusSize(*successes, *failures),
+		aid.WithSeedCap(20000),
+		aid.WithReplays(*replays),
+		aid.WithSeed(*seed),
+		aid.WithWorkers(*workers),
+	)
+	ctx := context.Background()
+	var reports []*aid.Report
+	for _, s := range aid.CaseStudies() {
 		fmt.Fprintf(os.Stderr, "running %s...\n", s.Name)
-		rep, err := casestudy.Run(s, rc)
+		rep, err := pipeline.Run(ctx, aid.FromStudy(s))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "casestudies:", err)
 			os.Exit(1)
@@ -42,13 +47,11 @@ func main() {
 	}
 	fmt.Println("Figure 7 — case studies of real-world applications (reproduced):")
 	fmt.Println()
-	fmt.Print(casestudy.FormatFigure7(reports))
+	fmt.Print(aid.FormatFigure7(reports))
 	fmt.Println()
 	fmt.Println("Root causes and explanations:")
 	for _, rep := range reports {
-		fmt.Printf("\n%s (%s): root cause %s\n", rep.Study, rep.Issue, rep.AID.RootCause())
-		for _, line := range rep.Explanation {
-			fmt.Println("  " + line)
-		}
+		fmt.Printf("\n%s (%s): root cause %s\n", rep.Study, rep.Issue, rep.RootCause)
+		fmt.Print(rep.FormatExplanation())
 	}
 }

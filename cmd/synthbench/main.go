@@ -9,12 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"aid/internal/synthetic"
+	"aid"
 )
 
 func main() {
@@ -26,14 +27,14 @@ func main() {
 	)
 	flag.Parse()
 
-	noise := synthetic.Noise{}
+	noise := aid.SyntheticNoise{}
 	if *flaky {
-		noise = synthetic.Noise{Runs: 6, ManifestProb: 0.75, SymptomNoise: 0.2}
+		noise = aid.SyntheticNoise{Runs: 6, ManifestProb: 0.75, SymptomNoise: 0.2}
 	}
-	var settings []*synthetic.Setting
-	for _, maxT := range synthetic.Figure8MaxTs {
-		s, err := synthetic.RunSettingOpts(maxT, *instances, *seed+int64(maxT)*1000003,
-			synthetic.SweepOptions{Noise: noise, Workers: *workers})
+	var settings []*aid.SyntheticSetting
+	for _, maxT := range aid.Figure8MaxTs() {
+		s, err := aid.RunSyntheticSweep(context.Background(), maxT, *instances, *seed+int64(maxT)*1000003,
+			aid.SyntheticSweepOptions{Noise: noise, Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "synthbench:", err)
 			os.Exit(1)
@@ -48,12 +49,12 @@ func main() {
 	fmt.Printf("Figure 8 — synthetic benchmark, %d applications per setting, %s\n\n", *instances, mode)
 
 	fmt.Println("Average #interventions:")
-	printTable(settings, func(c synthetic.Cell) string {
+	printTable(settings, func(c aid.SyntheticCell) string {
 		return fmt.Sprintf("%8.1f", c.Average)
 	})
 	fmt.Println()
 	fmt.Println("Worst-case #interventions:")
-	printTable(settings, func(c synthetic.Cell) string {
+	printTable(settings, func(c aid.SyntheticCell) string {
 		return fmt.Sprintf("%8d", c.WorstCase)
 	})
 	fmt.Println()
@@ -73,7 +74,7 @@ func main() {
 	fmt.Println()
 	if *flaky {
 		fmt.Println("\nMisidentified instances (path deviated from ground truth under noise):")
-		printTable(settings, func(c synthetic.Cell) string {
+		printTable(settings, func(c aid.SyntheticCell) string {
 			for _, s := range settings {
 				if s.MaxT == c.MaxT {
 					return fmt.Sprintf("%8d", s.Misidentified[c.Approach])
@@ -84,14 +85,14 @@ func main() {
 	}
 }
 
-func printTable(settings []*synthetic.Setting, cell func(synthetic.Cell) string) {
+func printTable(settings []*aid.SyntheticSetting, cell func(aid.SyntheticCell) string) {
 	fmt.Printf("%-10s", "MAXt")
 	for _, s := range settings {
 		fmt.Printf("%8d", s.MaxT)
 	}
 	fmt.Println()
 	fmt.Println(strings.Repeat("-", 10+8*len(settings)))
-	for _, ap := range synthetic.Approaches {
+	for _, ap := range aid.Approaches() {
 		fmt.Printf("%-10s", ap)
 		for _, s := range settings {
 			fmt.Print(cell(s.Cells[ap]))

@@ -1,0 +1,51 @@
+package aid_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"aid"
+)
+
+// Example debugs a classic lost-update race end-to-end through the
+// public facade: build a program, point a Pipeline at it, read the
+// causal explanation out of the report.
+func Example() {
+	p := aid.NewProgram("example", "Main")
+	p.Globals["counter"] = 0
+	p.AddFunc("Increment",
+		aid.ReadGlobal{Var: "counter", Dst: "c"},
+		aid.Nop{}, aid.Nop{},
+		aid.Arith{Dst: "c", A: aid.V("c"), Op: aid.OpAdd, B: aid.Lit(1)},
+		aid.WriteGlobal{Var: "counter", Src: aid.V("c")},
+	)
+	p.AddFunc("ReadTotal",
+		aid.ReadGlobal{Var: "counter", Dst: "v"},
+		aid.Return{Val: aid.V("v")},
+	).SideEffectFree = true
+	p.AddFunc("Main",
+		aid.Spawn{Fn: "Increment", Dst: "a"},
+		aid.Spawn{Fn: "Increment", Dst: "b"},
+		aid.Join{Thread: aid.V("a")},
+		aid.Join{Thread: aid.V("b")},
+		aid.Call{Fn: "ReadTotal", Dst: "total"},
+		aid.If{Cond: aid.Cond{A: aid.V("total"), Op: aid.NE, B: aid.Lit(2)},
+			Then: []aid.Op{aid.Throw{Kind: "LostUpdate"}}},
+	)
+
+	pipeline := aid.New(aid.WithCorpusSize(20, 20), aid.WithReplays(3))
+	rep, err := pipeline.Run(context.Background(), aid.FromProgram(p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("root cause:", rep.RootCause)
+	for _, line := range rep.Explanation {
+		fmt.Println(line)
+	}
+	// Output:
+	// root cause: race:Increment|Increment@counter
+	// (1) data race between Increment and Increment on counter
+	// (2) method ReadTotal (call #0) returns incorrect value (correct: 2)
+	// (3) the execution fails
+}

@@ -4,54 +4,52 @@
 // The main thread disposes the consumer after a grace period without
 // waiting for the worker; a transient fault slows message parsing, the
 // commit lands after disposal, and the call on the disposed consumer
-// throws. This example also shows the AC-DAG that AID navigates.
+// throws. This example runs the pipeline stage by stage to show the
+// AC-DAG that AID navigates before letting the full run finish.
 //
 //	go run ./examples/kafka-useafterfree
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"aid/internal/acdag"
-	"aid/internal/casestudy"
-	"aid/internal/predicate"
-	"aid/internal/statdebug"
+	"aid"
 )
 
 func main() {
-	study := casestudy.Kafka()
+	ctx := context.Background()
+	study := aid.CaseStudyByName("kafka")
 	fmt.Printf("application: %s (%s)\n", study.Name, study.Issue)
 	fmt.Printf("bug:         %s\n\n", study.Description)
 
 	// Peek under the hood: collect traces and show what SD and the
 	// AC-DAG builder produce before any intervention happens.
-	rc := casestudy.DefaultRunConfig()
-	set, _, err := casestudy.Collect(study, rc)
+	pipeline := aid.New()
+	source := aid.FromStudy(study)
+	traces, err := pipeline.Collect(ctx, source)
 	if err != nil {
 		log.Fatal(err)
 	}
-	corpus := predicate.Extract(set, study.Config())
-	fully := statdebug.FullyDiscriminative(corpus)
-	dag, report, err := acdag.Build(corpus, fully, acdag.BuildOptions{})
+	corpus := pipeline.Extract(traces)
+	ranking := pipeline.Rank(corpus)
+	dag, report, err := pipeline.BuildDAG(corpus, ranking.Fully)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("predicates: %d extracted, %d fully discriminative\n", len(corpus.Preds), len(fully))
+	fmt.Printf("predicates: %d extracted, %d fully discriminative\n", len(corpus.Preds), len(ranking.Fully))
 	fmt.Printf("AC-DAG: %d safely-intervenable nodes (%d predicates excluded as unsafe)\n",
 		dag.Len(), len(report.Unsafe))
-	roots := dag.Roots()
-	fmt.Printf("AC-DAG roots: %v\n\n", roots)
+	fmt.Printf("AC-DAG roots: %v\n\n", dag.Roots())
 
 	// Now the full pipeline.
-	rep, err := casestudy.Run(study, rc)
+	rep, err := pipeline.Run(ctx, source)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("AID's explanation of the failure:")
-	for _, line := range rep.Explanation {
-		fmt.Println("  " + line)
-	}
+	fmt.Print(rep.FormatExplanation())
 	fmt.Printf("\ninterventions: AID %d vs TAGT %d\n", rep.AIDInterventions, rep.TAGTInterventions)
 	fmt.Println("\nThe explanation matches the issue report: the consumer was")
 	fmt.Println("disposed while a slowed worker was still using it; the commit on")

@@ -5,25 +5,50 @@
 // the pool table one entry short and a later lookup indexes beyond it,
 // crashing the application with IndexOutOfRange. AID pinpoints the race
 // as the root cause and explains how it propagates to the crash — with
-// far fewer interventions than traditional adaptive group testing.
+// far fewer interventions than traditional adaptive group testing. The
+// intervention log streams live through the pipeline's Observer.
 //
 //	go run ./examples/npgsql-datarace
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"aid/internal/casestudy"
+	"aid"
 )
 
 func main() {
-	study := casestudy.Npgsql()
+	study := aid.CaseStudyByName("npgsql")
 	fmt.Printf("application: %s (%s)\n", study.Name, study.Issue)
 	fmt.Printf("bug:         %s\n\n", study.Description)
 
-	rc := casestudy.DefaultRunConfig()
-	rep, err := casestudy.Run(study, rc)
+	// Stream each intervention round as it completes.
+	var roundLines []string
+	observer := aid.ObserverFunc(func(e aid.Event) {
+		switch ev := e.(type) {
+		case aid.RoundDone:
+			line := fmt.Sprintf("round %d (%s): %d predicates forced -> ",
+				ev.Index, ev.Round.Phase, len(ev.Round.Intervened))
+			if ev.Round.Stopped {
+				line += "failure stopped"
+			} else {
+				line += "failure persisted"
+			}
+			if len(ev.Round.Pruned) > 0 {
+				line += fmt.Sprintf("; pruned %d", len(ev.Round.Pruned))
+			}
+			roundLines = append(roundLines, line)
+		case aid.CauseConfirmed:
+			if n := len(roundLines); n > 0 {
+				roundLines[n-1] += fmt.Sprintf("; confirmed cause: %s", ev.ID)
+			}
+		}
+	})
+
+	pipeline := aid.New(aid.WithObserver(observer))
+	rep, err := pipeline.Run(context.Background(), aid.FromStudy(study))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,25 +56,12 @@ func main() {
 	fmt.Printf("statistical debugging found %d fully-discriminative predicates;\n", rep.Discriminative)
 	fmt.Printf("only %d of them form the causal path.\n\n", rep.CausalPathLen)
 	fmt.Println("AID's explanation of the failure:")
-	for _, line := range rep.Explanation {
-		fmt.Println("  " + line)
-	}
+	fmt.Print(rep.FormatExplanation())
 	fmt.Printf("\ninterventions: AID %d vs TAGT %d (worst-case bound %d)\n",
 		rep.AIDInterventions, rep.TAGTInterventions, rep.TAGTWorstCase)
 
 	fmt.Println("\nintervention log:")
-	for i, r := range rep.AID.Rounds {
-		verdict := "failure persisted"
-		if r.Stopped {
-			verdict = "failure stopped"
-		}
-		fmt.Printf("  round %d (%s): %d predicates forced -> %s", i+1, r.Phase, len(r.Intervened), verdict)
-		if r.Confirmed != "" {
-			fmt.Printf("; confirmed cause: %s", r.Confirmed)
-		}
-		if len(r.Pruned) > 0 {
-			fmt.Printf("; pruned %d", len(r.Pruned))
-		}
-		fmt.Println()
+	for _, line := range roundLines {
+		fmt.Println("  " + line)
 	}
 }

@@ -1,78 +1,52 @@
-// Offline debugging: collect traces once, persist the predicate
-// corpus, and analyze it later — the paper's separation of lightweight
-// logging from (re-runnable) analysis, plus the narrative explanation.
+// Offline debugging: collect traces once, persist them as a JSON-lines
+// corpus, and debug later from the file — the paper's separation of
+// lightweight logging from (re-runnable) analysis. The save/load round
+// trip is lossless: the pipeline over the reloaded corpus reproduces
+// the live run's report.
 //
 //	go run ./examples/offline-debug
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
-	"aid/internal/acdag"
-	"aid/internal/casestudy"
-	"aid/internal/core"
-	"aid/internal/explain"
-	"aid/internal/inject"
-	"aid/internal/predicate"
-	"aid/internal/statdebug"
+	"aid"
 )
 
 func main() {
-	study := casestudy.BuildAndTest()
-	rc := casestudy.DefaultRunConfig()
-	rc.Successes, rc.Failures = 30, 30
+	ctx := context.Background()
+	study := aid.CaseStudyByName("buildandtest")
+	pipeline := aid.New(aid.WithCorpusSize(30, 30), aid.WithReplays(4))
 
-	// Phase 1 (on the "test machine"): collect traces, extract the
-	// predicate corpus, persist it.
-	set, failSeeds, err := casestudy.Collect(study, rc)
+	// Phase 1 (on the "test machine"): collect traces and persist them.
+	traces, err := pipeline.Collect(ctx, aid.FromStudy(study))
 	if err != nil {
 		log.Fatal(err)
 	}
-	corpus := predicate.Extract(set, study.Config())
-
 	dir, err := os.MkdirTemp("", "aid-offline")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	corpusPath := filepath.Join(dir, "corpus.json")
-	if err := predicate.WriteCorpusFile(corpusPath, corpus); err != nil {
+	corpusPath := filepath.Join(dir, "traces.jsonl")
+	if err := aid.WriteTraces(corpusPath, traces); err != nil {
 		log.Fatal(err)
 	}
 	info, _ := os.Stat(corpusPath)
-	fmt.Printf("persisted corpus: %d predicates over %d executions (%d bytes)\n",
-		len(corpus.Preds), len(corpus.Logs), info.Size())
+	fmt.Printf("persisted %d executions (%d bytes)\n", len(traces.Set.Executions), info.Size())
 
-	// Phase 2 (on the "debugging machine"): reload the corpus, build
-	// the AC-DAG, and run interventions. Only the intervention phase
-	// needs the application itself.
-	loaded, err := predicate.ReadCorpusFile(corpusPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fully := statdebug.FullyDiscriminative(loaded)
-	dag, _, err := acdag.Build(loaded, fully, acdag.BuildOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	executor := &inject.Executor{
-		Prog: study.Program, Corpus: loaded,
-		Seeds: failSeeds[:4], Cfg: study.Config(),
-		FailureSig: study.FailureSig,
-	}
-	for i := range set.Executions {
-		if !set.Executions[i].Failed() {
-			executor.Baselines = append(executor.Baselines, set.Executions[i])
-		}
-	}
-	res, err := core.Discover(dag, executor, core.AIDOptions(1))
+	// Phase 2 (on the "debugging machine"): reload the corpus and run
+	// the whole pipeline from the file. Only the intervention phase
+	// needs the application itself, re-attached with ForStudy.
+	rep, err := pipeline.Run(ctx, aid.FromTraceFile(corpusPath).ForStudy(study))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println()
-	fmt.Println(explain.Build(loaded, res))
+	fmt.Println(rep.Narrative)
 }

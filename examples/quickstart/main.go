@@ -1,101 +1,88 @@
-// Quickstart: the full AID pipeline on a 40-line buggy program.
+// Quickstart: the full AID pipeline on a 40-line buggy program, driven
+// entirely through the public aid facade.
 //
 // The program has a classic lost-update race: two workers increment a
 // shared counter without a lock, and the application crashes when an
-// update is lost. We collect traces, run statistical debugging, build
-// the approximate causal DAG, and let AID intervene its way to the root
-// cause.
+// update is lost. A Pipeline collects traces, runs statistical
+// debugging, builds the approximate causal DAG, and intervenes its way
+// to the root cause.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"aid/internal/acdag"
-	"aid/internal/core"
-	"aid/internal/inject"
-	"aid/internal/predicate"
-	"aid/internal/sim"
-	"aid/internal/statdebug"
-	"aid/internal/trace"
+	"aid"
 )
 
-func buggyProgram() *sim.Program {
-	p := sim.NewProgram("quickstart", "Main")
+func buggyProgram() *aid.Program {
+	p := aid.NewProgram("quickstart", "Main")
 	p.Globals["counter"] = 0
 
 	// Unprotected read-modify-write: the race window.
 	p.AddFunc("Increment",
-		sim.ReadGlobal{Var: "counter", Dst: "c"},
-		sim.Nop{}, sim.Nop{},
-		sim.Arith{Dst: "c", A: sim.V("c"), Op: sim.OpAdd, B: sim.Lit(1)},
-		sim.WriteGlobal{Var: "counter", Src: sim.V("c")},
+		aid.ReadGlobal{Var: "counter", Dst: "c"},
+		aid.Nop{}, aid.Nop{},
+		aid.Arith{Dst: "c", A: aid.V("c"), Op: aid.OpAdd, B: aid.Lit(1)},
+		aid.WriteGlobal{Var: "counter", Src: aid.V("c")},
 	)
 	p.AddFunc("ReadTotal",
-		sim.ReadGlobal{Var: "counter", Dst: "v"},
-		sim.Return{Val: sim.V("v")},
+		aid.ReadGlobal{Var: "counter", Dst: "v"},
+		aid.Return{Val: aid.V("v")},
 	).SideEffectFree = true
 	p.AddFunc("Main",
-		sim.Spawn{Fn: "Increment", Dst: "a"},
-		sim.Spawn{Fn: "Increment", Dst: "b"},
-		sim.Join{Thread: sim.V("a")},
-		sim.Join{Thread: sim.V("b")},
-		sim.Call{Fn: "ReadTotal", Dst: "total"},
-		sim.If{Cond: sim.Cond{A: sim.V("total"), Op: sim.NE, B: sim.Lit(2)},
-			Then: []sim.Op{sim.Throw{Kind: "LostUpdate"}}},
+		aid.Spawn{Fn: "Increment", Dst: "a"},
+		aid.Spawn{Fn: "Increment", Dst: "b"},
+		aid.Join{Thread: aid.V("a")},
+		aid.Join{Thread: aid.V("b")},
+		aid.Call{Fn: "ReadTotal", Dst: "total"},
+		aid.If{Cond: aid.Cond{A: aid.V("total"), Op: aid.NE, B: aid.Lit(2)},
+			Then: []aid.Op{aid.Throw{Kind: "LostUpdate"}}},
 	)
 	return p
 }
 
 func main() {
-	prog := buggyProgram()
+	ctx := context.Background()
 
-	// 1. Collect traces from many executions; the failure is
-	//    intermittent — only some schedules interleave the race windows.
-	set := &trace.Set{}
-	var failSeeds []int64
-	for seed := int64(1); seed <= 200; seed++ {
-		exec := sim.MustRun(prog, seed, sim.RunOptions{})
-		set.Executions = append(set.Executions, exec)
-		if exec.Failed() {
-			failSeeds = append(failSeeds, seed)
-		}
+	// One pipeline, stage by stage. The failure is intermittent — only
+	// some schedules interleave the race windows — so collection sweeps
+	// seeds until the corpus quotas are met.
+	pipeline := aid.New(
+		aid.WithCorpusSize(50, 50),
+		aid.WithReplays(4),
+	)
+	source := aid.FromProgram(buggyProgram())
+
+	// 1. Collect traces from many executions.
+	traces, err := pipeline.Collect(ctx, source)
+	if err != nil {
+		log.Fatal(err)
 	}
-	succ, fail := set.Counts()
+	succ, fail := traces.Set.Counts()
 	fmt.Printf("collected %d successes, %d failures\n", succ, fail)
 
 	// 2. Statistical debugging: extract predicates, keep the fully
 	//    discriminative ones.
-	cfg := predicate.Config{
-		SideEffectFree: func(m string) bool { return m == "ReadTotal" },
-		DurationMargin: 4,
-	}
-	corpus := predicate.Extract(set, cfg)
-	fully := statdebug.FullyDiscriminative(corpus)
-	fmt.Printf("fully discriminative predicates: %d\n", len(fully))
-	for _, id := range fully {
+	corpus := pipeline.Extract(traces)
+	ranking := pipeline.Rank(corpus)
+	fmt.Printf("fully discriminative predicates: %d\n", len(ranking.Fully))
+	for _, id := range ranking.Fully {
 		fmt.Printf("  %s\n", corpus.Pred(id))
 	}
 
 	// 3. Approximate causal DAG from temporal precedence.
-	dag, _, err := acdag.Build(corpus, fully, acdag.BuildOptions{})
+	dag, _, err := pipeline.BuildDAG(corpus, ranking.Fully)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 4. Causality-guided interventions: re-execute with fault
 	//    injection until the root cause is isolated.
-	executor := &inject.Executor{
-		Prog: prog, Corpus: corpus, Seeds: failSeeds[:4], Cfg: cfg,
-	}
-	for i := range set.Executions {
-		if !set.Executions[i].Failed() {
-			executor.Baselines = append(executor.Baselines, set.Executions[i])
-		}
-	}
-	res, err := core.Discover(dag, executor, core.AIDOptions(1))
+	res, err := pipeline.Discover(ctx, traces, corpus, dag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,5 +93,5 @@ func main() {
 		fmt.Printf("  (%d) %s\n", i+1, corpus.Pred(id))
 	}
 	fmt.Printf("interventions used: %d (vs %d predicates to test naively)\n",
-		res.Interventions(), len(fully))
+		res.Interventions(), len(ranking.Fully))
 }

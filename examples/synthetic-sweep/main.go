@@ -1,21 +1,25 @@
 // Synthetic-benchmark walkthrough (§7.2): generate applications with
 // known root causes, run all four approaches on each, and verify that
 // every approach recovers the planted causal path — differing only in
-// how many interventions it needs.
+// how many interventions it needs. Driven through the facade's
+// synthetic re-exports.
 //
 //	go run ./examples/synthetic-sweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"aid/internal/synthetic"
+	"aid"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// One instance in detail.
-	inst, err := synthetic.Generate(synthetic.Params{MaxThreads: 6, Seed: 7, LateSymptoms: 2})
+	inst, err := aid.GenerateSynthetic(aid.SyntheticParams{MaxThreads: 6, Seed: 7, LateSymptoms: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,8 +28,8 @@ func main() {
 		inst.N, inst.Junctions, inst.Branches)
 	fmt.Printf("planted causal path (%d predicates): %v\n\n", inst.D, w.Path)
 
-	for _, ap := range synthetic.Approaches {
-		n, err := synthetic.RunInstance(inst, ap, 1)
+	for _, ap := range aid.Approaches() {
+		n, err := aid.RunSyntheticInstance(ctx, inst, ap, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,14 +41,14 @@ func main() {
 	fmt.Println("\nmini Fig. 8 sweep (25 instances per MAXt):")
 	fmt.Printf("%-10s %8s %8s %8s %8s\n", "MAXt", "TAGT", "AID-P-B", "AID-P", "AID")
 	for _, maxT := range []int{2, 10, 18} {
-		s, err := synthetic.RunSetting(maxT, 25, 99)
+		s, err := aid.RunSyntheticSetting(ctx, maxT, 25, 99)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10d %8.1f %8.1f %8.1f %8.1f\n", maxT,
-			s.Cells[synthetic.TAGT].Average,
-			s.Cells[synthetic.AIDPB].Average,
-			s.Cells[synthetic.AIDP].Average,
-			s.Cells[synthetic.AID].Average)
+			s.Cells[aid.ApproachTAGT].Average,
+			s.Cells[aid.ApproachAIDPB].Average,
+			s.Cells[aid.ApproachAIDP].Average,
+			s.Cells[aid.ApproachAID].Average)
 	}
 }

@@ -1,0 +1,189 @@
+package aid
+
+import (
+	"aid/internal/acdag"
+	"aid/internal/casestudy"
+	"aid/internal/core"
+	"aid/internal/par"
+	"aid/internal/predicate"
+	"aid/internal/sim"
+	"aid/internal/trace"
+)
+
+// This file re-exports the vocabulary of the internal packages that the
+// public pipeline API speaks: simulated programs (the substrate AID
+// debugs), execution traces, predicates, the AC-DAG, and discovery
+// results. The aliases make the root package a self-sufficient facade —
+// cmd/ and examples/ import only "aid" — while the algorithms stay in
+// internal/ where their invariants are protected.
+
+// ---- Simulated programs (package sim) ----
+
+// Program is a complete simulated application: shared state plus
+// functions, with Entry as the main thread's body.
+type Program = sim.Program
+
+// ProgramFunc is a named function of a simulated program.
+type ProgramFunc = sim.Func
+
+// Op is one program operation; every Op boundary is a potential
+// preemption point of the seeded scheduler.
+type Op = sim.Op
+
+// Expr is a value source: an integer literal or a thread-local variable.
+type Expr = sim.Expr
+
+// Cond is a binary comparison between two expressions.
+type Cond = sim.Cond
+
+// CmpOp is a comparison operator for conditions.
+type CmpOp = sim.CmpOp
+
+// ArithOp is an arithmetic operator for local computation.
+type ArithOp = sim.ArithOp
+
+// Comparison operators.
+const (
+	EQ = sim.EQ
+	NE = sim.NE
+	LT = sim.LT
+	LE = sim.LE
+	GT = sim.GT
+	GE = sim.GE
+)
+
+// Arithmetic operators.
+const (
+	OpAdd = sim.OpAdd
+	OpSub = sim.OpSub
+	OpMul = sim.OpMul
+	OpDiv = sim.OpDiv
+	OpMod = sim.OpMod
+)
+
+// The operation vocabulary for building simulated programs; see the
+// sim package docs for each operation's semantics.
+type (
+	// Assign sets a local variable from an expression.
+	Assign = sim.Assign
+	// Arith computes Dst = A (op) B over locals/literals.
+	Arith = sim.Arith
+	// ReadGlobal loads a shared variable into a local (a traced read).
+	ReadGlobal = sim.ReadGlobal
+	// WriteGlobal stores into a shared variable (a traced write).
+	WriteGlobal = sim.WriteGlobal
+	// ArrayRead loads Arr[Index] into Dst.
+	ArrayRead = sim.ArrayRead
+	// ArrayWrite stores Src into Arr[Index].
+	ArrayWrite = sim.ArrayWrite
+	// ArrayLen loads the current length of Arr into Dst.
+	ArrayLen = sim.ArrayLen
+	// ArrayResize grows or shrinks Arr to the given length.
+	ArrayResize = sim.ArrayResize
+	// Lock acquires a named mutex, blocking until available.
+	Lock = sim.Lock
+	// Unlock releases a named mutex.
+	Unlock = sim.Unlock
+	// Sleep blocks the thread for Ticks scheduler ticks.
+	Sleep = sim.Sleep
+	// WaitUntil blocks until the shared variable equals the value.
+	WaitUntil = sim.WaitUntil
+	// Call invokes a function; its return value lands in Dst.
+	Call = sim.Call
+	// Return completes the enclosing function with a value.
+	Return = sim.Return
+	// ReturnVoid completes the enclosing function with no value.
+	ReturnVoid = sim.ReturnVoid
+	// Throw raises an exception of the given kind.
+	Throw = sim.Throw
+	// Try runs Body with a handler for CatchKind exceptions.
+	Try = sim.Try
+	// If branches on a condition over locals.
+	If = sim.If
+	// While loops over Body while the condition holds.
+	While = sim.While
+	// Spawn starts a new thread running Fn.
+	Spawn = sim.Spawn
+	// Join blocks until the given thread finishes.
+	Join = sim.Join
+	// Random stores a uniform value in [0, N) into Dst.
+	Random = sim.Random
+	// ReadClock stores the current scheduler tick into Dst.
+	ReadClock = sim.ReadClock
+	// Fail marks the execution as failed with the given signature.
+	Fail = sim.Fail
+	// Nop consumes a scheduler step without effect.
+	Nop = sim.Nop
+)
+
+// NewProgram returns an empty program with the given entry function.
+func NewProgram(name, entry string) *Program { return sim.NewProgram(name, entry) }
+
+// Lit returns a literal expression.
+func Lit(v int64) Expr { return sim.Lit(v) }
+
+// V returns a local-variable expression.
+func V(name string) Expr { return sim.V(name) }
+
+// ---- Execution traces (package trace) ----
+
+// TraceSet is a corpus of executions of one application with one input.
+type TraceSet = trace.Set
+
+// Execution is one complete run: an outcome plus method-call spans.
+type Execution = trace.Execution
+
+// Time is a logical timestamp: a tick of the scheduler clock.
+type Time = trace.Time
+
+// ---- Predicates (package predicate) ----
+
+// PredicateID names one predicate instance ("race:Incr#0/Incr#1", ...).
+type PredicateID = predicate.ID
+
+// Predicate is one predicate of the extraction vocabulary.
+type Predicate = predicate.Predicate
+
+// Corpus is the predicate logs over a trace corpus — the input to
+// statistical debugging and the AC-DAG builder.
+type Corpus = predicate.Corpus
+
+// ExtractConfig controls predicate extraction (safety oracle, duration
+// significance margin, order-pair cap).
+type ExtractConfig = predicate.Config
+
+// FailureID is the distinguished failure predicate F.
+const FailureID = predicate.FailureID
+
+// ---- AC-DAG and discovery (packages acdag, core) ----
+
+// DAG is the approximate causal DAG (AC-DAG) of §4: nodes are
+// predicates, edges are consistent temporal precedence.
+type DAG = acdag.DAG
+
+// DAGReport records what AC-DAG construction excluded and why.
+type DAGReport = acdag.BuildReport
+
+// Result is the outcome of causal path discovery: the causal path
+// ending at F, the spurious predicates, and the intervention log.
+type Result = core.Result
+
+// Round records one group intervention.
+type Round = core.Round
+
+// ---- Case studies (package casestudy) ----
+
+// CaseStudy is one of the paper's six real-world case studies, modeled
+// on the simulator substrate.
+type CaseStudy = casestudy.Study
+
+// CaseStudies returns the six case studies in the paper's order.
+func CaseStudies() []*CaseStudy { return casestudy.All() }
+
+// CaseStudyByName returns the named study ("npgsql", "kafka",
+// "cosmosdb", "network", "buildandtest", "healthtelemetry") or nil.
+func CaseStudyByName(name string) *CaseStudy { return casestudy.ByName(name) }
+
+// ResolveWorkers resolves a worker-count option the way every pool in
+// the system does: values <= 0 mean GOMAXPROCS.
+func ResolveWorkers(n int) int { return par.Workers(n) }

@@ -1,6 +1,7 @@
 package casestudy
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -82,7 +83,7 @@ func TestCompoundRootCauseDiscovery(t *testing.T) {
 		Successes: 40, Failures: 30, SeedCap: 4000,
 		ReplaySeeds: 5, Seed: 1, Compounds: 10,
 	}
-	rep, err := Run(s, rc)
+	rep, err := Run(context.Background(), s, rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestCompoundDisabledFindsClosestSinglePredicate(t *testing.T) {
 		Successes: 40, Failures: 30, SeedCap: 4000,
 		ReplaySeeds: 5, Seed: 1,
 	}
-	rep, err := Run(s, rc)
+	rep, err := Run(context.Background(), s, rc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package casestudy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,23 +40,23 @@ func DiscoverSignatures(s *Study, seeds int) []string {
 // RunSignature runs the full pipeline against one failure signature:
 // failures with other signatures are excluded from the corpus, so the
 // single-root-cause assumption holds within the group.
-func RunSignature(s *Study, sig string, rc RunConfig) (*Report, error) {
+func RunSignature(ctx context.Context, s *Study, sig string, rc RunConfig) (*Report, error) {
 	scoped := *s
 	scoped.FailureSig = sig
-	return Run(&scoped, rc)
+	return Run(ctx, &scoped, rc)
 }
 
 // RunAllSignatures debugs every failure signature of a multi-bug
 // application, returning one report per signature in DiscoverSignatures
 // order.
-func RunAllSignatures(s *Study, rc RunConfig) (map[string]*Report, error) {
+func RunAllSignatures(ctx context.Context, s *Study, rc RunConfig) (map[string]*Report, error) {
 	sigs := DiscoverSignatures(s, rc.SeedCap/4)
 	if len(sigs) == 0 {
 		return nil, fmt.Errorf("casestudy %s: no failures observed", s.Name)
 	}
 	out := make(map[string]*Report, len(sigs))
 	for _, sig := range sigs {
-		rep, err := RunSignature(s, sig, rc)
+		rep, err := RunSignature(ctx, s, sig, rc)
 		if err != nil {
 			return nil, fmt.Errorf("signature %q: %w", sig, err)
 		}

@@ -1,6 +1,7 @@
 package casestudy
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -100,7 +101,7 @@ func TestMultiBugPerSignatureRootCauses(t *testing.T) {
 	}
 	s := twoBugStudy()
 	rc := RunConfig{Successes: 30, Failures: 25, SeedCap: 8000, ReplaySeeds: 5, Seed: 1}
-	reports, err := RunAllSignatures(s, rc)
+	reports, err := RunAllSignatures(context.Background(), s, rc)
 	if err != nil {
 		t.Fatal(err)
 	}

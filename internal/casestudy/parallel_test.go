@@ -1,6 +1,7 @@
 package casestudy
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -16,13 +17,13 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	rc.ReplaySeeds = 3
 
 	rc.Workers = 1
-	seq, err := Run(s, rc)
+	seq, err := Run(context.Background(), s, rc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{3, 8} {
 		rc.Workers = workers
-		par, err := Run(s, rc)
+		par, err := Run(context.Background(), s, rc)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -52,12 +53,12 @@ func TestCollectDeterministicAcrossWorkers(t *testing.T) {
 	rc.Successes, rc.Failures = 15, 15
 
 	rc.Workers = 1
-	seqSet, seqSeeds, err := Collect(s, rc)
+	seqSet, seqSeeds, err := Collect(context.Background(), s, rc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rc.Workers = 7
-	parSet, parSeeds, err := Collect(s, rc)
+	parSet, parSeeds, err := Collect(context.Background(), s, rc)
 	if err != nil {
 		t.Fatal(err)
 	}

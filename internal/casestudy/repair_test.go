@@ -1,6 +1,7 @@
 package casestudy
 
 import (
+	"context"
 	"testing"
 
 	"aid/internal/inject"
@@ -23,13 +24,13 @@ func TestRootCausePathRepairsEveryFailingSeed(t *testing.T) {
 		t.Run(s.Name, func(t *testing.T) {
 			rc := DefaultRunConfig()
 			rc.Successes, rc.Failures = 25, 25
-			set, failSeeds, err := Collect(s, rc)
+			set, failSeeds, err := Collect(context.Background(), s, rc)
 			if err != nil {
 				t.Fatal(err)
 			}
 			cfg := s.Config()
 			corpus := predicate.Extract(set, cfg)
-			rep, err := Run(s, rc)
+			rep, err := Run(context.Background(), s, rc)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,13 +66,13 @@ func TestSpuriousPredicatesDoNotRepair(t *testing.T) {
 		t.Run(s.Name, func(t *testing.T) {
 			rc := DefaultRunConfig()
 			rc.Successes, rc.Failures = 25, 25
-			set, failSeeds, err := Collect(s, rc)
+			set, failSeeds, err := Collect(context.Background(), s, rc)
 			if err != nil {
 				t.Fatal(err)
 			}
 			cfg := s.Config()
 			corpus := predicate.Extract(set, cfg)
-			rep, err := Run(s, rc)
+			rep, err := Run(context.Background(), s, rc)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +125,7 @@ func TestStudyPredicateInventories(t *testing.T) {
 		t.Run(s.Name, func(t *testing.T) {
 			rc := DefaultRunConfig()
 			rc.Successes, rc.Failures = 20, 20
-			set, _, err := Collect(s, rc)
+			set, _, err := Collect(context.Background(), s, rc)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -171,7 +172,7 @@ func TestRunVariants(t *testing.T) {
 		rc := DefaultRunConfig()
 		rc.Successes, rc.Failures = 25, 25
 		rc.Variant = v
-		rep, err := Run(s, rc)
+		rep, err := Run(context.Background(), s, rc)
 		if err != nil {
 			t.Fatalf("variant %s: %v", v, err)
 		}
@@ -185,7 +186,7 @@ func TestRunVariants(t *testing.T) {
 	}
 	rc := DefaultRunConfig()
 	rc.Variant = "bogus"
-	if _, err := Run(s, rc); err == nil {
+	if _, err := Run(context.Background(), s, rc); err == nil {
 		t.Fatal("unknown variant accepted")
 	}
 }
@@ -193,7 +194,7 @@ func TestRunVariants(t *testing.T) {
 func TestCollectErrorsWhenTargetsUnreachable(t *testing.T) {
 	s := Npgsql()
 	rc := RunConfig{Successes: 10, Failures: 10, SeedCap: 3}
-	if _, _, err := Collect(s, rc); err == nil {
+	if _, _, err := Collect(context.Background(), s, rc); err == nil {
 		t.Fatal("Collect with tiny seed cap should fail")
 	}
 }

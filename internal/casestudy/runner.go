@@ -14,6 +14,7 @@
 package casestudy
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -83,19 +84,32 @@ type RunConfig struct {
 	// intervention replay; <= 0 means GOMAXPROCS. Any width produces
 	// bit-identical reports (see internal/par's determinism contract).
 	Workers int
+	// OnCollect, when non-nil, is invoked after every collection chunk
+	// with the running totals (observer hook; must not mutate state).
+	OnCollect func(succ, fail int, seedsSwept int64)
+	// OnRound and OnConfirm are forwarded to core.Options (observer
+	// hooks for the intervention phase).
+	OnRound   func(r core.Round)
+	OnConfirm func(id predicate.ID)
 }
 
-func (rc RunConfig) options() (core.Options, error) {
+// Options resolves the variant selection into core.Options, carrying
+// the observer hooks along.
+func (rc RunConfig) Options() (core.Options, error) {
+	var opts core.Options
 	switch rc.Variant {
 	case "", "aid":
-		return core.AIDOptions(rc.Seed), nil
+		opts = core.AIDOptions(rc.Seed)
 	case "aid-p":
-		return core.AIDPOptions(rc.Seed), nil
+		opts = core.AIDPOptions(rc.Seed)
 	case "aid-p-b":
-		return core.AIDPBOptions(rc.Seed), nil
+		opts = core.AIDPBOptions(rc.Seed)
 	default:
 		return core.Options{}, fmt.Errorf("casestudy: unknown variant %q", rc.Variant)
 	}
+	opts.OnRound = rc.OnRound
+	opts.OnConfirm = rc.OnConfirm
+	return opts, nil
 }
 
 // DefaultRunConfig mirrors the paper's 50+50 corpus with modest replay.
@@ -154,7 +168,12 @@ const collectChunk = 16
 // sequential sweep, so the collected corpus is bit-identical for any
 // worker count. The sweep cuts off at the first chunk that fills both
 // quotas (at most one chunk of executions is wasted).
-func Collect(s *Study, rc RunConfig) (*trace.Set, []int64, error) {
+//
+// An empty Study.FailureSig accepts failures of any signature (used by
+// ad-hoc programs behind the public facade; the built-in studies all
+// pin a signature). Cancelling ctx aborts the sweep within one
+// task-drain with ctx's error.
+func Collect(ctx context.Context, s *Study, rc RunConfig) (*trace.Set, []int64, error) {
 	set := &trace.Set{}
 	var failSeeds []int64
 	succ, fail := 0, 0
@@ -172,7 +191,7 @@ func Collect(s *Study, rc RunConfig) (*trace.Set, []int64, error) {
 		for seed := base; seed <= hi; seed++ {
 			seeds = append(seeds, seed)
 		}
-		execs, err := sim.RunBatch(s.Program, seeds, sim.BatchOptions{
+		execs, err := sim.RunBatch(ctx, s.Program, seeds, sim.BatchOptions{
 			Run:     sim.RunOptions{MaxSteps: s.MaxSteps},
 			Workers: rc.Workers,
 		})
@@ -184,7 +203,7 @@ func Collect(s *Study, rc RunConfig) (*trace.Set, []int64, error) {
 				break
 			}
 			if exec.Failed() {
-				if exec.FailureSig != s.FailureSig || fail >= rc.Failures {
+				if (s.FailureSig != "" && exec.FailureSig != s.FailureSig) || fail >= rc.Failures {
 					continue
 				}
 				fail++
@@ -197,6 +216,9 @@ func Collect(s *Study, rc RunConfig) (*trace.Set, []int64, error) {
 			}
 			set.Executions = append(set.Executions, exec)
 		}
+		if rc.OnCollect != nil {
+			rc.OnCollect(succ, fail, hi)
+		}
 	}
 	if succ < rc.Successes || fail < rc.Failures {
 		return nil, nil, fmt.Errorf("casestudy %s: collected %d successes / %d failures within %d seeds (want %d/%d)",
@@ -205,9 +227,10 @@ func Collect(s *Study, rc RunConfig) (*trace.Set, []int64, error) {
 	return set, failSeeds, nil
 }
 
-// Run executes the full pipeline for one study.
-func Run(s *Study, rc RunConfig) (*Report, error) {
-	set, failSeeds, err := Collect(s, rc)
+// Run executes the full pipeline for one study. Cancelling ctx aborts
+// collection and intervention sweeps promptly with ctx's error.
+func Run(ctx context.Context, s *Study, rc RunConfig) (*Report, error) {
+	set, failSeeds, err := Collect(ctx, s, rc)
 	if err != nil {
 		return nil, err
 	}
@@ -237,11 +260,11 @@ func Run(s *Study, rc RunConfig) (*Report, error) {
 		Workers:    rc.Workers,
 	}
 
-	opts, err := rc.options()
+	opts, err := rc.Options()
 	if err != nil {
 		return nil, err
 	}
-	aidRes, err := core.Discover(dag, exec, opts)
+	aidRes, err := core.Discover(ctx, dag, exec, opts)
 	if err != nil {
 		return nil, fmt.Errorf("casestudy %s: AID: %w", s.Name, err)
 	}
@@ -260,7 +283,7 @@ func Run(s *Study, rc RunConfig) (*Report, error) {
 		}
 	}
 	oracle := func(group []predicate.ID) (bool, error) {
-		obs, err := exec.Intervene(group)
+		obs, err := exec.Intervene(ctx, group)
 		if err != nil {
 			return false, err
 		}
@@ -350,7 +373,7 @@ func failureRate(s *Study, n int) float64 {
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
 	}
-	execs, err := sim.RunBatch(s.Program, seeds, sim.BatchOptions{
+	execs, err := sim.RunBatch(context.Background(), s.Program, seeds, sim.BatchOptions{
 		Run: sim.RunOptions{MaxSteps: s.MaxSteps},
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package casestudy
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -37,7 +38,7 @@ func TestFullPipeline(t *testing.T) {
 		t.Run(s.Name, func(t *testing.T) {
 			rc := DefaultRunConfig()
 			rc.Successes, rc.Failures = 30, 30
-			rep, err := Run(s, rc)
+			rep, err := Run(context.Background(), s, rc)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"aid/internal/acdag"
@@ -14,7 +15,7 @@ func BenchmarkDiscoverPaperWorld(b *testing.B) {
 	var last *Result
 	for i := 0; i < b.N; i++ {
 		d, w := benchPaperWorld(b)
-		res, err := Discover(d, w, AIDOptions(int64(i)))
+		res, err := Discover(context.Background(), d, w, AIDOptions(int64(i)))
 		if err != nil {
 			b.Fatal(err)
 		}

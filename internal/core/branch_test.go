@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -69,7 +70,7 @@ func symmetricFixture(t *testing.T, j, b, n int, causalBranch int) (*acdag.DAG, 
 func TestBranchPruningOnWideJunctions(t *testing.T) {
 	for _, b := range []int{2, 4, 8} {
 		dag, w, want := symmetricFixture(t, 2, b, 3, b-1)
-		res, err := Discover(dag, w, AIDOptions(1))
+		res, err := Discover(context.Background(), dag, w, AIDOptions(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func TestBranchPruningOnWideJunctions(t *testing.T) {
 			t.Fatalf("B=%d: path = %v, want %v", b, res.Path, want)
 		}
 		dag2, w2, _ := symmetricFixture(t, 2, b, 3, b-1)
-		noBranch, err := Discover(dag2, w2, Options{PredicatePruning: true, Seed: 1})
+		noBranch, err := Discover(context.Background(), dag2, w2, Options{PredicatePruning: true, Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +116,7 @@ func TestJunctionWithNoCausalBranch(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := &truthWorld{parent: parent, last: "C1"}
-	res, err := Discover(dag, w, AIDOptions(5))
+	res, err := Discover(context.Background(), dag, w, AIDOptions(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestJunctionWithNoCausalBranch(t *testing.T) {
 
 func TestPruningStats(t *testing.T) {
 	d, w := paperWorld(t)
-	res, err := Discover(d, w, AIDOptions(1))
+	res, err := Discover(context.Background(), d, w, AIDOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -33,17 +34,18 @@ type Observation struct {
 // forced to their values in successful executions ("repaired"). Because
 // of runtime nondeterminism an intervener may execute several runs per
 // round and return one Observation each; a single counter-example run
-// suffices for pruning (§5.3, footnote 1).
+// suffices for pruning (§5.3, footnote 1). Implementations should honor
+// ctx and return its error promptly when cancelled.
 type Intervener interface {
-	Intervene(preds []predicate.ID) ([]Observation, error)
+	Intervene(ctx context.Context, preds []predicate.ID) ([]Observation, error)
 }
 
 // IntervenerFunc adapts a function to the Intervener interface.
-type IntervenerFunc func(preds []predicate.ID) ([]Observation, error)
+type IntervenerFunc func(ctx context.Context, preds []predicate.ID) ([]Observation, error)
 
 // Intervene calls f.
-func (f IntervenerFunc) Intervene(preds []predicate.ID) ([]Observation, error) {
-	return f(preds)
+func (f IntervenerFunc) Intervene(ctx context.Context, preds []predicate.ID) ([]Observation, error) {
+	return f(ctx, preds)
 }
 
 // Options selects the AID variant.
@@ -57,6 +59,14 @@ type Options struct {
 	// Seed drives tie resolution in topological grouping and the random
 	// branch choice at junctions.
 	Seed int64
+	// OnRound, when non-nil, is invoked after each intervention round's
+	// pruning has been applied (the Round's Confirmed field may still be
+	// filled in afterwards; see OnConfirm). Purely observational: it
+	// must not mutate the discovery state.
+	OnRound func(r Round)
+	// OnConfirm, when non-nil, is invoked when a predicate is confirmed
+	// causal.
+	OnConfirm func(id predicate.ID)
 }
 
 // AIDOptions is the full algorithm (both prunings on).
@@ -141,6 +151,7 @@ func (r *Result) PruningStats() (s1, s2 float64) {
 
 // discoverer carries the shared state of one discovery run.
 type discoverer struct {
+	ctx   context.Context
 	dag   *acdag.DAG
 	iv    Intervener
 	opts  Options
@@ -152,11 +163,14 @@ type discoverer struct {
 }
 
 // Discover runs causal path discovery (Algorithm 3) on the AC-DAG.
-func Discover(dag *acdag.DAG, iv Intervener, opts Options) (*Result, error) {
+// Cancelling ctx aborts the run before the next intervention round (and
+// mid-round, through the Intervener) with ctx's error.
+func Discover(ctx context.Context, dag *acdag.DAG, iv Intervener, opts Options) (*Result, error) {
 	if !dag.Has(predicate.FailureID) {
 		return nil, fmt.Errorf("core: AC-DAG lacks the failure predicate")
 	}
 	d := &discoverer{
+		ctx:   ctx,
 		dag:   dag,
 		iv:    iv,
 		opts:  opts,
@@ -224,7 +238,10 @@ func (d *discoverer) topoSorted(set map[predicate.ID]bool) []predicate.ID {
 // intervene performs one group-intervention round and applies both
 // pruning rules; it returns whether the failure stopped.
 func (d *discoverer) intervene(preds []predicate.ID, phase string) (bool, error) {
-	obs, err := d.iv.Intervene(preds)
+	if err := d.ctx.Err(); err != nil {
+		return false, err
+	}
+	obs, err := d.iv.Intervene(d.ctx, preds)
 	if err != nil {
 		return false, fmt.Errorf("core: intervention on %v: %w", preds, err)
 	}
@@ -285,6 +302,9 @@ func (d *discoverer) intervene(preds []predicate.ID, phase string) (bool, error)
 		}
 	}
 	d.log = append(d.log, round)
+	if d.opts.OnRound != nil {
+		d.opts.OnRound(round)
+	}
 	return stopped, nil
 }
 
@@ -298,6 +318,9 @@ func (d *discoverer) markCause(p predicate.ID) {
 	d.cause[p] = true
 	if n := len(d.log); n > 0 && d.log[n-1].Confirmed == "" {
 		d.log[n-1].Confirmed = p
+	}
+	if d.opts.OnConfirm != nil {
+		d.opts.OnConfirm(p)
 	}
 }
 

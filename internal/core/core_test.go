@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sort"
@@ -20,7 +21,7 @@ type truthWorld struct {
 	calls  int
 }
 
-func (w *truthWorld) Intervene(preds []predicate.ID) ([]Observation, error) {
+func (w *truthWorld) Intervene(_ context.Context, preds []predicate.ID) ([]Observation, error) {
 	w.calls++
 	forced := make(map[predicate.ID]bool, len(preds))
 	for _, p := range preds {
@@ -88,7 +89,7 @@ func wantPath() []predicate.ID {
 
 func TestIllustrativeExampleAID(t *testing.T) {
 	d, w := paperWorld(t)
-	res, err := Discover(d, w, AIDOptions(1))
+	res, err := Discover(context.Background(), d, w, AIDOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestIllustrativeExampleVariantsAgreeOnPath(t *testing.T) {
 		"AID-P-B": AIDPBOptions(7),
 	} {
 		d, w := paperWorld(t)
-		res, err := Discover(d, w, opts)
+		res, err := Discover(context.Background(), d, w, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -136,19 +137,19 @@ func TestVariantOrdering(t *testing.T) {
 	var sumAID, sumP, sumPB int
 	for seed := int64(0); seed < 20; seed++ {
 		d, w := paperWorld(t)
-		r1, err := Discover(d, w, AIDOptions(seed))
+		r1, err := Discover(context.Background(), d, w, AIDOptions(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
 		sumAID += r1.Interventions()
 		d, w = paperWorld(t)
-		r2, err := Discover(d, w, AIDPOptions(seed))
+		r2, err := Discover(context.Background(), d, w, AIDPOptions(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
 		sumP += r2.Interventions()
 		d, w = paperWorld(t)
-		r3, err := Discover(d, w, AIDPBOptions(seed))
+		r3, err := Discover(context.Background(), d, w, AIDPBOptions(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func TestVariantOrdering(t *testing.T) {
 
 func TestRoundsLogIsConsistent(t *testing.T) {
 	d, w := paperWorld(t)
-	res, err := Discover(d, w, AIDOptions(3))
+	res, err := Discover(context.Background(), d, w, AIDOptions(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestChainOnlyDAG(t *testing.T) {
 		parent: map[predicate.ID]predicate.ID{"A": "", "B": "", "C": ""},
 		last:   "B",
 	}
-	res, err := Discover(d, w, AIDOptions(1))
+	res, err := Discover(context.Background(), d, w, AIDOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestUnreachablePredicatesPrePruned(t *testing.T) {
 		parent: map[predicate.ID]predicate.ID{"A": "", "Z": ""},
 		last:   "A",
 	}
-	res, err := Discover(d, w, AIDOptions(1))
+	res, err := Discover(context.Background(), d, w, AIDOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestDiscoverErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Discover(d, IntervenerFunc(func([]predicate.ID) ([]Observation, error) {
+	if _, err := Discover(context.Background(), d, IntervenerFunc(func(context.Context, []predicate.ID) ([]Observation, error) {
 		return nil, nil
 	}), AIDOptions(1)); err == nil {
 		t.Fatal("DAG without F accepted")
@@ -270,12 +271,12 @@ func TestDiscoverErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantErr := errors.New("boom")
-	if _, err := Discover(dF, IntervenerFunc(func([]predicate.ID) ([]Observation, error) {
+	if _, err := Discover(context.Background(), dF, IntervenerFunc(func(context.Context, []predicate.ID) ([]Observation, error) {
 		return nil, wantErr
 	}), AIDOptions(1)); err == nil || !errors.Is(err, wantErr) {
 		t.Fatalf("intervener error not propagated: %v", err)
 	}
-	if _, err := Discover(dF, IntervenerFunc(func([]predicate.ID) ([]Observation, error) {
+	if _, err := Discover(context.Background(), dF, IntervenerFunc(func(context.Context, []predicate.ID) ([]Observation, error) {
 		return []Observation{}, nil
 	}), AIDOptions(1)); err == nil {
 		t.Fatal("empty observations accepted")
@@ -284,12 +285,12 @@ func TestDiscoverErrors(t *testing.T) {
 
 func TestDeterministicGivenSeed(t *testing.T) {
 	d1, w1 := paperWorld(t)
-	r1, err := Discover(d1, w1, AIDOptions(99))
+	r1, err := Discover(context.Background(), d1, w1, AIDOptions(99))
 	if err != nil {
 		t.Fatal(err)
 	}
 	d2, w2 := paperWorld(t)
-	r2, err := Discover(d2, w2, AIDOptions(99))
+	r2, err := Discover(context.Background(), d2, w2, AIDOptions(99))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestMultipleCausesOnChain(t *testing.T) {
 		last: "C",
 	}
 	for _, opts := range []Options{AIDOptions(2), AIDPBOptions(2)} {
-		res, err := Discover(d, w, opts)
+		res, err := Discover(context.Background(), d, w, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

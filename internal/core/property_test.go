@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -76,7 +77,7 @@ func TestDiscoverPartitionProperty(t *testing.T) {
 	prop := func() bool {
 		dag, w, want := randomWorld(rng)
 		opts := variants[rng.Intn(len(variants))](rng.Int63())
-		res, err := Discover(dag, w, opts)
+		res, err := Discover(context.Background(), dag, w, opts)
 		if err != nil {
 			return false
 		}

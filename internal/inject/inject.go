@@ -11,6 +11,7 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 
 	"aid/internal/core"
@@ -132,8 +133,9 @@ type Executor struct {
 
 var _ core.Intervener = (*Executor)(nil)
 
-// Intervene implements core.Intervener.
-func (e *Executor) Intervene(preds []predicate.ID) ([]core.Observation, error) {
+// Intervene implements core.Intervener. Cancelling ctx aborts the
+// replay sweep within one task-drain and returns ctx's error.
+func (e *Executor) Intervene(ctx context.Context, preds []predicate.ID) ([]core.Observation, error) {
 	plan, err := PlanFor(e.Corpus, preds)
 	if err != nil {
 		return nil, err
@@ -141,7 +143,7 @@ func (e *Executor) Intervene(preds []predicate.ID) ([]core.Observation, error) {
 	var failed []bool
 	// Replay the failing seeds concurrently; RunBatch returns them in
 	// seed order, so everything downstream sees the sequential view.
-	execs, err := sim.RunBatch(e.Prog, e.Seeds, sim.BatchOptions{
+	execs, err := sim.RunBatch(ctx, e.Prog, e.Seeds, sim.BatchOptions{
 		Run:     sim.RunOptions{Plan: plan, MaxSteps: e.MaxSteps},
 		Workers: e.Workers,
 	})

@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -204,7 +205,7 @@ func TestExecutorStopsFailureOnCausalIntervention(t *testing.T) {
 	if corpus.Pred("ret:Check#0") == nil {
 		t.Fatalf("fixture lacks ret:Check#0; have %v", corpus.IDs())
 	}
-	obs, err := exec.Intervene([]predicate.ID{"ret:Check#0"})
+	obs, err := exec.Intervene(context.Background(), []predicate.ID{"ret:Check#0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestExecutorKeepsFailureOnSpuriousIntervention(t *testing.T) {
 	if corpus.Pred("slow:Slow#0") == nil {
 		t.Fatalf("fixture lacks slow:Slow#0; have %v", corpus.IDs())
 	}
-	obs, err := exec.Intervene([]predicate.ID{"slow:Slow#0"})
+	obs, err := exec.Intervene(context.Background(), []predicate.ID{"slow:Slow#0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestExecutorKeepsFailureOnSpuriousIntervention(t *testing.T) {
 
 func TestExecutorUnknownPredicate(t *testing.T) {
 	_, _, exec := executorFixture(t)
-	if _, err := exec.Intervene([]predicate.ID{"nope"}); err == nil {
+	if _, err := exec.Intervene(context.Background(), []predicate.ID{"nope"}); err == nil {
 		t.Fatal("unknown predicate accepted")
 	}
 }

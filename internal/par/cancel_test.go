@@ -1,0 +1,98 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapContextCancelled checks prompt cancellation: once the context
+// is cancelled, Map returns ctx.Err() within one task-drain instead of
+// sweeping the remaining tasks.
+func TestMapContextCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 1000
+		_, err := Map(ctx, n, workers, func(i int) (int, error) {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+			time.Sleep(100 * time.Microsecond)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got == n {
+			t.Fatalf("workers=%d: all %d tasks ran despite cancellation", workers, n)
+		}
+		cancel()
+	}
+}
+
+// TestMapPreCancelled checks that an already-dead context never starts
+// a task.
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, n := range []int{0, 1, 50} {
+		_, err := Map(ctx, n, 4, func(i int) (int, error) {
+			t.Errorf("task %d ran under a cancelled context", i)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("n=%d: got %v, want context.Canceled", n, err)
+		}
+	}
+}
+
+// TestMapTaskErrorBeatsCancellation pins the precedence rule: a task
+// error recorded before (or alongside) cancellation is the
+// deterministic outcome and wins over ctx.Err().
+func TestMapTaskErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	_, err := Map(ctx, 16, 4, func(i int) (int, error) {
+		if i == 2 {
+			cancel()
+			return 0, boom
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the task error to win over cancellation", err)
+	}
+}
+
+// TestMapCancelNoGoroutineLeak verifies the pool drains fully on
+// cancellation: no worker goroutine survives Map's return.
+func TestMapCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := Map(ctx, 200, 8, func(i int) (int, error) {
+			if i == 3 {
+				cancel()
+			}
+			return i, nil
+		})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -8,9 +8,18 @@
 // index is reported — exactly the error a sequential loop over the same
 // deterministic task function would have hit first. Output is therefore
 // bit-identical whether the pool runs one worker or GOMAXPROCS workers.
+//
+// Cancellation contract: workers check the context before claiming each
+// task, so a cancelled Map returns ctx.Err() within one task-drain
+// (in-flight tasks run to completion, no new tasks start, no goroutines
+// leak). A task error always takes precedence over cancellation when
+// both occur, because the task error is the deterministic outcome; a
+// bare ctx.Err() is returned only when cancellation alone stopped the
+// sweep.
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,8 +58,15 @@ func (e *PanicError) Error() string {
 // run to completion, and Map returns the lowest-index error: because
 // tasks are claimed in ascending index order, that is provably the same
 // error the sequential loop would have returned.
-func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+//
+// ctx cancellation stops the sweep before the next task claim; Map then
+// returns ctx.Err() unless some task had already failed, in which case
+// the lowest-index task error wins.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, nil
 	}
 	w := Workers(workers)
@@ -62,6 +78,9 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		// the pre-pool sequential code did.
 		out := make([]T, n)
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := run1(i, fn)
 			if err != nil {
 				return nil, err
@@ -75,12 +94,17 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	var next atomic.Int64
 	var stop atomic.Bool
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -100,6 +124,9 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestMapOrderedResults(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
-		got, err := Map(100, workers, func(i int) (int, error) { return i * i, nil })
+		got, err := Map(context.Background(), 100, workers, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -22,7 +23,7 @@ func TestMapOrderedResults(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	got, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	got, err := Map(context.Background(), 0, 4, func(i int) (int, error) { return 0, nil })
 	if err != nil || got != nil {
 		t.Fatalf("got %v, %v for n=0", got, err)
 	}
@@ -32,7 +33,7 @@ func TestMapEmpty(t *testing.T) {
 // the reported error is the one a sequential loop would hit first,
 // even when a later task errors earlier in wall-clock.
 func TestMapLowestIndexError(t *testing.T) {
-	_, err := Map(32, 4, func(i int) (int, error) {
+	_, err := Map(context.Background(), 32, 4, func(i int) (int, error) {
 		if i == 5 {
 			time.Sleep(5 * time.Millisecond) // errors late in wall-clock
 			return 0, fmt.Errorf("err-%d", i)
@@ -48,7 +49,7 @@ func TestMapLowestIndexError(t *testing.T) {
 }
 
 func TestMapPanicBecomesError(t *testing.T) {
-	_, err := Map(8, 2, func(i int) (int, error) {
+	_, err := Map(context.Background(), 8, 2, func(i int) (int, error) {
 		if i == 3 {
 			panic("kaboom")
 		}
@@ -65,7 +66,7 @@ func TestMapPanicBecomesError(t *testing.T) {
 func TestMapCancelsOnFirstError(t *testing.T) {
 	const n = 64
 	var ran [n]bool
-	_, err := Map(n, 4, func(i int) (struct{}, error) {
+	_, err := Map(context.Background(), n, 4, func(i int) (struct{}, error) {
 		ran[i] = true
 		if i == 3 {
 			return struct{}{}, errors.New("boom")

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingCtx reports cancellation after its Err method has been
+// consulted `after` times — a deterministic stand-in for a context
+// cancelled mid-sweep (the simulator runtime has no cancellation
+// points, so the pool's per-claim Err check is where the abort lands).
+type countingCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countingCtx) Done() <-chan struct{} { return nil }
+func (c *countingCtx) Deadline() (time.Time, bool) {
+	return time.Time{}, false
+}
+
+// TestRunBatchContextCancelled checks RunBatch aborts the sweep and
+// returns ctx.Err() when the context dies mid-flight.
+func TestRunBatchContextCancelled(t *testing.T) {
+	p := batchProgram()
+	seeds := make([]int64, 300)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	for _, workers := range []int{1, 4} {
+		ctx := &countingCtx{Context: context.Background(), after: 10}
+		_, err := RunBatch(ctx, p, seeds, BatchOptions{Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestRunBatchPreCancelled checks an already-cancelled context runs
+// nothing.
+func TestRunBatchPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunBatch(ctx, batchProgram(), []int64{1, 2, 3}, BatchOptions{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"aid/internal/par"
 	"aid/internal/trace"
 )
@@ -22,8 +24,10 @@ type BatchOptions struct {
 // shared read-only across workers and must not be mutated concurrently.
 // The first error in seed order cancels the remaining runs; a run that
 // panics surfaces as a *par.PanicError instead of crashing the process.
-func RunBatch(p *Program, seeds []int64, opts BatchOptions) ([]trace.Execution, error) {
-	return par.Map(len(seeds), opts.Workers, func(i int) (trace.Execution, error) {
+// Cancelling ctx stops the sweep within one task-drain and returns
+// ctx.Err() (see par.Map's cancellation contract).
+func RunBatch(ctx context.Context, p *Program, seeds []int64, opts BatchOptions) ([]trace.Execution, error) {
+	return par.Map(ctx, len(seeds), opts.Workers, func(i int) (trace.Execution, error) {
 		return Run(p, seeds[i], opts.Run)
 	})
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"runtime"
@@ -48,7 +49,7 @@ func TestRunBatchMatchesSequential(t *testing.T) {
 		want = append(want, MustRun(p, s, RunOptions{}))
 	}
 	for _, workers := range []int{1, 2, 8} {
-		got, err := RunBatch(p, seeds, BatchOptions{Workers: workers})
+		got, err := RunBatch(context.Background(), p, seeds, BatchOptions{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -59,7 +60,7 @@ func TestRunBatchMatchesSequential(t *testing.T) {
 }
 
 func TestRunBatchEmptySeeds(t *testing.T) {
-	got, err := RunBatch(batchProgram(), nil, BatchOptions{Workers: 4})
+	got, err := RunBatch(context.Background(), batchProgram(), nil, BatchOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestRunBatchMaxStepsExpiry(t *testing.T) {
 		Assign{Dst: "i", Src: Lit(0)},
 		While{Cond: Cond{A: V("i"), Op: LT, B: Lit(1)}, Body: []Op{Nop{}}},
 	)
-	got, err := RunBatch(p, []int64{1, 2, 3}, BatchOptions{
+	got, err := RunBatch(context.Background(), p, []int64{1, 2, 3}, BatchOptions{
 		Run:     RunOptions{MaxSteps: 50},
 		Workers: 3,
 	})
@@ -91,7 +92,7 @@ func TestRunBatchMaxStepsExpiry(t *testing.T) {
 func TestRunBatchInvalidProgramError(t *testing.T) {
 	p := NewProgram("bad", "Main")
 	p.AddFunc("Main", Call{Fn: "Missing"})
-	if _, err := RunBatch(p, []int64{1, 2, 3, 4}, BatchOptions{Workers: 2}); err == nil {
+	if _, err := RunBatch(context.Background(), p, []int64{1, 2, 3, 4}, BatchOptions{Workers: 2}); err == nil {
 		t.Fatal("want validation error, got nil")
 	}
 }
@@ -132,7 +133,7 @@ func TestRunBatchPanicPropagates(t *testing.T) {
 		t.Fatal("no seed panicked sequentially; test program is broken")
 	}
 	before := runtime.NumGoroutine()
-	_, err := RunBatch(p, seeds, BatchOptions{Workers: 4})
+	_, err := RunBatch(context.Background(), p, seeds, BatchOptions{Workers: 4})
 	if err == nil {
 		t.Fatal("want panic error, got nil")
 	}

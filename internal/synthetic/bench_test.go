@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"testing"
 
 	"aid/internal/grouptest"
@@ -32,7 +33,7 @@ func BenchmarkAIDOnWorld(b *testing.B) {
 	b.ResetTimer()
 	var n int
 	for i := 0; i < b.N; i++ {
-		n, err = RunInstance(inst, AID, int64(i))
+		n, err = RunInstance(context.Background(), inst, AID, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 func TestAIDRespectsBranchPruningBound(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
 		inst := mustGen(t, 12, seed)
-		n, err := RunInstance(inst, AID, seed)
+		n, err := RunInstance(context.Background(), inst, AID, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,11 +41,11 @@ func TestPruningRateMatchesTheorem3Direction(t *testing.T) {
 	total := 0
 	for seed := int64(0); seed < 30; seed++ {
 		inst := mustGen(t, 10, seed)
-		withPruning, err := RunInstance(inst, AID, seed)
+		withPruning, err := RunInstance(context.Background(), inst, AID, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
-		withoutPruning, err := RunInstance(inst, AIDP, seed)
+		withoutPruning, err := RunInstance(context.Background(), inst, AIDP, seed)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -71,12 +72,12 @@ func (n Noise) enabled() bool {
 
 // RunInstance measures one approach on one instance, verifying that the
 // discovered causal path matches the ground truth.
-func RunInstance(inst *Instance, approach Approach, seed int64) (int, error) {
-	return RunInstanceNoisy(inst, approach, seed, Noise{})
+func RunInstance(ctx context.Context, inst *Instance, approach Approach, seed int64) (int, error) {
+	return RunInstanceNoisy(ctx, inst, approach, seed, Noise{})
 }
 
 // RunInstanceNoisy is RunInstance under an optional noise model.
-func RunInstanceNoisy(inst *Instance, approach Approach, seed int64, noise Noise) (int, error) {
+func RunInstanceNoisy(ctx context.Context, inst *Instance, approach Approach, seed int64, noise Noise) (int, error) {
 	w := inst.World
 	var iv core.Intervener = w
 	oracle := w.Oracle
@@ -84,7 +85,7 @@ func RunInstanceNoisy(inst *Instance, approach Approach, seed int64, noise Noise
 		fw := NewFlakyWorld(w, noise.Runs, noise.ManifestProb, noise.SymptomNoise, seed^0x51ab5)
 		iv = fw
 		oracle = func(group []predicate.ID) (bool, error) {
-			obs, err := fw.Intervene(group)
+			obs, err := fw.Intervene(ctx, group)
 			if err != nil {
 				return false, err
 			}
@@ -127,7 +128,7 @@ func RunInstanceNoisy(inst *Instance, approach Approach, seed int64, noise Noise
 		if err != nil {
 			return 0, err
 		}
-		res, err := core.Discover(dag, iv, opts)
+		res, err := core.Discover(ctx, dag, iv, opts)
 		if err != nil {
 			return 0, err
 		}
@@ -153,14 +154,14 @@ type SweepOptions struct {
 
 // RunSetting generates `instances` applications for one MAXt value and
 // measures all four approaches on each (Fig. 8, one x-axis position).
-func RunSetting(maxT, instances int, baseSeed int64) (*Setting, error) {
-	return RunSettingOpts(maxT, instances, baseSeed, SweepOptions{})
+func RunSetting(ctx context.Context, maxT, instances int, baseSeed int64) (*Setting, error) {
+	return RunSettingOpts(ctx, maxT, instances, baseSeed, SweepOptions{})
 }
 
 // RunSettingNoisy is RunSetting under an optional noise model,
 // measuring robustness of the sweep to runtime nondeterminism.
-func RunSettingNoisy(maxT, instances int, baseSeed int64, noise Noise) (*Setting, error) {
-	return RunSettingOpts(maxT, instances, baseSeed, SweepOptions{Noise: noise})
+func RunSettingNoisy(ctx context.Context, maxT, instances int, baseSeed int64, noise Noise) (*Setting, error) {
+	return RunSettingOpts(ctx, maxT, instances, baseSeed, SweepOptions{Noise: noise})
 }
 
 // instResult is one instance's measurement across the four approaches.
@@ -172,14 +173,14 @@ type instResult struct {
 
 // RunSettingOpts is RunSetting with explicit sweep options; instances
 // run concurrently on the worker pool.
-func RunSettingOpts(maxT, instances int, baseSeed int64, opts SweepOptions) (*Setting, error) {
+func RunSettingOpts(ctx context.Context, maxT, instances int, baseSeed int64, opts SweepOptions) (*Setting, error) {
 	s := &Setting{
 		MaxT:          maxT,
 		Cells:         make(map[Approach]Cell),
 		Misidentified: make(map[Approach]int),
 	}
 	noise := opts.Noise
-	results, err := par.Map(instances, opts.Workers, func(i int) (instResult, error) {
+	results, err := par.Map(ctx, instances, opts.Workers, func(i int) (instResult, error) {
 		seed := baseSeed + int64(i)*7919
 		inst, err := Generate(Params{MaxThreads: maxT, Seed: seed, LateSymptoms: -1})
 		if err != nil {
@@ -191,7 +192,7 @@ func RunSettingOpts(maxT, instances int, baseSeed int64, opts SweepOptions) (*Se
 			misid: make(map[Approach]bool, len(Approaches)),
 		}
 		for _, ap := range Approaches {
-			n, err := RunInstanceNoisy(inst, ap, seed^0x5deece66d, noise)
+			n, err := RunInstanceNoisy(ctx, inst, ap, seed^0x5deece66d, noise)
 			if err != nil {
 				if noise.enabled() && errors.Is(err, ErrMisidentified) {
 					r.misid[ap] = true
@@ -242,10 +243,10 @@ var Figure8MaxTs = []int{2, 10, 18, 26, 34, 42}
 
 // RunFigure8 runs the full sweep: `instances` applications per MAXt
 // (the paper uses 500).
-func RunFigure8(instances int, baseSeed int64) ([]*Setting, error) {
+func RunFigure8(ctx context.Context, instances int, baseSeed int64) ([]*Setting, error) {
 	var out []*Setting
 	for _, maxT := range Figure8MaxTs {
-		s, err := RunSetting(maxT, instances, baseSeed+int64(maxT)*1000003)
+		s, err := RunSetting(ctx, maxT, instances, baseSeed+int64(maxT)*1000003)
 		if err != nil {
 			return nil, err
 		}

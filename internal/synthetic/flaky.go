@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -53,7 +54,10 @@ func NewFlakyWorld(w *World, runs int, manifestProb, symptomNoise float64, seed 
 var _ core.Intervener = (*FlakyWorld)(nil)
 
 // Intervene implements core.Intervener with noisy repeated runs.
-func (f *FlakyWorld) Intervene(preds []predicate.ID) ([]core.Observation, error) {
+func (f *FlakyWorld) Intervene(ctx context.Context, preds []predicate.ID) ([]core.Observation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	forced := make(map[predicate.ID]bool, len(preds))
 	for _, p := range preds {
 		forced[p] = true

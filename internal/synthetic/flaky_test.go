@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestFlakyWorldObservationSemantics(t *testing.T) {
 	inst := mustGen(t, 4, 3)
 	f := NewFlakyWorld(inst.World, 50, 0.5, 0.3, 7)
-	obs, err := f.Intervene(nil)
+	obs, err := f.Intervene(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestFlakyWorldSymptomFlicker(t *testing.T) {
 		t.Skip("instance has too few spurious predicates")
 	}
 	f := NewFlakyWorld(inst.World, 200, 1.0, 0.4, 9)
-	obs, err := f.Intervene(nil)
+	obs, err := f.Intervene(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestAIDConvergesOnFlakyWorlds(t *testing.T) {
 		// 8 runs/round, 70% manifestation: a missed counter-example in
 		// a round needs 0.3^8 ≈ 0.007% — negligible.
 		flaky := NewFlakyWorld(inst.World, 8, 0.7, 0.25, seed^0x9e37)
-		res, err := core.Discover(dag, flaky, core.AIDOptions(seed))
+		res, err := core.Discover(context.Background(), dag, flaky, core.AIDOptions(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func TestAIDConvergesOnFlakyWorlds(t *testing.T) {
 // instances get misidentified; RunSettingNoisy must count them instead
 // of failing, and deterministic runs must never report any.
 func TestMisidentificationAccounting(t *testing.T) {
-	noisy, err := RunSettingNoisy(6, 30, 77, Noise{Runs: 1, ManifestProb: 0.5, SymptomNoise: 0.3})
+	noisy, err := RunSettingNoisy(context.Background(), 6, 30, 77, Noise{Runs: 1, ManifestProb: 0.5, SymptomNoise: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestMisidentificationAccounting(t *testing.T) {
 	if totalWrong == 0 {
 		t.Fatal("extreme noise produced no misidentifications in 120 runs — accounting suspect")
 	}
-	det, err := RunSetting(6, 10, 77)
+	det, err := RunSetting(context.Background(), 6, 10, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +119,11 @@ func TestFlakyWorldDegeneratesToDeterministic(t *testing.T) {
 	inst := mustGen(t, 5, 2)
 	f := NewFlakyWorld(inst.World, 1, 1.0, 0, 1)
 	probe := []predicate.ID{inst.World.Path[0]}
-	flakyObs, err := f.Intervene(probe)
+	flakyObs, err := f.Intervene(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
-	detObs, err := inst.World.Intervene(probe)
+	detObs, err := inst.World.Intervene(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -11,12 +12,12 @@ import (
 // instance pool runs one worker or many, with and without noise.
 func TestRunSettingDeterministicAcrossWorkers(t *testing.T) {
 	for _, noise := range []Noise{{}, {Runs: 4, ManifestProb: 0.7, SymptomNoise: 0.15}} {
-		seq, err := RunSettingOpts(10, 20, 99, SweepOptions{Noise: noise, Workers: 1})
+		seq, err := RunSettingOpts(context.Background(), 10, 20, 99, SweepOptions{Noise: noise, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{4, 9} {
-			par, err := RunSettingOpts(10, 20, 99, SweepOptions{Noise: noise, Workers: workers})
+			par, err := RunSettingOpts(context.Background(), 10, 20, 99, SweepOptions{Noise: noise, Workers: workers})
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)
 			}

@@ -1,6 +1,7 @@
 package synthetic
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -97,7 +98,7 @@ func TestWorldFireSemantics(t *testing.T) {
 
 func TestWorldInterveneRejectsF(t *testing.T) {
 	inst := mustGen(t, 3, 2)
-	if _, err := inst.World.Intervene([]predicate.ID{predicate.FailureID}); err == nil {
+	if _, err := inst.World.Intervene(context.Background(), []predicate.ID{predicate.FailureID}); err == nil {
 		t.Fatal("intervening on F accepted")
 	}
 }
@@ -106,7 +107,7 @@ func TestAllApproachesRecoverGroundTruth(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		inst := mustGen(t, 8, seed)
 		for _, ap := range Approaches {
-			n, err := RunInstance(inst, ap, seed)
+			n, err := RunInstance(context.Background(), inst, ap, seed)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, ap, err)
 			}
@@ -122,7 +123,7 @@ func TestAllApproachesRecoverGroundTruth(t *testing.T) {
 
 func TestRunInstanceUnknownApproach(t *testing.T) {
 	inst := mustGen(t, 2, 1)
-	if _, err := RunInstance(inst, Approach("nope"), 1); err == nil {
+	if _, err := RunInstance(context.Background(), inst, Approach("nope"), 1); err == nil {
 		t.Fatal("unknown approach accepted")
 	}
 }
@@ -137,7 +138,7 @@ func TestAIDBeatsLinearProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		n, err := RunInstance(inst, AID, seedRaw)
+		n, err := RunInstance(context.Background(), inst, AID, seedRaw)
 		if err != nil {
 			return false
 		}
@@ -153,10 +154,37 @@ func TestAIDBeatsLinearProperty(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+
+	// The counterexample the pinned RNG sweeps past, recorded
+	// explicitly so it stops hiding behind the seed choice: Generate
+	// seed 97 at MaxThreads=1 produces a 5-predicate single-thread
+	// chain on which AID spends N+2 = 7 rounds, violating the N+1
+	// linear bound. Open question (see ROADMAP "Open items"): does
+	// core.Discover waste a round on single-thread chains, or should
+	// the bound read N+2? The subtest skips — it documents a known
+	// issue, not a regression — but fails loudly if the counterexample
+	// ever stops reproducing, so the ROADMAP item can be closed.
+	t.Run("KnownIssue_MaxT1_Seed97_NeedsNPlus2", func(t *testing.T) {
+		inst, err := Generate(Params{MaxThreads: 1, Seed: 97, LateSymptoms: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := RunInstance(context.Background(), inst, AID, 97)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= inst.N+1 {
+			t.Fatalf("counterexample no longer reproduces: AID used %d rounds for N=%d (within the N+1 bound); remove this skip and close the ROADMAP open item", n, inst.N)
+		}
+		if n != inst.N+2 {
+			t.Fatalf("counterexample drifted: AID used %d rounds for N=%d, recorded N+2 = %d", n, inst.N, inst.N+2)
+		}
+		t.Skipf("known issue (ROADMAP open items): AID needs %d = N+2 rounds on the N=%d single-thread chain of Generate seed 97, exceeding the N+1 linear bound", n, inst.N)
+	})
 }
 
 func TestRunSettingAggregates(t *testing.T) {
-	s, err := RunSetting(6, 10, 42)
+	s, err := RunSetting(context.Background(), 6, 10, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +219,7 @@ func TestLateSymptomsDiscardedWithoutIntervention(t *testing.T) {
 	if dag.Precedes("LATE.P0", predicate.FailureID) {
 		t.Fatal("late symptom should not precede F")
 	}
-	res, err := core.Discover(dag, inst.World, core.AIDOptions(1))
+	res, err := core.Discover(context.Background(), dag, inst.World, core.AIDOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package synthetic
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -95,7 +96,10 @@ func (w *World) Fire(forced map[predicate.ID]bool) (map[predicate.ID]bool, bool)
 
 // Intervene implements core.Intervener: one deterministic observation
 // per round (the paper's deterministic-effect assumption).
-func (w *World) Intervene(preds []predicate.ID) ([]core.Observation, error) {
+func (w *World) Intervene(ctx context.Context, preds []predicate.ID) ([]core.Observation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	forced := make(map[predicate.ID]bool, len(preds))
 	for _, p := range preds {
 		if p == predicate.FailureID {
@@ -110,7 +114,7 @@ func (w *World) Intervene(preds []predicate.ID) ([]core.Observation, error) {
 // Oracle adapts the world to grouptest.Oracle semantics: true iff the
 // failure stops under the group intervention.
 func (w *World) Oracle(group []predicate.ID) (bool, error) {
-	obs, err := w.Intervene(group)
+	obs, err := w.Intervene(context.Background(), group)
 	if err != nil {
 		return false, err
 	}

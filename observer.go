@@ -1,0 +1,145 @@
+package aid
+
+import "fmt"
+
+// Observer receives typed progress events while a Pipeline runs. It
+// replaces ad-hoc printing: the CLI's -rounds log, the examples'
+// progress lines, and a future service's streaming endpoints are all
+// observers over the same event stream.
+//
+// Events are emitted synchronously from the pipeline goroutine in
+// deterministic order; an observer must not block for long and must not
+// mutate pipeline state. A nil observer is silently ignored.
+type Observer interface {
+	OnEvent(e Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(e Event)
+
+// OnEvent calls f.
+func (f ObserverFunc) OnEvent(e Event) { f(e) }
+
+// Event is a typed pipeline progress event. The concrete types are
+// CollectProgress, TracesCollected, PredicatesExtracted, Ranked,
+// DAGBuilt, RoundDone, CauseConfirmed, and DiscoveryDone.
+type Event interface {
+	// String renders the event as a one-line log message.
+	String() string
+	event()
+}
+
+// CollectProgress reports the running totals of a collection sweep
+// after each seed chunk.
+type CollectProgress struct {
+	// Successes and Failures are the counts gathered so far.
+	Successes, Failures int
+	// SeedsSwept is the highest scheduler seed swept so far.
+	SeedsSwept int64
+}
+
+func (e CollectProgress) String() string {
+	return fmt.Sprintf("collect: %d successes, %d failures after %d seeds",
+		e.Successes, e.Failures, e.SeedsSwept)
+}
+
+// TracesCollected reports a completed collection stage.
+type TracesCollected struct {
+	// Source labels the trace source.
+	Source string
+	// Successes and Failures are the corpus counts.
+	Successes, Failures int
+}
+
+func (e TracesCollected) String() string {
+	return fmt.Sprintf("collected from %s: %d successes, %d failures",
+		e.Source, e.Successes, e.Failures)
+}
+
+// PredicatesExtracted reports a completed extraction stage.
+type PredicatesExtracted struct {
+	// Total counts every predicate extraction produced (including
+	// materialized compounds).
+	Total int
+}
+
+func (e PredicatesExtracted) String() string {
+	return fmt.Sprintf("extracted %d predicates", e.Total)
+}
+
+// Ranked reports the statistical-debugging stage.
+type Ranked struct {
+	// FullyDiscriminative counts the predicates SD kept.
+	FullyDiscriminative int
+}
+
+func (e Ranked) String() string {
+	return fmt.Sprintf("statistical debugging kept %d fully-discriminative predicates",
+		e.FullyDiscriminative)
+}
+
+// DAGBuilt reports a constructed AC-DAG.
+type DAGBuilt struct {
+	// Nodes counts the safely-intervenable candidates plus F.
+	Nodes int
+	// Unsafe counts predicates excluded for lacking a safe intervention.
+	Unsafe int
+}
+
+func (e DAGBuilt) String() string {
+	return fmt.Sprintf("AC-DAG built: %d nodes (%d predicates excluded as unsafe)",
+		e.Nodes, e.Unsafe)
+}
+
+// RoundDone reports one completed intervention round, including what it
+// pruned. The confirmed cause, if any, follows as a CauseConfirmed
+// event.
+type RoundDone struct {
+	// Index is the 1-based round number.
+	Index int
+	// Round is the round's log entry.
+	Round Round
+}
+
+func (e RoundDone) String() string {
+	verdict := "failure persisted"
+	if e.Round.Stopped {
+		verdict = "failure stopped"
+	}
+	return fmt.Sprintf("round %d [%s]: intervened on %d predicates -> %s (%d pruned)",
+		e.Index, e.Round.Phase, len(e.Round.Intervened), verdict, len(e.Round.Pruned))
+}
+
+// CauseConfirmed reports a predicate confirmed causal.
+type CauseConfirmed struct {
+	// ID is the confirmed predicate.
+	ID PredicateID
+}
+
+func (e CauseConfirmed) String() string {
+	return fmt.Sprintf("confirmed cause: %s", e.ID)
+}
+
+// DiscoveryDone reports a completed discovery phase.
+type DiscoveryDone struct {
+	// RootCause is C0 ("" when no cause was confirmed).
+	RootCause PredicateID
+	// PathLen is the causal path length excluding F.
+	PathLen int
+	// Interventions is the number of rounds spent.
+	Interventions int
+}
+
+func (e DiscoveryDone) String() string {
+	return fmt.Sprintf("discovery done: root cause %s, %d-predicate path, %d interventions",
+		e.RootCause, e.PathLen, e.Interventions)
+}
+
+func (CollectProgress) event()     {}
+func (TracesCollected) event()     {}
+func (PredicatesExtracted) event() {}
+func (Ranked) event()              {}
+func (DAGBuilt) event()            {}
+func (RoundDone) event()           {}
+func (CauseConfirmed) event()      {}
+func (DiscoveryDone) event()       {}

@@ -1,0 +1,98 @@
+package aid_test
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"aid"
+)
+
+// TestTraceFileRoundTrip pins the offline-debugging loop: a corpus
+// saved with WriteTraces and reloaded through FromTraceFile yields a
+// report byte-identical to the live pipeline's.
+func TestTraceFileRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	study := aid.CaseStudyByName("buildandtest")
+	pipeline := aid.New(aid.WithCorpusSize(20, 20))
+
+	live, err := pipeline.Run(ctx, aid.FromStudy(study))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traces, err := pipeline.Collect(ctx, aid.FromStudy(study))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	if err := aid.WriteTraces(path, traces); err != nil {
+		t.Fatal(err)
+	}
+
+	offline, err := pipeline.Run(ctx, aid.FromTraceFile(path).ForStudy(study))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The offline report's Study field names the file, not the study;
+	// normalize the labels before comparing.
+	offline.Study, offline.Issue, offline.Description = live.Study, live.Issue, live.Description
+
+	liveJSON, err := live.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offlineJSON, err := offline.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveJSON, offlineJSON) {
+		t.Errorf("offline report differs from live report:\n--- live\n%s\n--- offline\n%s", liveJSON, offlineJSON)
+	}
+}
+
+// TestTraceFileWithoutProgram checks the early stages work on a purely
+// offline corpus and Discover fails with a clear error.
+func TestTraceFileWithoutProgram(t *testing.T) {
+	ctx := context.Background()
+	study := aid.CaseStudyByName("network")
+	pipeline := aid.New(aid.WithCorpusSize(10, 10))
+	traces, err := pipeline.Collect(ctx, aid.FromStudy(study))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	if err := aid.WriteTraces(path, traces); err != nil {
+		t.Fatal(err)
+	}
+
+	src := aid.FromTraceFile(path)
+	loaded, err := pipeline.Collect(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ, fail := loaded.Set.Counts()
+	if succ != 10 || fail != 10 {
+		t.Fatalf("reloaded %d/%d executions, want 10/10", succ, fail)
+	}
+	corpus := pipeline.Extract(loaded)
+	ranking := pipeline.Rank(corpus)
+	dag, _, err := pipeline.BuildDAG(corpus, ranking.Fully)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.Discover(ctx, loaded, corpus, dag); err == nil {
+		t.Fatal("Discover succeeded without a program")
+	}
+}
+
+// TestWriteTracesRejectsEmpty checks the nil guards.
+func TestWriteTracesRejectsEmpty(t *testing.T) {
+	if err := aid.WriteTraces(filepath.Join(t.TempDir(), "x.jsonl"), nil); err == nil {
+		t.Fatal("WriteTraces(nil) succeeded")
+	}
+	if err := aid.WriteTraces(filepath.Join(t.TempDir(), "x.jsonl"), &aid.Traces{}); err == nil {
+		t.Fatal("WriteTraces(empty) succeeded")
+	}
+}

@@ -1,0 +1,365 @@
+package aid
+
+import (
+	"context"
+	"fmt"
+
+	"aid/internal/acdag"
+	"aid/internal/core"
+	"aid/internal/explain"
+	"aid/internal/grouptest"
+	"aid/internal/inject"
+	"aid/internal/predicate"
+	"aid/internal/statdebug"
+	"aid/internal/trace"
+)
+
+// Variant selects the AID ablation an intervention phase runs.
+type Variant string
+
+// The paper's algorithm variants (§7).
+const (
+	// VariantAID is the full algorithm: branch and predicate pruning.
+	VariantAID Variant = "aid"
+	// VariantAIDP disables predicate pruning (the paper's AID-P).
+	VariantAIDP Variant = "aid-p"
+	// VariantAIDPB disables predicate and branch pruning (AID-P-B).
+	VariantAIDPB Variant = "aid-p-b"
+)
+
+// Pipeline is the public face of AID: collect → extract → rank →
+// AC-DAG → intervene → explain, configured once with functional
+// options. Stages are individually callable for partial workflows
+// (inspect the SD ranking, dump the AC-DAG, analyze an offline corpus)
+// and composable end-to-end via Run. A Pipeline is immutable after New
+// and safe to reuse across sources; every stage honors its context and
+// aborts promptly when cancelled.
+type Pipeline struct {
+	successes int
+	failures  int
+	seedCap   int
+	replays   int
+	seed      int64
+	compounds int
+	variant   Variant
+	workers   int
+	observer  Observer
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithCorpusSize sets the target numbers of successful and failed
+// executions to collect (the paper uses 50/50, the default).
+func WithCorpusSize(successes, failures int) Option {
+	return func(p *Pipeline) { p.successes, p.failures = successes, failures }
+}
+
+// WithSeedCap bounds how many scheduler seeds collection sweeps
+// (default 4000).
+func WithSeedCap(n int) Option {
+	return func(p *Pipeline) { p.seedCap = n }
+}
+
+// WithReplays sets how many failing seeds each intervention round
+// re-executes (default 5; §5.3 footnote: several runs per round guard
+// against nondeterminism).
+func WithReplays(n int) Option {
+	return func(p *Pipeline) { p.replays = n }
+}
+
+// WithSeed sets the algorithm seed driving tie-breaking (default 1).
+func WithSeed(seed int64) Option {
+	return func(p *Pipeline) { p.seed = seed }
+}
+
+// WithCompounds lets statistical debugging materialize up to n
+// conjunction predicates (default 0; §3.2's modeling of
+// nondeterministic root causes).
+func WithCompounds(n int) Option {
+	return func(p *Pipeline) { p.compounds = n }
+}
+
+// WithVariant selects the AID ablation (default VariantAID).
+func WithVariant(v Variant) Option {
+	return func(p *Pipeline) { p.variant = v }
+}
+
+// WithWorkers sets the execution-pool width for collection and replay;
+// <= 0 means GOMAXPROCS. Reports are bit-identical for any width.
+func WithWorkers(n int) Option {
+	return func(p *Pipeline) { p.workers = n }
+}
+
+// WithObserver streams typed progress events (collection totals,
+// extraction counts, per-round intervention outcomes) to o.
+func WithObserver(o Observer) Option {
+	return func(p *Pipeline) { p.observer = o }
+}
+
+// New builds a Pipeline with the paper's defaults: a 50+50 corpus
+// within 4000 seeds, 5 replays per round, seed 1, the full AID variant.
+func New(opts ...Option) *Pipeline {
+	p := &Pipeline{
+		successes: 50,
+		failures:  50,
+		seedCap:   4000,
+		replays:   5,
+		seed:      1,
+		variant:   VariantAID,
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+func (p *Pipeline) emit(e Event) {
+	if p.observer != nil {
+		p.observer.OnEvent(e)
+	}
+}
+
+// coreOptions resolves the variant into core options with observer
+// hooks attached.
+func (p *Pipeline) coreOptions() (core.Options, error) {
+	var opts core.Options
+	switch p.variant {
+	case "", VariantAID:
+		opts = core.AIDOptions(p.seed)
+	case VariantAIDP:
+		opts = core.AIDPOptions(p.seed)
+	case VariantAIDPB:
+		opts = core.AIDPBOptions(p.seed)
+	default:
+		return core.Options{}, fmt.Errorf("aid: unknown variant %q", p.variant)
+	}
+	if p.observer != nil {
+		rounds := 0
+		opts.OnRound = func(r core.Round) {
+			rounds++
+			p.emit(RoundDone{Index: rounds, Round: r})
+		}
+		opts.OnConfirm = func(id predicate.ID) {
+			p.emit(CauseConfirmed{ID: id})
+		}
+	}
+	return opts, nil
+}
+
+// Collect runs the source's collection under the pipeline's quotas.
+func (p *Pipeline) Collect(ctx context.Context, src TraceSource) (*Traces, error) {
+	tr, err := src.Collect(ctx, CollectSpec{
+		Successes: p.successes,
+		Failures:  p.failures,
+		SeedCap:   p.seedCap,
+		Workers:   p.workers,
+		Observer:  p.observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	succ, fail := tr.Set.Counts()
+	p.emit(TracesCollected{Source: src.Label(), Successes: succ, Failures: fail})
+	return tr, nil
+}
+
+// Extract evaluates the predicate vocabulary over the corpus,
+// materializing compound predicates when configured.
+func (p *Pipeline) Extract(tr *Traces) *Corpus {
+	corpus := predicate.Extract(tr.Set, tr.Config)
+	if p.compounds > 0 {
+		statdebug.GenerateCompounds(corpus, p.compounds)
+	}
+	p.emit(PredicatesExtracted{Total: len(corpus.Preds)})
+	return corpus
+}
+
+// Ranking is the statistical-debugging stage's output: the
+// fully-discriminative predicates plus the full SD score table.
+type Ranking struct {
+	corpus *Corpus
+	// Fully lists the fully-discriminative predicates (precision and
+	// recall 1.0) — the AC-DAG candidates.
+	Fully []PredicateID
+}
+
+// Format renders the SD ranking as a table, what a statistical
+// debugger would hand the developer (topN = 0 prints everything).
+func (r *Ranking) Format(topN int) string {
+	return statdebug.FormatScores(r.corpus, topN)
+}
+
+// Rank runs statistical debugging over the corpus.
+func (p *Pipeline) Rank(corpus *Corpus) *Ranking {
+	fully := statdebug.FullyDiscriminative(corpus)
+	p.emit(Ranked{FullyDiscriminative: len(fully)})
+	return &Ranking{corpus: corpus, Fully: fully}
+}
+
+// BuildDAG constructs the AC-DAG over the candidate predicates plus F.
+func (p *Pipeline) BuildDAG(corpus *Corpus, candidates []PredicateID) (*DAG, *DAGReport, error) {
+	dag, report, err := acdag.Build(corpus, candidates, acdag.BuildOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	p.emit(DAGBuilt{Nodes: dag.Len(), Unsafe: len(report.Unsafe)})
+	return dag, report, nil
+}
+
+// executor builds the simulator-backed intervener for the traces.
+func (p *Pipeline) executor(tr *Traces, corpus *Corpus) (*inject.Executor, error) {
+	if tr.Program == nil {
+		return nil, fmt.Errorf("aid: source %q provides no program; interventions are unavailable on an offline corpus (attach one, e.g. TraceFileSource.ForStudy)", tr.Source)
+	}
+	replay := tr.FailSeeds
+	if p.replays > 0 && len(replay) > p.replays {
+		replay = replay[:p.replays]
+	}
+	return &inject.Executor{
+		Prog:       tr.Program,
+		Corpus:     corpus,
+		Baselines:  baselineSuccesses(tr.Set),
+		Seeds:      replay,
+		Cfg:        tr.Config,
+		FailureSig: tr.FailureSig,
+		MaxSteps:   tr.MaxSteps,
+		Workers:    p.workers,
+	}, nil
+}
+
+// discover is the shared body of Discover and Run: it builds the
+// executor, runs core discovery, and emits DiscoveryDone. The executor
+// is returned so Run can reuse it (and its cached extractor state) as
+// the TAGT oracle.
+func (p *Pipeline) discover(ctx context.Context, tr *Traces, corpus *Corpus, dag *DAG) (*Result, *inject.Executor, error) {
+	exec, err := p.executor(tr, corpus)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts, err := p.coreOptions()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := core.Discover(ctx, dag, exec, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("aid: %s: %w", tr.Source, err)
+	}
+	p.emit(DiscoveryDone{
+		RootCause:     res.RootCause(),
+		PathLen:       len(res.Path) - 1,
+		Interventions: res.Interventions(),
+	})
+	return res, exec, nil
+}
+
+// Discover runs the causality-guided intervention phase (Algorithms
+// 1–3) against the AC-DAG, re-executing the source's program under
+// fault-injection plans. Cancelling ctx aborts before the next round
+// (and mid-round, within one replay task-drain) with ctx's error.
+func (p *Pipeline) Discover(ctx context.Context, tr *Traces, corpus *Corpus, dag *DAG) (*Result, error) {
+	res, _, err := p.discover(ctx, tr, corpus, dag)
+	return res, err
+}
+
+// Explain renders the discovery result as the paper's §7.1-style
+// narrative.
+func (p *Pipeline) Explain(corpus *Corpus, res *Result) string {
+	return explain.Build(corpus, res).String()
+}
+
+// Run executes the pipeline end-to-end: collect, extract, rank, build
+// the AC-DAG, discover the causal path, run the TAGT baseline on the
+// same candidate pool, and assemble the serializable Report. The
+// output is bit-identical for any worker count, and — for the built-in
+// case studies — to the pre-facade internal runner.
+func (p *Pipeline) Run(ctx context.Context, src TraceSource) (*Report, error) {
+	tr, err := p.Collect(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	corpus := p.Extract(tr)
+	ranking := p.Rank(corpus)
+	dag, _, err := p.BuildDAG(corpus, ranking.Fully)
+	if err != nil {
+		return nil, err
+	}
+
+	aidRes, exec, err := p.discover(ctx, tr, corpus, dag)
+	if err != nil {
+		return nil, err
+	}
+
+	// TAGT runs on the same safely-intervenable candidate pool with the
+	// same intervention oracle, but no DAG knowledge.
+	var pool []PredicateID
+	noPath := 0
+	for _, id := range dag.Nodes() {
+		if id == FailureID {
+			continue
+		}
+		pool = append(pool, id)
+		if !dag.Precedes(id, FailureID) {
+			noPath++
+		}
+	}
+	oracle := func(group []predicate.ID) (bool, error) {
+		obs, err := exec.Intervene(ctx, group)
+		if err != nil {
+			return false, err
+		}
+		for _, o := range obs {
+			if o.Failed {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	tagtRes, err := grouptest.Adaptive(pool, oracle, p.seed)
+	if err != nil {
+		return nil, fmt.Errorf("aid: %s: TAGT: %w", src.Label(), err)
+	}
+
+	pathLen := len(aidRes.Path) - 1 // excluding F
+	s1, s2 := aidRes.PruningStats()
+	report := &Report{
+		Study:             tr.Source,
+		Issue:             tr.Issue,
+		Description:       tr.Description,
+		TotalPredicates:   len(corpus.Preds),
+		Discriminative:    len(ranking.Fully),
+		DAGNodes:          dag.Len(),
+		NoPathToF:         noPath,
+		CausalPathLen:     pathLen,
+		AIDInterventions:  aidRes.Interventions(),
+		TAGTInterventions: tagtRes.Tests,
+		TAGTWorstCase:     grouptest.UpperBound(len(pool), pathLen),
+		RootCause:         string(aidRes.RootCause()),
+		PruningS1:         s1,
+		PruningS2:         s2,
+		Result:            aidRes,
+	}
+	for _, id := range aidRes.Path {
+		report.Path = append(report.Path, string(id))
+	}
+	for i, id := range aidRes.Path {
+		desc := string(id)
+		if pr := corpus.Pred(id); pr != nil {
+			desc = pr.String()
+		}
+		report.Explanation = append(report.Explanation, fmt.Sprintf("(%d) %s", i+1, desc))
+	}
+	report.Narrative = explain.Build(corpus, aidRes).String()
+	report.Rounds = reportRounds(aidRes.Rounds)
+	return report, nil
+}
+
+func baselineSuccesses(set *trace.Set) []trace.Execution {
+	var out []trace.Execution
+	for i := range set.Executions {
+		if !set.Executions[i].Failed() {
+			out = append(out, set.Executions[i])
+		}
+	}
+	return out
+}

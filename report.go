@@ -1,0 +1,161 @@
+package aid
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Report is the stable, JSON-serializable outcome of one pipeline run:
+// one row of the paper's Fig. 7 plus the causal path, the explanation,
+// and the intervention log. It is the shared currency of the CLI
+// (-json), the examples, and future service endpoints; predicate IDs
+// are plain strings so consumers need no internal types.
+type Report struct {
+	// Study, Issue and Description identify the debugged application.
+	Study       string `json:"study"`
+	Issue       string `json:"issue,omitempty"`
+	Description string `json:"description,omitempty"`
+
+	// TotalPredicates counts everything extraction produced.
+	TotalPredicates int `json:"totalPredicates"`
+	// Discriminative is Fig. 7 column 3: fully-discriminative
+	// predicates found by SD.
+	Discriminative int `json:"discriminative"`
+	// DAGNodes counts safely-intervenable candidates (plus F).
+	DAGNodes int `json:"dagNodes"`
+	// NoPathToF counts candidates discarded for lacking an AC-DAG path
+	// to the failure.
+	NoPathToF int `json:"noPathToF"`
+	// CausalPathLen is Fig. 7 column 4 (predicates in the causal path,
+	// excluding F).
+	CausalPathLen int `json:"causalPathLen"`
+	// AIDInterventions is Fig. 7 column 5.
+	AIDInterventions int `json:"aidInterventions"`
+	// TAGTInterventions is the measured TAGT cost on the same pool.
+	TAGTInterventions int `json:"tagtInterventions"`
+	// TAGTWorstCase is the paper's D·⌈log₂N⌉ worst case (Fig. 7 col 6).
+	TAGTWorstCase int `json:"tagtWorstCase"`
+
+	// RootCause is C0 ("" when no cause was confirmed).
+	RootCause string `json:"rootCause"`
+	// Path is the causal path C0, …, Cn with Cn = F.
+	Path []string `json:"path"`
+	// Explanation is the numbered human-readable causal chain.
+	Explanation []string `json:"explanation"`
+	// Narrative is the full §7.1-style account.
+	Narrative string `json:"narrative"`
+	// Rounds is the serializable intervention log.
+	Rounds []ReportRound `json:"rounds"`
+	// PruningS1 and PruningS2 are §6's empirical discard rates
+	// (discarded per round / per confirmed cause).
+	PruningS1 float64 `json:"pruningS1"`
+	PruningS2 float64 `json:"pruningS2"`
+
+	// Result is the full in-memory discovery result for programmatic
+	// consumers; it is not serialized.
+	Result *Result `json:"-"`
+}
+
+// ReportRound is one serializable intervention round.
+type ReportRound struct {
+	// Phase labels the round "branch" or "giwp".
+	Phase string `json:"phase"`
+	// Intervened lists the predicates forced in this round.
+	Intervened []string `json:"intervened"`
+	// Stopped reports whether the failure disappeared in every run.
+	Stopped bool `json:"stopped"`
+	// Confirmed is the predicate confirmed causal ("" if none).
+	Confirmed string `json:"confirmed,omitempty"`
+	// Pruned lists predicates marked spurious by this round.
+	Pruned []string `json:"pruned,omitempty"`
+}
+
+// reportRounds converts the discovery round log to its serializable
+// form.
+func reportRounds(rounds []Round) []ReportRound {
+	out := make([]ReportRound, 0, len(rounds))
+	for _, r := range rounds {
+		rr := ReportRound{
+			Phase:     r.Phase,
+			Stopped:   r.Stopped,
+			Confirmed: string(r.Confirmed),
+		}
+		for _, id := range r.Intervened {
+			rr.Intervened = append(rr.Intervened, string(id))
+		}
+		for _, id := range r.Pruned {
+			rr.Pruned = append(rr.Pruned, string(id))
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+// JSON serializes the report with indentation (the -json CLI output).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Format renders the human-readable summary block the CLI prints — the
+// one shared formatting of a report (previously copy-pasted across
+// cmd/aid and cmd/casestudies).
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "case study:      %s (%s)\n", r.Study, r.Issue)
+	fmt.Fprintf(&b, "bug:             %s\n", r.Description)
+	fmt.Fprintf(&b, "SD predicates:   %d fully discriminative (of %d extracted)\n",
+		r.Discriminative, r.TotalPredicates)
+	fmt.Fprintf(&b, "AC-DAG:          %d nodes, %d without a path to F\n", r.DAGNodes, r.NoPathToF)
+	fmt.Fprintf(&b, "root cause:      %s\n", r.RootCause)
+	fmt.Fprintf(&b, "causal path:     %d predicates\n", r.CausalPathLen)
+	fmt.Fprintf(&b, "interventions:   AID %d, TAGT %d (worst-case bound %d)\n",
+		r.AIDInterventions, r.TAGTInterventions, r.TAGTWorstCase)
+	fmt.Fprintf(&b, "pruning rates:   S1=%.1f discarded/round, S2=%.1f discarded/cause (§6)\n",
+		r.PruningS1, r.PruningS2)
+	return b.String()
+}
+
+// FormatRounds renders the intervention round log, one line per round.
+func (r *Report) FormatRounds() string {
+	var b strings.Builder
+	for i, rd := range r.Rounds {
+		verdict := "failure persisted"
+		if rd.Stopped {
+			verdict = "failure stopped"
+		}
+		fmt.Fprintf(&b, "  %2d [%s] intervene {%s} -> %s", i+1, rd.Phase,
+			strings.Join(rd.Intervened, ", "), verdict)
+		if rd.Confirmed != "" {
+			fmt.Fprintf(&b, "; confirmed %s", rd.Confirmed)
+		}
+		if len(rd.Pruned) > 0 {
+			fmt.Fprintf(&b, "; pruned {%s}", strings.Join(rd.Pruned, ", "))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatExplanation renders the numbered causal chain, one line per
+// predicate.
+func (r *Report) FormatExplanation() string {
+	var b strings.Builder
+	for _, line := range r.Explanation {
+		fmt.Fprintln(&b, "  "+line)
+	}
+	return b.String()
+}
+
+// FormatFigure7 renders reports as the paper's Fig. 7 table.
+func FormatFigure7(reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-14s %12s %12s %8s %8s %10s\n",
+		"Application", "Issue", "#Discrim(SD)", "#CausalPath", "AID", "TAGT", "TAGT-bound")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-16s %-14s %12d %12d %8d %8d %10d\n",
+			r.Study, r.Issue, r.Discriminative, r.CausalPathLen,
+			r.AIDInterventions, r.TAGTInterventions, r.TAGTWorstCase)
+	}
+	return b.String()
+}
