@@ -157,6 +157,9 @@ func TestPipelineObserverEventOrder(t *testing.T) {
 			if ev.Index != rounds {
 				t.Errorf("RoundDone.Index = %d, want %d", ev.Index, rounds)
 			}
+			if ev.Batch <= 0 {
+				t.Errorf("RoundDone.Index %d: Batch = %d, want a positive scheduler batch id", ev.Index, ev.Batch)
+			}
 		case aid.CauseConfirmed:
 			confirms++
 		case aid.DiscoveryDone:

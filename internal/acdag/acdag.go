@@ -439,6 +439,106 @@ func (d *DAG) TopoOrderWithin(alive map[predicate.ID]bool, rng *rand.Rand) []pre
 	return out
 }
 
+// maskOf builds the dense bitset mask of a predicate set (nil = all
+// nodes) — the entry point of every word-parallel set query below.
+func (d *DAG) maskOf(set map[predicate.ID]bool) bitset {
+	n := len(d.nodes)
+	if set == nil {
+		return ones(n)
+	}
+	mask := newBitset(n)
+	for i, id := range d.nodes {
+		if set[id] {
+			mask.set(i)
+		}
+	}
+	return mask
+}
+
+// MinimalWithin returns the minimal elements of the suborder induced by
+// set — the members with no ancestor inside set. They form an antichain
+// (mutual incomparability follows from closure): the candidate frontier
+// an intervention scheduler materializes each round. Output is sorted
+// by ID.
+func (d *DAG) MinimalWithin(set map[predicate.ID]bool) []predicate.ID {
+	mask := d.maskOf(set)
+	var out []predicate.ID
+	mask.forEach(func(i int) {
+		if !d.pred[i].intersects(mask) {
+			out = append(out, d.nodes[i])
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsAntichain reports whether the given nodes are mutually unordered —
+// no precedence between any pair. Unknown nodes are ignored. Groups
+// drawn from an antichain are independent: no intervention on one can
+// silence or reorder another through the DAG's precedence relation.
+func (d *DAG) IsAntichain(ids []predicate.ID) bool {
+	mask := newBitset(len(d.nodes))
+	for _, id := range ids {
+		if i, ok := d.idx[id]; ok {
+			mask.set(i)
+		}
+	}
+	ok := true
+	mask.forEach(func(i int) {
+		if ok && d.prec[i].intersects(mask) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Unordered reports whether no precedence edge crosses the two groups
+// in either direction — the scheduler's independence test for batching
+// two candidate groups into one logical round.
+func (d *DAG) Unordered(a, b []predicate.ID) bool {
+	maskB := newBitset(len(d.nodes))
+	for _, id := range b {
+		if i, ok := d.idx[id]; ok {
+			maskB.set(i)
+		}
+	}
+	for _, id := range a {
+		i, ok := d.idx[id]
+		if !ok {
+			continue
+		}
+		if maskB.has(i) || d.prec[i].intersects(maskB) || d.pred[i].intersects(maskB) {
+			return false
+		}
+	}
+	return true
+}
+
+// LevelFrontierWithin returns the members of alive\exclude at the
+// minimum topological level computed within alive — the junction
+// members Algorithm 2 visits next. Output is sorted by ID; the result
+// is empty when exclude covers alive.
+func (d *DAG) LevelFrontierWithin(alive, exclude map[predicate.ID]bool) []predicate.ID {
+	levels := d.LevelsWithin(alive)
+	minLevel := -1
+	var out []predicate.ID
+	for id, l := range levels {
+		if exclude[id] || (alive != nil && !alive[id]) {
+			continue
+		}
+		switch {
+		case minLevel == -1 || l < minLevel:
+			minLevel = l
+			out = out[:0]
+			out = append(out, id)
+		case l == minLevel:
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Roots returns nodes with no ancestors.
 func (d *DAG) Roots() []predicate.ID {
 	var out []predicate.ID

@@ -398,3 +398,110 @@ func TestPathTo(t *testing.T) {
 		t.Fatal("PathTo found reverse path")
 	}
 }
+
+func TestMinimalWithin(t *testing.T) {
+	d := paperDAG(t)
+	// Whole graph: P1 is the unique root.
+	if got := d.MinimalWithin(nil); !reflect.DeepEqual(got, []predicate.ID{"P1"}) {
+		t.Fatalf("MinimalWithin(all) = %v, want [P1]", got)
+	}
+	// Restricted to the two parallel branches after P3: their heads are
+	// the frontier, and they form an antichain.
+	set := map[predicate.ID]bool{"P4": true, "P5": true, "P7": true, "P8": true, "P9": true}
+	got := d.MinimalWithin(set)
+	if !reflect.DeepEqual(got, []predicate.ID{"P4", "P7"}) {
+		t.Fatalf("MinimalWithin = %v, want [P4 P7]", got)
+	}
+	if !d.IsAntichain(got) {
+		t.Fatal("frontier is not an antichain")
+	}
+}
+
+func TestIsAntichainAndUnordered(t *testing.T) {
+	d := paperDAG(t)
+	if !d.IsAntichain([]predicate.ID{"P4", "P8", "P9"}) {
+		t.Fatal("parallel branch members should be an antichain")
+	}
+	if d.IsAntichain([]predicate.ID{"P4", "P5"}) {
+		t.Fatal("chain members reported as antichain")
+	}
+	if !d.IsAntichain(nil) || !d.IsAntichain([]predicate.ID{"P4"}) {
+		t.Fatal("trivial antichains rejected")
+	}
+	// Unknown nodes are ignored.
+	if !d.IsAntichain([]predicate.ID{"P4", "ghost"}) {
+		t.Fatal("unknown node broke the antichain test")
+	}
+	// The two exclusive branches under P3 are mutually unordered...
+	if !d.Unordered([]predicate.ID{"P4", "P5", "P6"}, []predicate.ID{"P7", "P8", "P9"}) {
+		t.Fatal("independent branches reported ordered")
+	}
+	// ...but anything containing an ancestor of the other group is not.
+	if d.Unordered([]predicate.ID{"P3", "P4"}, []predicate.ID{"P7"}) {
+		t.Fatal("P3 precedes P7 — groups are not unordered")
+	}
+	// Overlap counts as ordered.
+	if d.Unordered([]predicate.ID{"P4"}, []predicate.ID{"P4"}) {
+		t.Fatal("overlapping groups reported unordered")
+	}
+}
+
+func TestLevelFrontierWithin(t *testing.T) {
+	d := paperDAG(t)
+	alive := map[predicate.ID]bool{
+		"P3": true, "P4": true, "P7": true, "P8": true, "F": true,
+	}
+	// No exclusions: P3 alone sits at the minimum level.
+	if got := d.LevelFrontierWithin(alive, nil); !reflect.DeepEqual(got, []predicate.ID{"P3"}) {
+		t.Fatalf("LevelFrontierWithin = %v, want [P3]", got)
+	}
+	// Excluding the walked P3 exposes the junction {P4, P7}; F is
+	// excluded the way branchPrune always excludes it.
+	exclude := map[predicate.ID]bool{"P3": true, "F": true}
+	got := d.LevelFrontierWithin(alive, exclude)
+	if !reflect.DeepEqual(got, []predicate.ID{"P4", "P7"}) {
+		t.Fatalf("LevelFrontierWithin(exclude P3) = %v, want [P4 P7]", got)
+	}
+	// Everything excluded: empty frontier terminates the walk.
+	all := map[predicate.ID]bool{"P3": true, "P4": true, "P7": true, "P8": true, "F": true}
+	if got := d.LevelFrontierWithin(alive, all); len(got) != 0 {
+		t.Fatalf("fully excluded frontier = %v, want empty", got)
+	}
+}
+
+// TestMinimalWithinMatchesBruteForce cross-checks the word-parallel
+// frontier against a quadratic reference on random subsets.
+func TestMinimalWithinMatchesBruteForce(t *testing.T) {
+	d := paperDAG(t)
+	rng := rand.New(rand.NewSource(5))
+	nodes := d.Nodes()
+	for trial := 0; trial < 200; trial++ {
+		set := map[predicate.ID]bool{}
+		for _, id := range nodes {
+			if rng.Intn(2) == 0 {
+				set[id] = true
+			}
+		}
+		var want []predicate.ID
+		for id := range set {
+			minimal := true
+			for other := range set {
+				if other != id && d.Precedes(other, id) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				want = append(want, id)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := d.MinimalWithin(set)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: MinimalWithin = %v, brute force = %v (set %v)", trial, got, want, set)
+		}
+	}
+}

@@ -71,6 +71,16 @@ func (b bitset) forEachAnd(o bitset, fn func(i int)) {
 	}
 }
 
+// intersects reports whether b ∩ o is non-empty.
+func (b bitset) intersects(o bitset) bool {
+	for w := range b {
+		if b[w]&o[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // intersectsExcept reports whether b ∩ o contains any element other
 // than i and j — the word-parallel transitive-reduction witness test.
 func (b bitset) intersectsExcept(o bitset, i, j int) bool {

@@ -88,8 +88,9 @@ type RunConfig struct {
 	// with the running totals (observer hook; must not mutate state).
 	OnCollect func(succ, fail int, seedsSwept int64)
 	// OnRound and OnConfirm are forwarded to core.Options (observer
-	// hooks for the intervention phase).
-	OnRound   func(r core.Round)
+	// hooks for the intervention phase); OnRound also receives the
+	// scheduler's provenance metadata for the round.
+	OnRound   func(r core.Round, m core.RoundMeta)
 	OnConfirm func(id predicate.ID)
 }
 
@@ -109,6 +110,10 @@ func (rc RunConfig) Options() (core.Options, error) {
 	}
 	opts.OnRound = rc.OnRound
 	opts.OnConfirm = rc.OnConfirm
+	// The execution-pool width feeds the intervention scheduler too:
+	// replay bundles batch across it, and a single-worker configuration
+	// disables speculative prefetch.
+	opts.Workers = rc.Workers
 	return opts, nil
 }
 

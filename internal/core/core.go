@@ -36,6 +36,15 @@ type Observation struct {
 // round and return one Observation each; a single counter-example run
 // suffices for pruning (§5.3, footnote 1). Implementations should honor
 // ctx and return its error promptly when cancelled.
+//
+// Discover's default scheduler assumes the returned observations are a
+// pure function of the forced set (true for inject.Executor, which
+// replays fixed seeds): outcomes are memoized and group-testing
+// deductions replace confirming retests. An intervener whose outcomes
+// vary call-to-call (e.g. fresh randomized runs per round) must be
+// wrapped via Options.Scheduler with
+// SchedulerConfig{Nondeterministic: true}, which re-executes every
+// round and keeps the retests.
 type Intervener interface {
 	Intervene(ctx context.Context, preds []predicate.ID) ([]Observation, error)
 }
@@ -59,11 +68,25 @@ type Options struct {
 	// Seed drives tie resolution in topological grouping and the random
 	// branch choice at junctions.
 	Seed int64
+	// Workers mirrors the caller's replay pool width so the scheduler
+	// knows whether speculative prefetch could overlap anything at all:
+	// exactly 1 hard-disables it for schedulers that opted in (see
+	// SchedulerConfig). Bundles themselves execute at the intervener's
+	// own width (e.g. inject.Executor.Workers); this field sizes no
+	// pool, and it never affects the Result.
+	Workers int
+	// Scheduler, when non-nil, supplies an externally built (possibly
+	// shared) intervention scheduler; Discover then intervenes through
+	// it and ignores its own iv argument's scheduling. Sharing one
+	// scheduler across ablation variants of the same deterministic
+	// intervener lets later runs reuse earlier outcomes.
+	Scheduler *Scheduler
 	// OnRound, when non-nil, is invoked after each intervention round's
 	// pruning has been applied (the Round's Confirmed field may still be
-	// filled in afterwards; see OnConfirm). Purely observational: it
-	// must not mutate the discovery state.
-	OnRound func(r Round)
+	// filled in afterwards; see OnConfirm) together with the scheduler's
+	// provenance metadata for the round. Purely observational: it must
+	// not mutate the discovery state.
+	OnRound func(r Round, m RoundMeta)
 	// OnConfirm, when non-nil, is invoked when a predicate is confirmed
 	// causal.
 	OnConfirm func(id predicate.ID)
@@ -91,7 +114,12 @@ type Round struct {
 	Intervened []predicate.ID
 	// Stopped reports whether the failure disappeared in every run.
 	Stopped bool
-	// Confirmed is the predicate confirmed causal this round ("" if none).
+	// Confirmed is the predicate confirmed causal this round ("" if
+	// none). A persisted round may confirm by elimination: when its pool
+	// provably contained a cause and the round's outcome left a single
+	// candidate, that candidate is confirmed without a further
+	// intervention (the deduction classic adaptive group testing gets
+	// for free).
 	Confirmed predicate.ID
 	// Pruned lists predicates marked spurious as a consequence of this
 	// round (intervened groups and Definition 2 victims).
@@ -153,7 +181,7 @@ func (r *Result) PruningStats() (s1, s2 float64) {
 type discoverer struct {
 	ctx   context.Context
 	dag   *acdag.DAG
-	iv    Intervener
+	sched *Scheduler
 	opts  Options
 	rng   *rand.Rand
 	alive map[predicate.ID]bool // candidate predicates (never F)
@@ -163,16 +191,26 @@ type discoverer struct {
 }
 
 // Discover runs causal path discovery (Algorithm 3) on the AC-DAG.
+// All interventions flow through the intervention scheduler (see
+// scheduler.go): outcomes are memoized by forced-predicate set and,
+// when opts.Workers allows and the intervener can batch, independent
+// continuation groups replay concurrently — without affecting the
+// Result, which is byte-identical for any worker count.
 // Cancelling ctx aborts the run before the next intervention round (and
 // mid-round, through the Intervener) with ctx's error.
 func Discover(ctx context.Context, dag *acdag.DAG, iv Intervener, opts Options) (*Result, error) {
 	if !dag.Has(predicate.FailureID) {
 		return nil, fmt.Errorf("core: AC-DAG lacks the failure predicate")
 	}
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = NewScheduler(iv, SchedulerConfig{Workers: opts.Workers})
+	}
+	defer sched.Wait()
 	d := &discoverer{
 		ctx:   ctx,
 		dag:   dag,
-		iv:    iv,
+		sched: sched,
 		opts:  opts,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 		alive: make(map[predicate.ID]bool),
@@ -198,7 +236,7 @@ func Discover(ctx context.Context, dag *acdag.DAG, iv Intervener, opts Options) 
 			return nil, err
 		}
 	}
-	if _, _, err := d.giwp(d.aliveSorted()); err != nil {
+	if _, _, err := d.giwp(d.aliveSorted(), false); err != nil {
 		return nil, err
 	}
 
@@ -235,13 +273,16 @@ func (d *discoverer) topoSorted(set map[predicate.ID]bool) []predicate.ID {
 	return out
 }
 
-// intervene performs one group-intervention round and applies both
-// pruning rules; it returns whether the failure stopped.
-func (d *discoverer) intervene(preds []predicate.ID, phase string) (bool, error) {
+// intervene performs one group-intervention round through the scheduler
+// and applies both pruning rules; it returns whether the failure
+// stopped. The request's continuation hints, if any, are prefetched
+// concurrently when speculation is enabled.
+func (d *discoverer) intervene(req Request, phase string) (bool, error) {
 	if err := d.ctx.Err(); err != nil {
 		return false, err
 	}
-	obs, err := d.iv.Intervene(d.ctx, preds)
+	preds := req.Preds
+	obs, meta, err := d.sched.Outcome(d.ctx, req)
 	if err != nil {
 		return false, fmt.Errorf("core: intervention on %v: %w", preds, err)
 	}
@@ -303,7 +344,7 @@ func (d *discoverer) intervene(preds []predicate.ID, phase string) (bool, error)
 	}
 	d.log = append(d.log, round)
 	if d.opts.OnRound != nil {
-		d.opts.OnRound(round)
+		d.opts.OnRound(round, meta)
 	}
 	return stopped, nil
 }
@@ -326,15 +367,53 @@ func (d *discoverer) markCause(p predicate.ID) {
 
 // giwp is Algorithm 1: Group Intervention With Pruning over the pool,
 // restricted at each step to predicates still alive.
-func (d *discoverer) giwp(pool []predicate.ID) (causes, spurious []predicate.ID, err error) {
+//
+// positive carries the classic adaptive-group-testing invariant: a pool
+// entered because intervening on all of it stopped the failure provably
+// contains a cause. When elimination then leaves a single alive
+// candidate, it is confirmed by deduction — no round spent. The
+// pre-scheduler loop retested that last candidate, and that retest is
+// exactly the wasted round that pushed single-thread chains to N+2
+// interventions (ROADMAP: Generate seed 97 at MaxThreads=1); the
+// deduction restores the ≤ N+1 linear bound.
+func (d *discoverer) giwp(pool []predicate.ID, positive bool) (causes, spurious []predicate.ID, err error) {
 	for {
 		pool = d.filterAlive(pool)
 		if len(pool) == 0 {
 			return causes, spurious, nil
 		}
-		ordered := d.topoOrderPool(pool)
+		if positive && len(pool) == 1 && d.sched.Deterministic() {
+			// Deduced confirmation: the pool contains a cause and every
+			// other candidate has been eliminated. Gated on the
+			// deterministic-intervener declaration — under a noisy
+			// intervener the "positive" premise may itself be a missed
+			// manifestation, and the confirming retest the deduction
+			// skips is what keeps a spurious candidate from being
+			// reported causal.
+			d.markCause(pool[0])
+			causes = append(causes, pool[0])
+			return causes, spurious, nil
+		}
+		levels := d.dag.LevelsWithin(d.aliveWithF())
+		ordered := d.topoOrderPool(pool, levels)
 		half := ordered[:(len(ordered)+1)/2] // first ⌈n/2⌉ in topo order
-		stopped, err := d.intervene(half, "giwp")
+		req := Request{Preds: half}
+		if d.sched.Speculative() {
+			rest := ordered[len(half):]
+			// Under a persisted outcome the loop continues on the rest;
+			// under a stopped outcome it recurses into the half — unless
+			// the half is a singleton, which confirms in place and also
+			// continues on the rest. The hints reuse this round's level
+			// map: recomputing it per hint would triple the decision cost
+			// of the latency-optimized path.
+			req.IfPersisted = d.nextGiwpHalf(rest, levels)
+			if len(half) > 1 {
+				req.IfStopped = d.nextGiwpHalf(half, levels)
+			} else {
+				req.IfStopped = req.IfPersisted
+			}
+		}
+		stopped, err := d.intervene(req, "giwp")
 		if err != nil {
 			return nil, nil, err
 		}
@@ -343,17 +422,44 @@ func (d *discoverer) giwp(pool []predicate.ID) (causes, spurious []predicate.ID,
 				d.markCause(half[0])
 				causes = append(causes, half[0])
 			} else {
-				c, x, err := d.giwp(half)
+				c, x, err := d.giwp(half, true)
 				if err != nil {
 					return nil, nil, err
 				}
 				causes = append(causes, c...)
 				spurious = append(spurious, x...)
 			}
+			// The cause the stopped half contained is now classified; the
+			// remaining pool's status is unknown again.
+			positive = false
 		} else {
 			spurious = append(spurious, half...)
 		}
 	}
+}
+
+// nextGiwpHalf predicts the group the giwp loop would test next over
+// the given remaining candidates, as a speculative-prefetch hint. The
+// prediction must be independent of the rng's tie-breaking, so it is
+// offered only when the candidates' topological levels are pairwise
+// distinct (a chain — the shuffle cannot reorder it). Observation-based
+// pruning between now and the next round may still invalidate the
+// prediction, which only wastes the prefetched bundle: the cache is
+// keyed by exact membership, so a stale hint is never consumed.
+func (d *discoverer) nextGiwpHalf(rest []predicate.ID, levels map[predicate.ID]int) []predicate.ID {
+	if len(rest) == 0 {
+		return nil
+	}
+	seen := make(map[int]bool, len(rest))
+	for _, p := range rest {
+		if seen[levels[p]] {
+			return nil
+		}
+		seen[levels[p]] = true
+	}
+	out := append([]predicate.ID(nil), rest...)
+	sort.Slice(out, func(i, j int) bool { return levels[out[i]] < levels[out[j]] })
+	return out[:(len(out)+1)/2]
 }
 
 func (d *discoverer) filterAlive(pool []predicate.ID) []predicate.ID {
@@ -366,15 +472,21 @@ func (d *discoverer) filterAlive(pool []predicate.ID) []predicate.ID {
 	return out
 }
 
-// topoOrderPool orders the pool by topological level within the alive
-// graph, resolving ties randomly (Algorithm 1, line 4).
-func (d *discoverer) topoOrderPool(pool []predicate.ID) []predicate.ID {
+// aliveWithF is the alive candidate set plus the failure predicate —
+// the subgraph every level computation restricts to.
+func (d *discoverer) aliveWithF() map[predicate.ID]bool {
 	aliveAndF := make(map[predicate.ID]bool, len(d.alive)+1)
 	for id := range d.alive {
 		aliveAndF[id] = true
 	}
 	aliveAndF[predicate.FailureID] = true
-	levels := d.dag.LevelsWithin(aliveAndF)
+	return aliveAndF
+}
+
+// topoOrderPool orders the pool by topological level within the alive
+// graph (levels as computed by the caller for this round), resolving
+// ties randomly (Algorithm 1, line 4).
+func (d *discoverer) topoOrderPool(pool []predicate.ID, levels map[predicate.ID]int) []predicate.ID {
 	out := append([]predicate.ID(nil), pool...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	d.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
@@ -389,43 +501,27 @@ func (d *discoverer) topoOrderPool(pool []predicate.ID) []predicate.ID {
 // approximate causal chain.
 func (d *discoverer) branchPrune() error {
 	walked := make(map[predicate.ID]bool)
+	// exclude mirrors walked (plus F) for the frontier query; it is
+	// maintained incrementally rather than rebuilt per round.
+	exclude := map[predicate.ID]bool{predicate.FailureID: true}
+	walk := func(id predicate.ID) {
+		walked[id] = true
+		exclude[id] = true
+	}
 	for {
-		remaining := 0
-		for id := range d.alive {
-			if !walked[id] {
-				remaining++
-			}
-		}
-		if remaining == 0 {
+		// The per-round candidate frontier: the lowest-level unwalked
+		// members of the alive subgraph (level computation runs
+		// word-parallel over the AC-DAG's bitset rows; see
+		// LevelsWithin). Members at one level are mutually unordered —
+		// the junction of Algorithm 2.
+		aliveAndF := d.aliveWithF()
+		members := d.dag.LevelFrontierWithin(aliveAndF, exclude)
+		if len(members) == 0 {
 			return nil
 		}
-		aliveAndF := make(map[predicate.ID]bool, len(d.alive)+1)
-		for id := range d.alive {
-			aliveAndF[id] = true
-		}
-		aliveAndF[predicate.FailureID] = true
-		levels := d.dag.LevelsWithin(aliveAndF)
-
-		minLevel := -1
-		var members []predicate.ID
-		for id := range d.alive {
-			if walked[id] {
-				continue
-			}
-			l := levels[id]
-			switch {
-			case minLevel == -1 || l < minLevel:
-				minLevel = l
-				members = members[:0]
-				members = append(members, id)
-			case l == minLevel:
-				members = append(members, id)
-			}
-		}
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 
 		if len(members) == 1 {
-			walked[members[0]] = true
+			walk(members[0])
 		} else {
 			if err := d.resolveJunction(members, aliveAndF); err != nil {
 				return err
@@ -479,11 +575,11 @@ func (d *discoverer) resolveJunction(members []predicate.ID, aliveAndF map[predi
 		}
 	}
 
-	for len(heads) > 1 {
-		half := heads[:(len(heads)+1)/2]
-		rest := heads[(len(heads)+1)/2:]
+	// collect assembles the alive predicates of the given heads'
+	// branches — the group a junction round intervenes on.
+	collect := func(hs []predicate.ID) []predicate.ID {
 		var group []predicate.ID
-		for _, h := range half {
+		for _, h := range hs {
 			for _, p := range branches[h] {
 				if d.alive[p] {
 					group = append(group, p)
@@ -491,11 +587,41 @@ func (d *discoverer) resolveJunction(members []predicate.ID, aliveAndF map[predi
 			}
 		}
 		sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+		return group
+	}
+
+	for len(heads) > 1 {
+		half := heads[:(len(heads)+1)/2]
+		rest := heads[(len(heads)+1)/2:]
+		group := collect(half)
 		if len(group) == 0 {
 			heads = rest
 			continue
 		}
-		stopped, err := d.intervene(group, "branch")
+		req := Request{Preds: group}
+		if d.sched.Speculative() {
+			// Continuation hints for the scheduler: the next group under
+			// either outcome. Both live in branch sets of the same
+			// junction frontier, and branches are exclusive descendant
+			// sets of an antichain — a predicate ordered after two heads
+			// belongs to neither branch — so the hinted groups are
+			// provably disjoint and mutually unordered: independent
+			// bundles the scheduler batches into one logical round. The
+			// Unordered check enforces that invariant rather than trusting
+			// it (a future Branches change must not silently batch
+			// dependent groups).
+			if len(half) > 1 {
+				req.IfStopped = collect(half[:(len(half)+1)/2])
+			}
+			if len(rest) > 1 {
+				req.IfPersisted = collect(rest[:(len(rest)+1)/2])
+			}
+			if len(req.IfStopped) > 0 && len(req.IfPersisted) > 0 &&
+				!d.dag.Unordered(req.IfStopped, req.IfPersisted) {
+				req.IfStopped, req.IfPersisted = nil, nil
+			}
+		}
+		stopped, err := d.intervene(req, "branch")
 		if err != nil {
 			return err
 		}

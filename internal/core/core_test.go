@@ -166,8 +166,18 @@ func TestRoundsLogIsConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rounds) != w.calls {
-		t.Fatalf("rounds logged %d, intervener called %d times", len(res.Rounds), w.calls)
+	// The scheduler memoizes outcomes by forced-predicate set: the
+	// intervener executes each distinct group exactly once, and every
+	// round is backed by exactly one of those executions.
+	distinct := map[string]bool{}
+	for _, r := range res.Rounds {
+		distinct[canonKey(r.Intervened)] = true
+	}
+	if len(distinct) != w.calls {
+		t.Fatalf("%d distinct groups logged, intervener called %d times", len(distinct), w.calls)
+	}
+	if w.calls > len(res.Rounds) {
+		t.Fatalf("intervener called %d times for %d rounds", w.calls, len(res.Rounds))
 	}
 	classified := map[predicate.ID]bool{}
 	for _, r := range res.Rounds {

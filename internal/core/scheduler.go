@@ -1,0 +1,354 @@
+// The intervention scheduler: the execution layer between the
+// discovery logic (Algorithms 1–3) and the Intervener.
+//
+// Discovery is adaptive — each round's group depends on the previous
+// outcome — so the scheduler cannot reorder rounds. What it can do:
+//
+//   - memoize outcomes keyed by the forced-predicate set, so a group
+//     retested across the branch-prune and GIWP phases, or across
+//     ablation variants sharing one scheduler, never re-replays;
+//   - batch provably independent candidate groups into one logical
+//     round and execute their replay bundles concurrently: when the
+//     decision logic can name the group it will need next under either
+//     outcome of the current round (continuation hints), those bundles
+//     run ahead of time through the Intervener's batch interface and
+//     land in the cache before they are requested.
+//
+// Every bundle is a pure function of its forced-predicate set (the
+// Intervener contract for deterministic replay), so neither caching nor
+// speculative batching can change an outcome: a discovery run reads the
+// same observations in the same order for any worker count, and the
+// Result is byte-identical whether the scheduler ran one worker, many,
+// or was shared with a previous variant's run. Only the RoundMeta
+// reported to observers (batch ids, cache hits) reflects how outcomes
+// were produced.
+package core
+
+import (
+	"context"
+	"sync"
+
+	"aid/internal/predicate"
+)
+
+// BatchIntervener is an Intervener that can execute several independent
+// groups' replay bundles in one concurrent sweep (inject.Executor
+// flattens them across a single worker pool). Outcomes must be
+// independent per group: each group's observations are a pure function
+// of its forced-predicate set, identical to a standalone Intervene
+// call.
+type BatchIntervener interface {
+	Intervener
+	InterveneBatch(ctx context.Context, groups [][]predicate.ID) ([][]Observation, error)
+}
+
+// Request is one outcome the discovery logic needs from the scheduler.
+type Request struct {
+	// Preds is the group to intervene on.
+	Preds []predicate.ID
+	// IfStopped and IfPersisted optionally hint the group the caller
+	// will request next under each outcome of Preds, computed against
+	// the current alive set. Hints must be rng-independent (provable
+	// from the decision state alone); observation-based pruning may
+	// still invalidate one, in which case its prefetched outcome simply
+	// stays unused in the cache. Hints are ignored unless speculation is
+	// enabled (a batch-capable intervener and more than one worker).
+	IfStopped, IfPersisted []predicate.ID
+}
+
+// RoundMeta describes how a round's outcome was produced. It is
+// observational (wall-clock provenance, not algorithm state): metadata
+// may differ between worker counts even though the Round and Result are
+// byte-identical.
+type RoundMeta struct {
+	// Batch is the 1-based id of the execution batch that produced the
+	// outcome. Rounds sharing an id had their replay bundles executed
+	// concurrently as one logical round.
+	Batch int
+	// CacheHit reports that the outcome was already available (or in
+	// flight) when requested — no new replays were started.
+	CacheHit bool
+	// Speculative reports that the outcome was produced by a
+	// continuation-hint prefetch rather than a direct request.
+	Speculative bool
+}
+
+// SchedulerStats aggregates a scheduler's execution accounting.
+type SchedulerStats struct {
+	// Requests counts Outcome calls; Executions counts groups actually
+	// replayed (Requests - CacheHits + wasted speculation).
+	Requests, Executions int
+	// CacheHits counts requests served without starting new replays.
+	CacheHits int
+	// Speculated counts groups prefetched from continuation hints.
+	Speculated int
+	// Batches counts logical execution batches launched.
+	Batches int
+}
+
+// SchedulerConfig configures a Scheduler.
+type SchedulerConfig struct {
+	// Workers is the replay pool width the scheduler assumes (<= 0 =
+	// GOMAXPROCS). Exactly 1 disables speculative batching regardless
+	// of Speculate: with a single worker prefetching cannot overlap
+	// anything and would only waste replays.
+	Workers int
+	// Speculate opts in to continuation-hint prefetch (requires a
+	// batch-capable intervener). It is off by default because it trades
+	// wasted replay bundles for latency: each round may execute up to
+	// two extra bundles, and the speculative batch runs concurrently
+	// with the next direct request's own bundle, so the intervener can
+	// see up to twice its configured pool width in flight. That is a
+	// win only when cores comfortably exceed twice the bundle width;
+	// measured on the Figure 7 pipeline with 5-seed bundles on a
+	// saturated pool it cost 10–70% wall-clock, so callers must enable
+	// it deliberately (see DESIGN.md, "Intervention scheduler").
+	// Outcomes are unaffected either way.
+	Speculate bool
+	// NoCache disables outcome memoization (and with it speculation)
+	// while still treating the intervener as deterministic — every
+	// round re-executes, but outcomes are assumed pure. Useful as the
+	// control in cached-vs-uncached equivalence tests.
+	NoCache bool
+	// Nondeterministic declares the intervener stateful or noisy (e.g.
+	// FlakyWorld, whose observation stream must advance on every
+	// round). It implies NoCache and additionally disables the
+	// group-testing deductions that substitute elimination for a
+	// confirming retest: under noise the "positive pool" premise may
+	// itself be a missed manifestation, and the retest is what keeps a
+	// spurious candidate from being confirmed causal.
+	Nondeterministic bool
+}
+
+// outcomeEntry is one cached (or in-flight) group outcome.
+type outcomeEntry struct {
+	done        chan struct{}
+	obs         []Observation
+	err         error
+	batch       int
+	speculative bool
+}
+
+// Scheduler mediates every intervention of a discovery run. It may be
+// shared across Discover calls over the same deterministic intervener
+// (e.g. the AID / AID-P / AID-P-B ablation variants of one instance),
+// in which case the memo cache carries over and repeated groups are
+// never re-replayed. A Scheduler must not be shared across different
+// interveners or non-deterministic ones (see SchedulerConfig.NoCache).
+//
+// Concurrency contract: Outcome is called from a single decision
+// thread (discovery is adaptive — there is never a second concurrent
+// requester); the scheduler's own speculative batches are the only
+// concurrent intervener callers, and only batch-capable interveners
+// receive them.
+type Scheduler struct {
+	iv            Intervener
+	biv           BatchIntervener // nil when iv cannot batch
+	speculate     bool
+	noCache       bool
+	deterministic bool
+
+	mu      sync.Mutex
+	cache   map[string]*outcomeEntry
+	batches int
+	stats   SchedulerStats
+	wg      sync.WaitGroup
+}
+
+// NewScheduler builds a scheduler over the intervener. The same
+// scheduler value is safe to pass to several (sequential) Discover
+// calls; in-flight speculative batches are drained before each run
+// returns.
+func NewScheduler(iv Intervener, cfg SchedulerConfig) *Scheduler {
+	s := &Scheduler{
+		iv:            iv,
+		noCache:       cfg.NoCache || cfg.Nondeterministic,
+		deterministic: !cfg.Nondeterministic,
+		cache:         map[string]*outcomeEntry{},
+	}
+	if biv, ok := iv.(BatchIntervener); ok {
+		s.biv = biv
+	}
+	s.speculate = cfg.Speculate && !s.noCache && s.biv != nil && cfg.Workers != 1
+	return s
+}
+
+// Intervener returns the wrapped intervener.
+func (s *Scheduler) Intervener() Intervener { return s.iv }
+
+// Speculative reports whether the scheduler prefetches continuation
+// hints. Callers use it to skip computing hints that would be ignored.
+func (s *Scheduler) Speculative() bool { return s.speculate }
+
+// Deterministic reports whether the intervener was declared a pure
+// function of the forced-predicate set (i.e. Nondeterministic was not
+// set). The discovery logic consults it before substituting a
+// group-testing deduction for a confirming retest: under noise a
+// falsely-stopped group must still be retested, or a single missed
+// manifestation confirms a spurious candidate.
+func (s *Scheduler) Deterministic() bool { return s.deterministic }
+
+// Stats returns a snapshot of the execution accounting.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// canonKey is the cache key of a forced-predicate set: membership only,
+// order-insensitive (predicate.GroupKey, shared with grouptest's
+// oracle cache).
+func canonKey(preds []predicate.ID) string { return predicate.GroupKey(preds) }
+
+// closedChan is the pre-closed done channel shared by entries completed
+// synchronously — the common, speculation-free path allocates no
+// channel and spawns no goroutine.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Outcome returns the observations for the requested group, executing
+// it (and, when speculation is enabled, its continuation hints) as
+// needed. It blocks until the requested group's outcome is available.
+func (s *Scheduler) Outcome(ctx context.Context, req Request) ([]Observation, RoundMeta, error) {
+	if s.noCache {
+		s.mu.Lock()
+		s.stats.Requests++
+		s.stats.Executions++
+		s.stats.Batches++
+		s.batches++
+		batch := s.batches
+		s.mu.Unlock()
+		obs, err := s.iv.Intervene(ctx, req.Preds)
+		return obs, RoundMeta{Batch: batch}, err
+	}
+
+	key := canonKey(req.Preds)
+	s.mu.Lock()
+	s.stats.Requests++
+	e, hit := s.cache[key]
+	if hit {
+		s.stats.CacheHits++
+	} else {
+		s.batches++
+		s.stats.Batches++
+		s.stats.Executions++
+		e = &outcomeEntry{done: closedChan, batch: s.batches}
+		s.cache[key] = e
+	}
+	if s.speculate {
+		s.prefetch(ctx, req, key)
+	}
+	s.mu.Unlock()
+
+	if !hit {
+		// Direct request: run synchronously on the calling goroutine,
+		// preserving the intervener's single-threaded calling convention
+		// (speculative batches are the only concurrent callers, and only
+		// batch-capable interveners receive them).
+		e.obs, e.err = s.iv.Intervene(ctx, req.Preds)
+		if e.err != nil {
+			// Never memoize failures: a cancelled context or transient
+			// intervener error must not be served back to a later run
+			// over a shared scheduler.
+			s.mu.Lock()
+			if s.cache[key] == e {
+				delete(s.cache, key)
+			}
+			s.mu.Unlock()
+		}
+		return e.obs, RoundMeta{Batch: e.batch}, e.err
+	}
+
+	<-e.done
+	if e.err != nil && e.speculative {
+		// A speculative bundle failed; retry it as a direct request so a
+		// transient batch failure cannot poison the round, and a
+		// deterministic one surfaces exactly as it would have without
+		// speculation.
+		// Only this decision thread writes the cache (prefetch runs
+		// inside Outcome), so after the delete no other entry can appear
+		// under the key: re-execute unconditionally. The hit recorded
+		// above turned into a fresh execution — undo it so the stats
+		// stay reconcilable (CacheHits counts requests served without
+		// new replays).
+		s.mu.Lock()
+		s.stats.CacheHits--
+		if s.cache[key] == e {
+			delete(s.cache, key)
+		}
+		s.batches++
+		s.stats.Batches++
+		s.stats.Executions++
+		retry := &outcomeEntry{done: closedChan, batch: s.batches}
+		s.cache[key] = retry
+		s.mu.Unlock()
+		retry.obs, retry.err = s.iv.Intervene(ctx, req.Preds)
+		if retry.err != nil {
+			s.mu.Lock()
+			if s.cache[key] == retry {
+				delete(s.cache, key)
+			}
+			s.mu.Unlock()
+		}
+		e, hit = retry, false
+	}
+	meta := RoundMeta{Batch: e.batch, CacheHit: hit, Speculative: e.speculative}
+	return e.obs, meta, e.err
+}
+
+// prefetch launches the request's continuation hints as one concurrent
+// speculative batch. The caller holds s.mu and has already keyed the
+// primary group.
+func (s *Scheduler) prefetch(ctx context.Context, req Request, primaryKey string) {
+	var groups [][]predicate.ID
+	var entries []*outcomeEntry
+	seen := map[string]bool{primaryKey: true}
+	for _, hint := range [][]predicate.ID{req.IfStopped, req.IfPersisted} {
+		if len(hint) == 0 {
+			continue
+		}
+		key := canonKey(hint)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := s.cache[key]; ok {
+			continue
+		}
+		e := &outcomeEntry{done: make(chan struct{}), speculative: true}
+		s.cache[key] = e
+		entries = append(entries, e)
+		groups = append(groups, append([]predicate.ID(nil), hint...))
+	}
+	if len(groups) == 0 {
+		return
+	}
+	s.batches++
+	s.stats.Batches++
+	batch := s.batches
+	s.stats.Executions += len(groups)
+	s.stats.Speculated += len(groups)
+	for _, e := range entries {
+		e.batch = batch
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		results, err := s.biv.InterveneBatch(ctx, groups)
+		for i, e := range entries {
+			if err != nil {
+				e.err = err
+			} else {
+				e.obs = results[i]
+			}
+			close(e.done)
+		}
+	}()
+}
+
+// Wait blocks until every in-flight batch has drained. Discover calls
+// it on exit so no speculative replay outlives the run.
+func (s *Scheduler) Wait() { s.wg.Wait() }

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"aid/internal/predicate"
+)
+
+// batchWorld adapts truthWorld to BatchIntervener so scheduler tests
+// can exercise speculative prefetch; the mutex makes the shared calls
+// counter safe under concurrent batches.
+type batchWorld struct {
+	mu sync.Mutex
+	w  *truthWorld
+	// batchCalls counts InterveneBatch invocations; batchErr, when
+	// non-nil, fails them (direct Intervene still succeeds).
+	batchCalls int
+	batchErr   error
+}
+
+func (b *batchWorld) Intervene(ctx context.Context, preds []predicate.ID) ([]Observation, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.w.Intervene(ctx, preds)
+}
+
+func (b *batchWorld) InterveneBatch(ctx context.Context, groups [][]predicate.ID) ([][]Observation, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batchCalls++
+	if b.batchErr != nil {
+		return nil, b.batchErr
+	}
+	out := make([][]Observation, len(groups))
+	for i, g := range groups {
+		obs, err := b.w.Intervene(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = obs
+	}
+	return out, nil
+}
+
+func (b *batchWorld) calls() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.w.calls
+}
+
+func chainWorld() *truthWorld {
+	return &truthWorld{
+		parent: map[predicate.ID]predicate.ID{"A": "", "B": "A", "C": "B", "D": "C"},
+		last:   "C",
+	}
+}
+
+func TestSchedulerMemoizesOutcomes(t *testing.T) {
+	w := chainWorld()
+	s := NewScheduler(w, SchedulerConfig{Workers: 1})
+	ctx := context.Background()
+
+	obs1, m1, err := s.Outcome(ctx, Request{Preds: []predicate.ID{"A", "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	// Same forced set, different order: must be served from the cache.
+	obs2, m2, err := s.Outcome(ctx, Request{Preds: []predicate.ID{"B", "A"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.CacheHit {
+		t.Error("repeated group was re-executed")
+	}
+	if !reflect.DeepEqual(obs1, obs2) {
+		t.Error("cached observations differ from executed ones")
+	}
+	if w.calls != 1 {
+		t.Fatalf("intervener called %d times, want 1", w.calls)
+	}
+	st := s.Stats()
+	if st.Requests != 2 || st.Executions != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 2 requests / 1 execution / 1 hit", st)
+	}
+}
+
+func TestSchedulerNoCache(t *testing.T) {
+	w := chainWorld()
+	s := NewScheduler(w, SchedulerConfig{NoCache: true})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, m, err := s.Outcome(ctx, Request{Preds: []predicate.ID{"A"}}); err != nil {
+			t.Fatal(err)
+		} else if m.CacheHit {
+			t.Fatal("NoCache scheduler reported a cache hit")
+		}
+	}
+	if w.calls != 3 {
+		t.Fatalf("intervener called %d times, want 3", w.calls)
+	}
+	if s.Speculative() {
+		t.Error("NoCache scheduler speculates")
+	}
+}
+
+func TestSchedulerSpeculativePrefetch(t *testing.T) {
+	bw := &batchWorld{w: chainWorld()}
+	s := NewScheduler(bw, SchedulerConfig{Workers: 8, Speculate: true})
+	if !s.Speculative() {
+		t.Fatal("batch-capable intervener opted in with 8 workers should speculate")
+	}
+	ctx := context.Background()
+
+	_, _, err := s.Outcome(ctx, Request{
+		Preds:       []predicate.ID{"A", "B"},
+		IfStopped:   []predicate.ID{"A"},
+		IfPersisted: []predicate.ID{"C"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+	if got := bw.calls(); got != 3 {
+		t.Fatalf("after prefetch: %d interventions executed, want 3", got)
+	}
+	// Consuming a hinted group must not re-execute it.
+	_, m, err := s.Outcome(ctx, Request{Preds: []predicate.ID{"C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CacheHit || !m.Speculative {
+		t.Fatalf("hinted group meta = %+v, want cache hit from speculation", m)
+	}
+	if got := bw.calls(); got != 3 {
+		t.Fatalf("after consuming hint: %d interventions executed, want 3", got)
+	}
+	st := s.Stats()
+	if st.Speculated != 2 || st.Batches != 2 {
+		t.Fatalf("stats = %+v, want 2 speculated groups in 1 extra batch", st)
+	}
+}
+
+func TestSchedulerSingleWorkerDoesNotSpeculate(t *testing.T) {
+	bw := &batchWorld{w: chainWorld()}
+	s := NewScheduler(bw, SchedulerConfig{Workers: 1, Speculate: true})
+	if s.Speculative() {
+		t.Fatal("single-worker scheduler speculates despite opt-in")
+	}
+	_, _, err := s.Outcome(context.Background(), Request{
+		Preds:     []predicate.ID{"A"},
+		IfStopped: []predicate.ID{"B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+	if got := bw.calls(); got != 1 {
+		t.Fatalf("%d interventions executed, want 1 (hints ignored)", got)
+	}
+}
+
+func TestSchedulerSpeculativeErrorRetried(t *testing.T) {
+	bw := &batchWorld{w: chainWorld(), batchErr: errors.New("transient batch failure")}
+	s := NewScheduler(bw, SchedulerConfig{Workers: 8, Speculate: true})
+	ctx := context.Background()
+
+	if _, _, err := s.Outcome(ctx, Request{
+		Preds:     []predicate.ID{"A"},
+		IfStopped: []predicate.ID{"B"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+	// The hinted group's batch failed; consuming it must retry directly
+	// and succeed, exactly as it would have without speculation.
+	obs, m, err := s.Outcome(ctx, Request{Preds: []predicate.ID{"B"}})
+	if err != nil {
+		t.Fatalf("consuming failed speculative entry: %v", err)
+	}
+	if len(obs) == 0 {
+		t.Fatal("no observations from retry")
+	}
+	if m.Speculative {
+		t.Error("retried outcome still marked speculative")
+	}
+}
+
+// TestDiscoverDeterministicAcrossWorkers pins the scheduler's core
+// contract: discovery over a batch-capable intervener produces an
+// identical Result for one worker (no speculation) and many (hints
+// prefetched concurrently).
+func TestDiscoverDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 60; i++ {
+		dag, w, _ := randomWorld(rng)
+		seed := rng.Int63()
+		variants := []func(int64) Options{AIDOptions, AIDPOptions, AIDPBOptions}
+		for vi, variant := range variants {
+			opts1 := variant(seed)
+			opts1.Workers = 1
+			res1, err := Discover(context.Background(), dag, &batchWorld{w: &truthWorld{parent: w.parent, last: w.last}}, opts1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optsN := variant(seed)
+			optsN.Workers = 8
+			bw := &batchWorld{w: &truthWorld{parent: w.parent, last: w.last}}
+			optsN.Scheduler = NewScheduler(bw, SchedulerConfig{Workers: 8, Speculate: true})
+			resN, err := Discover(context.Background(), dag, bw, optsN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res1, resN) {
+				t.Fatalf("world %d variant %d: results differ between 1 and 8 workers:\n1: %+v\nN: %+v", i, vi, res1, resN)
+			}
+		}
+	}
+}
+
+// TestDiscoverSharedSchedulerAcrossVariants checks a scheduler shared
+// across the three ablation variants serves repeated groups from its
+// cache without changing any variant's Result.
+func TestDiscoverSharedSchedulerAcrossVariants(t *testing.T) {
+	d, w := paperWorld(t)
+	shared := NewScheduler(w, SchedulerConfig{})
+	variants := []func(int64) Options{AIDOptions, AIDPOptions, AIDPBOptions}
+	for vi, variant := range variants {
+		fresh, err := Discover(context.Background(), d, w, variant(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := variant(3)
+		opts.Scheduler = shared
+		got, err := Discover(context.Background(), d, w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh, got) {
+			t.Fatalf("variant %d: shared-scheduler result differs from fresh run", vi)
+		}
+	}
+	st := shared.Stats()
+	if st.CacheHits == 0 {
+		t.Fatal("no cache hits across variants — sharing is not effective")
+	}
+	if st.Executions != st.Requests-st.CacheHits {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+}
+
+// errOnceWorld fails the first Intervene call, then behaves normally —
+// the shape of a cancelled or transiently failing intervener.
+type errOnceWorld struct {
+	w      *truthWorld
+	failed bool
+}
+
+func (e *errOnceWorld) Intervene(ctx context.Context, preds []predicate.ID) ([]Observation, error) {
+	if !e.failed {
+		e.failed = true
+		return nil, errors.New("transient")
+	}
+	return e.w.Intervene(ctx, preds)
+}
+
+// TestSchedulerDoesNotMemoizeErrors: a failed direct request (e.g. a
+// cancelled context) must not be served from the cache to a later run
+// over a shared scheduler.
+func TestSchedulerDoesNotMemoizeErrors(t *testing.T) {
+	s := NewScheduler(&errOnceWorld{w: chainWorld()}, SchedulerConfig{})
+	ctx := context.Background()
+	req := Request{Preds: []predicate.ID{"A"}}
+	if _, _, err := s.Outcome(ctx, req); err == nil {
+		t.Fatal("first request should fail")
+	}
+	obs, m, err := s.Outcome(ctx, req)
+	if err != nil {
+		t.Fatalf("second request served the stale error: %v", err)
+	}
+	if len(obs) == 0 || m.CacheHit {
+		t.Fatalf("second request not re-executed: obs=%d meta=%+v", len(obs), m)
+	}
+	// And the successful outcome is memoized as usual.
+	if _, m, err := s.Outcome(ctx, req); err != nil || !m.CacheHit {
+		t.Fatalf("third request: err=%v meta=%+v, want cache hit", err, m)
+	}
+}
+
+func TestSchedulerNondeterministic(t *testing.T) {
+	w := chainWorld()
+	s := NewScheduler(w, SchedulerConfig{Nondeterministic: true, Speculate: true, Workers: 8})
+	if s.Deterministic() {
+		t.Fatal("nondeterministic intervener reported deterministic")
+	}
+	if s.Speculative() {
+		t.Fatal("nondeterministic scheduler speculates")
+	}
+	// Implies NoCache: every request re-executes.
+	for i := 0; i < 2; i++ {
+		if _, m, err := s.Outcome(context.Background(), Request{Preds: []predicate.ID{"A"}}); err != nil || m.CacheHit {
+			t.Fatalf("request %d: err=%v meta=%+v", i, err, m)
+		}
+	}
+	if w.calls != 2 {
+		t.Fatalf("intervener called %d times, want 2", w.calls)
+	}
+	// NoCache alone keeps the deterministic declaration.
+	if !NewScheduler(w, SchedulerConfig{NoCache: true}).Deterministic() {
+		t.Fatal("NoCache-only scheduler must stay deterministic")
+	}
+}

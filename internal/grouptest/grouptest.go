@@ -24,6 +24,52 @@ import (
 // (i.e. the group contains at least one causal predicate).
 type Oracle func(group []predicate.ID) (stopped bool, err error)
 
+// BatchOracle answers several independent group tests whose membership
+// is fixed in advance — the groups of a non-adaptive design — allowing
+// the backend to execute their replay bundles concurrently. Results are
+// returned in group order and must equal per-group Oracle calls.
+type BatchOracle func(groups [][]predicate.ID) ([]bool, error)
+
+// OracleCache memoizes group-test outcomes keyed by the canonical
+// (sorted) group membership — the grouptest analog of the intervention
+// scheduler's outcome cache in package core. One cache may be shared
+// across Adaptive, Halving, NonAdaptive and Linear runs over the same
+// deterministic oracle (e.g. the four approaches measured on one
+// synthetic instance): a group any strategy already tested is never
+// re-executed. Test counters are unaffected — every strategy still
+// counts its own calls — and a cache must not wrap a noisy oracle,
+// whose outcome stream has to advance on every test.
+type OracleCache struct {
+	m map[string]bool
+}
+
+// NewOracleCache returns an empty cache.
+func NewOracleCache() *OracleCache { return &OracleCache{m: map[string]bool{}} }
+
+// Wrap returns an oracle that consults the cache before o. A nil cache
+// returns o unchanged.
+func (c *OracleCache) Wrap(o Oracle) Oracle {
+	if c == nil {
+		return o
+	}
+	return func(group []predicate.ID) (bool, error) {
+		key := canonKey(group)
+		if stopped, ok := c.m[key]; ok {
+			return stopped, nil
+		}
+		stopped, err := o(group)
+		if err != nil {
+			return false, err
+		}
+		c.m[key] = stopped
+		return stopped, nil
+	}
+}
+
+// canonKey is the membership-only cache key of a group
+// (predicate.GroupKey, shared with the core intervention scheduler).
+func canonKey(group []predicate.ID) string { return predicate.GroupKey(group) }
+
 // Result reports the identified causal items and the test count.
 type Result struct {
 	Causes []predicate.ID
@@ -33,24 +79,50 @@ type Result struct {
 	Tests int
 }
 
+// tester is the shared scheduling core of the strategies: every group
+// test flows through it, so counting, defensive copying, and error
+// wrapping behave identically across Adaptive, Halving, NonAdaptive and
+// Linear.
+type tester struct {
+	oracle Oracle
+	res    *Result
+}
+
+// test runs one group test and counts it (errors are not counted —
+// no intervention completed).
+func (t *tester) test(group []predicate.ID) (bool, error) {
+	stopped, err := t.oracle(append([]predicate.ID(nil), group...))
+	if err != nil {
+		return false, fmt.Errorf("grouptest: %w", err)
+	}
+	t.res.Tests++
+	return stopped, nil
+}
+
+// shuffledPool is the randomized item order every blind strategy starts
+// from: stable-sorted, then permuted by the seed.
+func shuffledPool(items []predicate.ID, seed int64) []predicate.ID {
+	pool := append([]predicate.ID(nil), items...)
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool
+}
+
 // Adaptive runs TAGT over the items in random order using the classic
 // scheme the paper describes (§2): repeatedly test the whole remaining
 // pool; while positive, binary-search one defective in ⌈log₂N⌉ tests,
 // remove it, and repeat. A negative pool test clears everything left.
 // Total tests ≤ D·(⌈log₂N⌉ + 1) + 1, the paper's D·logN bound.
 func Adaptive(items []predicate.ID, oracle Oracle, seed int64) (*Result, error) {
-	pool := append([]predicate.ID(nil), items...)
-	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
-	rng := rand.New(rand.NewSource(seed))
-	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-
+	pool := shuffledPool(items, seed)
 	res := &Result{}
+	tst := &tester{oracle: oracle, res: res}
 	for len(pool) > 0 {
-		stopped, err := oracle(append([]predicate.ID(nil), pool...))
+		stopped, err := tst.test(pool)
 		if err != nil {
-			return nil, fmt.Errorf("grouptest: %w", err)
+			return nil, err
 		}
-		res.Tests++
 		if !stopped {
 			res.Spurious = append(res.Spurious, pool...)
 			return res, nil
@@ -61,11 +133,10 @@ func Adaptive(items []predicate.ID, oracle Oracle, seed int64) (*Result, error) 
 		search := pool
 		for len(search) > 1 {
 			half := search[:(len(search)+1)/2]
-			stopped, err := oracle(append([]predicate.ID(nil), half...))
+			stopped, err := tst.test(half)
 			if err != nil {
-				return nil, fmt.Errorf("grouptest: %w", err)
+				return nil, err
 			}
-			res.Tests++
 			if stopped {
 				search = half
 			} else {
@@ -92,34 +163,35 @@ func Adaptive(items []predicate.ID, oracle Oracle, seed int64) (*Result, error) 
 // like-for-like TAGT baseline of the paper's Fig. 8 ablation: AID-P-B
 // differs from it only by ordering predicates topologically.
 func Halving(items []predicate.ID, oracle Oracle, seed int64) (*Result, error) {
-	pool := append([]predicate.ID(nil), items...)
-	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
-	rng := rand.New(rand.NewSource(seed))
-	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	pool := shuffledPool(items, seed)
 	res := &Result{}
-	if err := halve(pool, oracle, res); err != nil {
+	if err := halve(pool, &tester{oracle: oracle, res: res}); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-func halve(pool []predicate.ID, oracle Oracle, res *Result) error {
+// halve is the divide-and-conquer scheme shared (structurally) with
+// GIWP. Unlike AID's scheduler it deliberately keeps the blind
+// baseline's wasted confirmation — a singleton remainder of a positive
+// pool is retested, not deduced — because the paper's TAGT column
+// measures the classic scheme, not AID's improvement over it.
+func halve(pool []predicate.ID, tst *tester) error {
 	for len(pool) > 0 {
 		half := pool[:(len(pool)+1)/2]
 		rest := pool[(len(pool)+1)/2:]
-		stopped, err := oracle(append([]predicate.ID(nil), half...))
+		stopped, err := tst.test(half)
 		if err != nil {
-			return fmt.Errorf("grouptest: %w", err)
+			return err
 		}
-		res.Tests++
 		if stopped {
 			if len(half) == 1 {
-				res.Causes = append(res.Causes, half[0])
-			} else if err := halve(half, oracle, res); err != nil {
+				tst.res.Causes = append(tst.res.Causes, half[0])
+			} else if err := halve(half, tst); err != nil {
 				return err
 			}
 		} else {
-			res.Spurious = append(res.Spurious, half...)
+			tst.res.Spurious = append(tst.res.Spurious, half...)
 		}
 		pool = rest
 	}
@@ -136,16 +208,54 @@ func halve(pool []predicate.ID, oracle Oracle, res *Result) error {
 // several the decode fails verification and an error is returned
 // (adaptive testing is required then).
 func NonAdaptive(items []predicate.ID, oracle Oracle) (*Result, error) {
-	n := len(items)
 	res := &Result{}
-	if n == 0 {
-		return res, nil
+	groups, masks := nonAdaptiveDesign(items)
+	tst := &tester{oracle: oracle, res: res}
+	outcomes := make([]bool, len(groups))
+	for i, group := range groups {
+		positive, err := tst.test(group)
+		if err != nil {
+			return nil, err
+		}
+		outcomes[i] = positive
 	}
+	return nonAdaptiveDecode(items, masks, outcomes, tst)
+}
+
+// NonAdaptiveBatched runs the same predetermined bit-mask design, but
+// asks the oracle for all ⌈log₂N⌉ design groups in one call. The
+// design's groups are fixed in advance and mutually outcome-independent
+// — the defining property of a non-adaptive scheme — so a batch-capable
+// backend (e.g. inject.Executor via the intervention scheduler) can
+// execute their replay bundles concurrently as one logical round. The
+// result and test count are identical to NonAdaptive over the same
+// deterministic oracle; only the verification test remains a second,
+// dependent step.
+func NonAdaptiveBatched(items []predicate.ID, oracle Oracle, batch BatchOracle) (*Result, error) {
+	res := &Result{}
+	groups, masks := nonAdaptiveDesign(items)
+	tst := &tester{oracle: oracle, res: res}
+	var outcomes []bool
+	if len(groups) > 0 {
+		var err error
+		outcomes, err = batch(groups)
+		if err != nil {
+			return nil, fmt.Errorf("grouptest: %w", err)
+		}
+		res.Tests += len(groups)
+	}
+	return nonAdaptiveDecode(items, masks, outcomes, tst)
+}
+
+// nonAdaptiveDesign builds the bit-mask design: group b holds every
+// item whose index has bit b set. Empty groups are dropped; masks
+// remembers each group's bit.
+func nonAdaptiveDesign(items []predicate.ID) (groups [][]predicate.ID, masks []int) {
+	n := len(items)
 	bits := 0
 	for 1<<bits < n {
 		bits++
 	}
-	idx := 0
 	for b := 0; b < bits; b++ {
 		var group []predicate.ID
 		for i, it := range items {
@@ -156,13 +266,24 @@ func NonAdaptive(items []predicate.ID, oracle Oracle) (*Result, error) {
 		if len(group) == 0 {
 			continue
 		}
-		positive, err := oracle(group)
-		if err != nil {
-			return nil, fmt.Errorf("grouptest: %w", err)
-		}
-		res.Tests++
+		groups = append(groups, group)
+		masks = append(masks, 1<<b)
+	}
+	return groups, masks
+}
+
+// nonAdaptiveDecode spells the defective's index from the design
+// outcomes and runs the verification test.
+func nonAdaptiveDecode(items []predicate.ID, masks []int, outcomes []bool, tst *tester) (*Result, error) {
+	res := tst.res
+	n := len(items)
+	if n == 0 {
+		return res, nil
+	}
+	idx := 0
+	for i, positive := range outcomes {
 		if positive {
-			idx |= 1 << b
+			idx |= masks[i]
 		}
 	}
 	if idx >= n {
@@ -171,11 +292,10 @@ func NonAdaptive(items []predicate.ID, oracle Oracle) (*Result, error) {
 	// Verification: the decoded candidate must itself test positive;
 	// for a defect-free pool the all-negative pattern decodes to index
 	// 0, which verification then clears.
-	positive, err := oracle([]predicate.ID{items[idx]})
+	positive, err := tst.test([]predicate.ID{items[idx]})
 	if err != nil {
-		return nil, fmt.Errorf("grouptest: %w", err)
+		return nil, err
 	}
-	res.Tests++
 	if !positive {
 		if idx == 0 {
 			res.Spurious = append(res.Spurious, items...)
@@ -196,12 +316,12 @@ func NonAdaptive(items []predicate.ID, oracle Oracle) (*Result, error) {
 // D ≥ N/log N (§2).
 func Linear(items []predicate.ID, oracle Oracle) (*Result, error) {
 	res := &Result{}
+	tst := &tester{oracle: oracle, res: res}
 	for _, it := range items {
-		stopped, err := oracle([]predicate.ID{it})
+		stopped, err := tst.test([]predicate.ID{it})
 		if err != nil {
-			return nil, fmt.Errorf("grouptest: %w", err)
+			return nil, err
 		}
-		res.Tests++
 		if stopped {
 			res.Causes = append(res.Causes, it)
 		} else {

@@ -13,8 +13,10 @@ package inject
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"aid/internal/core"
+	"aid/internal/par"
 	"aid/internal/predicate"
 	"aid/internal/sim"
 	"aid/internal/trace"
@@ -119,37 +121,97 @@ type Executor struct {
 	// MaxSteps bounds each re-execution (0 = sim default).
 	MaxSteps int
 	// Workers is the pool width for replaying Seeds concurrently within
-	// one intervention round; <= 0 means GOMAXPROCS. Replays are
-	// consumed in seed order, so observations are identical for any
-	// width.
+	// one intervention round (and, for InterveneBatch, across every
+	// group of the batch); <= 0 means GOMAXPROCS. Replays are consumed
+	// in seed order, so observations are identical for any width.
 	Workers int
 	// RunsUsed counts total re-executions across rounds (for reporting).
+	// Guarded by mu: the intervention scheduler may run a speculative
+	// batch concurrently with a direct request.
 	RunsUsed int
 
+	// mu serializes the executor's mutable state (RunsUsed, the lazily
+	// built extractor, and the extraction post-pass, whose cached
+	// baseline structures are not written concurrently). Replays
+	// themselves are pure and run outside the lock.
+	mu sync.Mutex
 	// extractor caches the baseline-derived extraction state across
 	// rounds (built lazily on first use).
 	extractor *predicate.Extractor
 }
 
-var _ core.Intervener = (*Executor)(nil)
+var (
+	_ core.Intervener      = (*Executor)(nil)
+	_ core.BatchIntervener = (*Executor)(nil)
+)
 
 // Intervene implements core.Intervener. Cancelling ctx aborts the
 // replay sweep within one task-drain and returns ctx's error.
 func (e *Executor) Intervene(ctx context.Context, preds []predicate.ID) ([]core.Observation, error) {
-	plan, err := PlanFor(e.Corpus, preds)
+	out, err := e.InterveneBatch(ctx, [][]predicate.ID{preds})
 	if err != nil {
 		return nil, err
 	}
-	var failed []bool
-	// Replay the failing seeds concurrently; RunBatch returns them in
-	// seed order, so everything downstream sees the sequential view.
-	execs, err := sim.RunBatch(ctx, e.Prog, e.Seeds, sim.BatchOptions{
-		Run:     sim.RunOptions{Plan: plan, MaxSteps: e.MaxSteps},
-		Workers: e.Workers,
+	return out[0], nil
+}
+
+// InterveneBatch implements core.BatchIntervener: it executes several
+// groups' replay bundles in one flattened concurrent sweep — the
+// len(groups)·len(Seeds) re-executions share a single ordered worker
+// pool, so narrow replay sets still fill every worker when the
+// scheduler batches independent groups into one logical round. Each
+// group's observations are a pure function of its forced-predicate set:
+// the result is identical to calling Intervene once per group, in
+// order, for any pool width.
+func (e *Executor) InterveneBatch(ctx context.Context, groups [][]predicate.ID) ([][]core.Observation, error) {
+	if len(groups) == 0 {
+		return nil, nil
+	}
+	plans := make([]sim.Plan, len(groups))
+	for i, preds := range groups {
+		plan, err := PlanFor(e.Corpus, preds)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = plan
+	}
+	// Replay every (group, seed) pair across one flat pool; par.Map
+	// returns them in (group, seed) order, so everything downstream sees
+	// the per-group sequential view.
+	nSeeds := len(e.Seeds)
+	execs, err := par.Map(ctx, len(groups)*nSeeds, e.Workers, func(i int) (trace.Execution, error) {
+		return sim.Run(e.Prog, e.Seeds[i%nSeeds], sim.RunOptions{Plan: plans[i/nSeeds], MaxSteps: e.MaxSteps})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("inject: re-execution: %w", err)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// The baselines never change between rounds: extract them once and
+	// rescan only the replays each round.
+	if e.extractor == nil {
+		x, err := predicate.NewExtractor(e.Baselines, e.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("inject: %w", err)
+		}
+		e.extractor = x
+	}
+	out := make([][]core.Observation, len(groups))
+	for gi, preds := range groups {
+		bundle := execs[gi*nSeeds : (gi+1)*nSeeds]
+		obs, err := e.observe(bundle, preds)
+		if err != nil {
+			return nil, err
+		}
+		out[gi] = obs
+	}
+	return out, nil
+}
+
+// observe turns one group's replay bundle into observations; the caller
+// holds e.mu and e.extractor is built.
+func (e *Executor) observe(execs []trace.Execution, preds []predicate.ID) ([]core.Observation, error) {
+	var failed []bool
 	for i := range execs {
 		exec := &execs[i]
 		e.RunsUsed++
@@ -162,15 +224,6 @@ func (e *Executor) Intervene(ctx context.Context, preds []predicate.ID) ([]core.
 		// it failed for extraction purposes; the observation's Failed
 		// flag is taken from the real outcome recorded above.
 		exec.Outcome = trace.Failure
-	}
-	// The baselines never change between rounds: extract them once and
-	// rescan only the replays each round.
-	if e.extractor == nil {
-		x, err := predicate.NewExtractor(e.Baselines, e.Cfg)
-		if err != nil {
-			return nil, fmt.Errorf("inject: %w", err)
-		}
-		e.extractor = x
 	}
 	first := len(e.Baselines)
 	rc := e.extractor.Extract(execs)

@@ -390,3 +390,30 @@ func (c *Corpus) MaterializeCompoundFrom(p Predicate, from int) {
 		}
 	}
 }
+
+// GroupKey returns the canonical membership key of a predicate group:
+// IDs sorted and NUL-joined, insensitive to order and duplicates-free
+// only if the input is. It is the cache key shared by the intervention
+// scheduler (core) and the group-testing oracle cache (grouptest) —
+// one implementation so the two layers can never diverge. Singleton
+// groups (the bulk of confirmation rounds) skip the sort and join.
+func GroupKey(ids []ID) string {
+	if len(ids) == 1 {
+		return string(ids[0])
+	}
+	sorted := append([]ID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := 0
+	for _, id := range sorted {
+		n += len(id) + 1
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, id := range sorted {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(string(id))
+	}
+	return b.String()
+}

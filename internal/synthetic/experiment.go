@@ -78,14 +78,43 @@ func RunInstance(ctx context.Context, inst *Instance, approach Approach, seed in
 
 // RunInstanceNoisy is RunInstance under an optional noise model.
 func RunInstanceNoisy(ctx context.Context, inst *Instance, approach Approach, seed int64, noise Noise) (int, error) {
+	return runInstance(ctx, inst, approach, seed, noise, nil)
+}
+
+// runInstance measures one approach, optionally drawing outcomes
+// through a scheduler shared with the other approaches measured on the
+// same instance. The world is a pure function of the forced-predicate
+// set, so sharing never changes a measured count — every approach still
+// logs one test per oracle call — it only skips re-evaluating groups an
+// earlier approach already intervened on (the singleton confirmations
+// of TAGT and AID overlap heavily). Noisy runs never share and never
+// cache: FlakyWorld's observation stream must advance on every round.
+func runInstance(ctx context.Context, inst *Instance, approach Approach, seed int64, noise Noise, shared *core.Scheduler) (int, error) {
 	w := inst.World
-	var iv core.Intervener = w
-	oracle := w.Oracle
+	var sched *core.Scheduler
+	var oracle grouptest.Oracle
 	if noise.enabled() {
 		fw := NewFlakyWorld(w, noise.Runs, noise.ManifestProb, noise.SymptomNoise, seed^0x51ab5)
-		iv = fw
+		sched = core.NewScheduler(fw, core.SchedulerConfig{Nondeterministic: true})
 		oracle = func(group []predicate.ID) (bool, error) {
 			obs, err := fw.Intervene(ctx, group)
+			if err != nil {
+				return false, err
+			}
+			for _, o := range obs {
+				if o.Failed {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+	} else {
+		sched = shared
+		if sched == nil {
+			sched = core.NewScheduler(w, core.SchedulerConfig{})
+		}
+		oracle = func(group []predicate.ID) (bool, error) {
+			obs, _, err := sched.Outcome(ctx, core.Request{Preds: group})
 			if err != nil {
 				return false, err
 			}
@@ -124,11 +153,12 @@ func RunInstanceNoisy(ctx context.Context, inst *Instance, approach Approach, se
 		default:
 			opts = core.AIDPBOptions(seed)
 		}
+		opts.Scheduler = sched
 		dag, err := w.DAG()
 		if err != nil {
 			return 0, err
 		}
-		res, err := core.Discover(ctx, dag, iv, opts)
+		res, err := core.Discover(ctx, dag, sched.Intervener(), opts)
 		if err != nil {
 			return 0, err
 		}
@@ -191,8 +221,18 @@ func RunSettingOpts(ctx context.Context, maxT, instances int, baseSeed int64, op
 			tests: make(map[Approach]int, len(Approaches)),
 			misid: make(map[Approach]bool, len(Approaches)),
 		}
+		// One intervention scheduler per deterministic instance: the four
+		// approaches share its outcome cache, so a group any of them
+		// already tested (TAGT's and GIWP's singleton confirmations
+		// overlap almost entirely) is never re-evaluated. Counts are
+		// unaffected — each approach logs its own tests — only the
+		// wall-clock drops.
+		var shared *core.Scheduler
+		if !noise.enabled() {
+			shared = core.NewScheduler(inst.World, core.SchedulerConfig{})
+		}
 		for _, ap := range Approaches {
-			n, err := RunInstanceNoisy(ctx, inst, ap, seed^0x5deece66d, noise)
+			n, err := runInstance(ctx, inst, ap, seed^0x5deece66d, noise, shared)
 			if err != nil {
 				if noise.enabled() && errors.Is(err, ErrMisidentified) {
 					r.misid[ap] = true

@@ -1,0 +1,98 @@
+package synthetic
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"aid/internal/core"
+)
+
+// variantOptions builds the three ablation variants' options.
+func variantOptions(seed int64) map[string]core.Options {
+	return map[string]core.Options{
+		"AID":     core.AIDOptions(seed),
+		"AID-P":   core.AIDPOptions(seed),
+		"AID-P-B": core.AIDPBOptions(seed),
+	}
+}
+
+// TestCachedDiscoveryMatchesUncached is the intervention-outcome
+// cache's contract, as a property over the synthetic generator: for
+// every variant, discovery through a memoizing scheduler produces a
+// byte-identical Result — path, spurious set, and round log — to
+// discovery with caching disabled. The world is a pure function of the
+// forced-predicate set, so a cached outcome can never diverge from a
+// re-executed one.
+func TestCachedDiscoveryMatchesUncached(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 40; seed++ {
+		maxT := 1 + int(seed)%12
+		inst := mustGen(t, maxT, seed)
+		dag, err := inst.World.DAG()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, opts := range variantOptions(seed) {
+			cached := opts
+			res, err := core.Discover(ctx, dag, inst.World, cached)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			uncached := opts
+			uncached.Scheduler = core.NewScheduler(inst.World, core.SchedulerConfig{NoCache: true})
+			want, err := core.Discover(ctx, dag, inst.World, uncached)
+			if err != nil {
+				t.Fatalf("seed %d %s (uncached): %v", seed, name, err)
+			}
+			got, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(ref) {
+				t.Fatalf("seed %d %s: cached discovery differs from uncached:\ncached:   %s\nuncached: %s",
+					seed, name, got, ref)
+			}
+		}
+	}
+}
+
+// TestSharedSchedulerAcrossVariantsMatchesFresh extends the property to
+// the sweep's sharing pattern: one scheduler serving all three variants
+// (and the TAGT oracle) on the same instance yields the same measured
+// counts as fresh per-variant runs, while actually hitting the cache.
+func TestSharedSchedulerAcrossVariantsMatchesFresh(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 15; seed++ {
+		inst := mustGen(t, 6, seed)
+		var fresh, sharedCounts []int
+		for _, ap := range Approaches {
+			n, err := RunInstance(ctx, inst, ap, seed)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, ap, err)
+			}
+			fresh = append(fresh, n)
+		}
+		shared := core.NewScheduler(inst.World, core.SchedulerConfig{})
+		for _, ap := range Approaches {
+			n, err := runInstance(ctx, inst, ap, seed, Noise{}, shared)
+			if err != nil {
+				t.Fatalf("seed %d %s (shared): %v", seed, ap, err)
+			}
+			sharedCounts = append(sharedCounts, n)
+		}
+		for i, ap := range Approaches {
+			if fresh[i] != sharedCounts[i] {
+				t.Fatalf("seed %d %s: shared scheduler measured %d tests, fresh %d",
+					seed, ap, sharedCounts[i], fresh[i])
+			}
+		}
+		if st := shared.Stats(); st.CacheHits == 0 {
+			t.Fatalf("seed %d: shared scheduler recorded no cache hits", seed)
+		}
+	}
+}

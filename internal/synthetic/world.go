@@ -40,6 +40,16 @@ type World struct {
 	Edges [][2]predicate.ID
 
 	dag *acdag.DAG
+	// evalIdx/evalOrder/parentIdx cache the parent tree in index form
+	// (built lazily, like dag): Fire is the hot inner loop of the
+	// synthetic sweep — every intervention of every approach evaluates
+	// it — so it runs as one linear pass over a precomputed topological
+	// order instead of a recursive map-memoized walk. The world is
+	// immutable once evaluated (Generate never mutates after Validate).
+	evalIdx   map[predicate.ID]int
+	evalOrder []int32
+	parentIdx []int32
+	lastIdx   int
 }
 
 // DAG returns (building lazily) the world's AC-DAG including F.
@@ -59,39 +69,74 @@ func (w *World) DAG() (*acdag.DAG, error) {
 // Last returns the final causal predicate (the failure's direct cause).
 func (w *World) Last() predicate.ID { return w.Path[len(w.Path)-1] }
 
+// ensureEval builds the indexed parent tree and its topological
+// evaluation order (parents before children).
+func (w *World) ensureEval() {
+	if w.evalOrder != nil {
+		return
+	}
+	n := len(w.Preds)
+	w.evalIdx = make(map[predicate.ID]int, n)
+	for i, id := range w.Preds {
+		w.evalIdx[id] = i
+	}
+	w.parentIdx = make([]int32, n)
+	for i, id := range w.Preds {
+		if par := w.Parent[id]; par != "" {
+			w.parentIdx[i] = int32(w.evalIdx[par])
+		} else {
+			w.parentIdx[i] = -1
+		}
+	}
+	// Topological order over the parent tree: repeated passes settle in
+	// O(depth) rounds (generation chains are short; this runs once).
+	w.evalOrder = make([]int32, 0, n)
+	placed := make([]bool, n)
+	for len(w.evalOrder) < n {
+		progress := false
+		for i := 0; i < n; i++ {
+			if placed[i] {
+				continue
+			}
+			if p := w.parentIdx[i]; p < 0 || placed[p] {
+				placed[i] = true
+				w.evalOrder = append(w.evalOrder, int32(i))
+				progress = true
+			}
+		}
+		if !progress {
+			panic("synthetic: parent cycle in world")
+		}
+	}
+	w.lastIdx = w.evalIdx[w.Last()]
+}
+
 // Fire evaluates the ground truth under an intervention: a predicate
 // fires iff it is not forced and its parent fires (the trigger always
 // fires). It returns the fired set and whether the failure occurs.
 func (w *World) Fire(forced map[predicate.ID]bool) (map[predicate.ID]bool, bool) {
-	fired := make(map[predicate.ID]bool, len(w.Preds))
-	memo := make(map[predicate.ID]int, len(w.Preds)) // 0 unknown, 1 true, 2 false
-	var eval func(id predicate.ID) bool
-	eval = func(id predicate.ID) bool {
-		switch memo[id] {
-		case 1:
-			return true
-		case 2:
-			return false
-		}
-		v := !forced[id]
+	w.ensureEval()
+	state := make([]bool, len(w.Preds))
+	count := 0
+	for _, i := range w.evalOrder {
+		v := !forced[w.Preds[i]]
 		if v {
-			if par := w.Parent[id]; par != "" {
-				v = eval(par)
+			if p := w.parentIdx[i]; p >= 0 {
+				v = state[p]
 			}
 		}
+		state[i] = v
 		if v {
-			memo[id] = 1
-		} else {
-			memo[id] = 2
+			count++
 		}
-		return v
 	}
-	for _, id := range w.Preds {
-		if eval(id) {
+	fired := make(map[predicate.ID]bool, count)
+	for i, id := range w.Preds {
+		if state[i] {
 			fired[id] = true
 		}
 	}
-	return fired, fired[w.Last()]
+	return fired, state[w.lastIdx]
 }
 
 // Intervene implements core.Intervener: one deterministic observation

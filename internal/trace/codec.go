@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,19 +22,51 @@ func Encode(w io.Writer, s *Set) error {
 	return bw.Flush()
 }
 
+// maxRecordBytes bounds one execution record's encoded size (64 MiB —
+// far above any corpus the simulator produces).
+const maxRecordBytes = 64 * 1024 * 1024
+
 // Decode reads a JSON-lines execution stream produced by Encode.
-func Decode(r io.Reader) (*Set, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
+// Errors are diagnostic: they name the 1-based line the malformed or
+// truncated execution record sits on, so a bad corpus fails at load
+// time instead of surfacing as a zero-trace failure deeper in the
+// pipeline. Blank lines are tolerated (trailing newlines are common in
+// hand-edited corpora); each record must sit on one line (Encode's
+// format) no longer than maxRecordBytes.
+func Decode(r io.Reader) (*Set, error) { return decodeNamed(r, "") }
+
+// decodeNamed is Decode with a source name for diagnostics: errors read
+// "trace: <name>:<line>: ..." (or "trace: line <line>: ..." unnamed).
+func decodeNamed(r io.Reader, name string) (*Set, error) {
+	at := func(line int) string {
+		if name == "" {
+			return fmt.Sprintf("line %d", line)
+		}
+		return fmt.Sprintf("%s:%d", name, line)
+	}
+	sc := bufio.NewScanner(r)
+	// Execution records carry full span logs; one line can far exceed
+	// bufio.Scanner's 64 KiB default.
+	sc.Buffer(make([]byte, 0, 64*1024), maxRecordBytes)
 	s := &Set{}
-	for i := 0; ; i++ {
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
 		var e Execution
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("trace: decode execution %d: %w", i, err)
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("trace: %s: malformed execution record: %w", at(line), err)
 		}
 		s.Executions = append(s.Executions, e)
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("trace: %s: execution record exceeds the %d MiB line limit (corpus not in one-record-per-line form?)", at(line+1), maxRecordBytes>>20)
+		}
+		return nil, fmt.Errorf("trace: %s: %w", at(line+1), err)
 	}
 	return s, nil
 }
@@ -51,12 +84,13 @@ func WriteFile(path string, s *Set) error {
 	return f.Close()
 }
 
-// ReadFile loads a set saved by WriteFile.
+// ReadFile loads a set saved by WriteFile. Decode errors name the file
+// and the offending line: "trace: <path>:<line>: ...".
 func ReadFile(path string) (*Set, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	defer f.Close()
-	return Decode(f)
+	return decodeNamed(f, path)
 }

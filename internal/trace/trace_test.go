@@ -3,8 +3,10 @@ package trace
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -294,5 +296,64 @@ func TestVectorClockTransitivity(t *testing.T) {
 	c := VectorClock{1: 2, 2: 2}
 	if !a.HappensBefore(b) || !b.HappensBefore(c) || !a.HappensBefore(c) {
 		t.Fatal("transitivity violated on chain a<b<c")
+	}
+}
+
+// TestDecodeDiagnostics table-tests the codec's bad-input behavior:
+// errors name the offending 1-based line (and the file, via ReadFile),
+// blank lines are tolerated, and an empty stream decodes to an empty
+// set (the caller decides whether that is an error).
+func TestDecodeDiagnostics(t *testing.T) {
+	valid := `{"id":"a","outcome":1}`
+	cases := []struct {
+		name    string
+		input   string
+		wantErr string // substring; "" = no error
+		wantLen int
+	}{
+		{"empty stream", "", "", 0},
+		{"whitespace only", "\n  \n\t\n", "", 0},
+		{"valid single", valid + "\n", "", 1},
+		{"blank lines between records", valid + "\n\n" + valid + "\n", "", 2},
+		{"no trailing newline", valid, "", 1},
+		{"non-JSON first line", "not json at all\n", "line 1", 0},
+		{"truncated record", valid + "\n" + `{"id":"b","outc`, "line 2", 0},
+		{"JSON scalar instead of object", valid + "\n42\ntrue\n", "line 2", 0},
+		{"wrong JSON shape", `{"id":["not","a","string"]}`, "line 1", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Decode(bytes.NewBufferString(tc.input))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Decode: %v", err)
+				}
+				if len(got.Executions) != tc.wantLen {
+					t.Fatalf("decoded %d executions, want %d", len(got.Executions), tc.wantLen)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Decode succeeded, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending line (%q)", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReadFileNamesFileAndLine checks file-level diagnostics.
+func TestReadFileNamesFileAndLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte(`{"id":"a","outcome":1}`+"\ngarbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil {
+		t.Fatal("ReadFile of corrupt corpus succeeded")
+	}
+	if !strings.Contains(err.Error(), path+":2") {
+		t.Fatalf("error %q does not name file and line %q", err, path+":2")
 	}
 }

@@ -92,13 +92,23 @@ func (e DAGBuilt) String() string {
 }
 
 // RoundDone reports one completed intervention round, including what it
-// pruned. The confirmed cause, if any, follows as a CauseConfirmed
-// event.
+// pruned and how the scheduler produced its outcome. The confirmed
+// cause, if any, follows as a CauseConfirmed event.
 type RoundDone struct {
 	// Index is the 1-based round number.
 	Index int
 	// Round is the round's log entry.
 	Round Round
+	// Batch is the scheduler execution batch that produced the round's
+	// outcome; rounds sharing a batch had their replay bundles executed
+	// concurrently as one logical round.
+	Batch int
+	// CacheHit reports the outcome was served from the scheduler's memo
+	// cache (or an in-flight prefetch) without starting new replays.
+	CacheHit bool
+	// Speculative reports the outcome was produced by a
+	// continuation-hint prefetch rather than a direct request.
+	Speculative bool
 }
 
 func (e RoundDone) String() string {
@@ -106,8 +116,12 @@ func (e RoundDone) String() string {
 	if e.Round.Stopped {
 		verdict = "failure stopped"
 	}
-	return fmt.Sprintf("round %d [%s]: intervened on %d predicates -> %s (%d pruned)",
-		e.Index, e.Round.Phase, len(e.Round.Intervened), verdict, len(e.Round.Pruned))
+	suffix := ""
+	if e.CacheHit {
+		suffix = " [cached]"
+	}
+	return fmt.Sprintf("round %d [%s, batch %d]: intervened on %d predicates -> %s (%d pruned)%s",
+		e.Index, e.Round.Phase, e.Batch, len(e.Round.Intervened), verdict, len(e.Round.Pruned), suffix)
 }
 
 // CauseConfirmed reports a predicate confirmed causal.

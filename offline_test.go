@@ -3,7 +3,9 @@ package aid_test
 import (
 	"bytes"
 	"context"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"aid"
@@ -94,5 +96,45 @@ func TestWriteTracesRejectsEmpty(t *testing.T) {
 	}
 	if err := aid.WriteTraces(filepath.Join(t.TempDir(), "x.jsonl"), &aid.Traces{}); err == nil {
 		t.Fatal("WriteTraces(empty) succeeded")
+	}
+}
+
+// TestTraceFileBadInputDiagnostics table-tests FromTraceFile over bad
+// corpora: an empty, truncated, or non-JSON-lines file must fail at
+// collection time with an error naming the file (and line, for parse
+// errors) — never surface as a zero-trace failure or a panic deeper in
+// the pipeline.
+func TestTraceFileBadInputDiagnostics(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	valid := `{"id":"a","outcome":1}`
+	cases := []struct {
+		name     string
+		content  string
+		wantLine string // additional substring beyond the file name
+	}{
+		{"empty file", "", ""},
+		{"whitespace only", "\n\n  \n", ""},
+		{"non-JSON-lines", "this is not a trace corpus\n", ":1"},
+		{"truncated record", valid + "\n" + `{"id":"b","outco`, ":2"},
+		{"binary garbage", "\x00\x01\x02\xff\n", ":1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "_")+".jsonl")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := aid.New().Run(ctx, aid.FromTraceFile(path))
+			if err == nil {
+				t.Fatal("pipeline over bad corpus succeeded")
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error %q does not name the file %q", err, path)
+			}
+			if tc.wantLine != "" && !strings.Contains(err.Error(), path+tc.wantLine) {
+				t.Fatalf("error %q does not name the line (%q)", err, path+tc.wantLine)
+			}
+		})
 	}
 }

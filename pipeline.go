@@ -136,14 +136,24 @@ func (p *Pipeline) coreOptions() (core.Options, error) {
 	}
 	if p.observer != nil {
 		rounds := 0
-		opts.OnRound = func(r core.Round) {
+		opts.OnRound = func(r core.Round, m core.RoundMeta) {
 			rounds++
-			p.emit(RoundDone{Index: rounds, Round: r})
+			p.emit(RoundDone{
+				Index:       rounds,
+				Round:       r,
+				Batch:       m.Batch,
+				CacheHit:    m.CacheHit,
+				Speculative: m.Speculative,
+			})
 		}
 		opts.OnConfirm = func(id predicate.ID) {
 			p.emit(CauseConfirmed{ID: id})
 		}
 	}
+	// WithWorkers feeds the intervention scheduler as well as the
+	// collection and replay pools: replay bundles batch across the same
+	// width, and a single-worker pipeline disables speculative prefetch.
+	opts.Workers = p.workers
 	return opts, nil
 }
 

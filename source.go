@@ -252,6 +252,13 @@ func (s *TraceFileSource) Collect(ctx context.Context, spec CollectSpec) (*Trace
 	if err != nil {
 		return nil, err
 	}
+	// An empty corpus is a bad input, not a pipeline state: fail here
+	// with the file named instead of letting statistical debugging or
+	// the AC-DAG builder report a confusing zero-trace condition (or
+	// divide by zero) much later.
+	if len(set.Executions) == 0 {
+		return nil, fmt.Errorf("aid: trace file %s contains no executions (empty or whitespace-only corpus)", s.Path)
+	}
 	var failSeeds []int64
 	for i := range set.Executions {
 		e := &set.Executions[i]
