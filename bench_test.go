@@ -37,6 +37,7 @@ func BenchmarkFigure7(b *testing.B) {
 	for _, s := range aid.CaseStudies() {
 		s := s
 		b.Run(s.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			pipeline := aid.New(benchOpts()...)
 			var last *aid.Report
 			for i := 0; i < b.N; i++ {
@@ -64,6 +65,7 @@ func BenchmarkFigure8(b *testing.B) {
 	for _, maxT := range aid.Figure8MaxTs() {
 		maxT := maxT
 		b.Run(fmt.Sprintf("MAXt=%d", maxT), func(b *testing.B) {
+			b.ReportAllocs()
 			var last *aid.SyntheticSetting
 			for i := 0; i < b.N; i++ {
 				s, err := aid.RunSyntheticSetting(context.Background(), maxT, instances, 1234)
@@ -90,6 +92,7 @@ func BenchmarkPoolScaling(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			pipeline := aid.New(benchOpts(aid.WithWorkers(workers))...)
 			var last *aid.Report
 			for i := 0; i < b.N; i++ {
@@ -108,6 +111,7 @@ func BenchmarkPoolScaling(b *testing.B) {
 // BenchmarkFigure6 evaluates the Fig. 6 bounds table on the symmetric
 // AC-DAG.
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	var rows [2]theory.Fig6Row
 	for i := 0; i < b.N; i++ {
 		rows = theory.Figure6(3, 4, 5, 4, 2, 2)
@@ -122,6 +126,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 // BenchmarkExample3 computes the Example 3 search-space comparison.
 func BenchmarkExample3(b *testing.B) {
+	b.ReportAllocs()
 	var cpd, gt float64
 	for i := 0; i < b.N; i++ {
 		cpd, _ = new(floatFromBig).fromBig(theory.SymmetricCPDSpace(1, 2, 3))
@@ -139,6 +144,7 @@ func BenchmarkAblation(b *testing.B) {
 	for _, ap := range aid.Approaches() {
 		ap := ap
 		b.Run(string(ap), func(b *testing.B) {
+			b.ReportAllocs()
 			var sum, worst int
 			for i := 0; i < b.N; i++ {
 				sum, worst = 0, 0

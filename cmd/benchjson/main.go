@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchjson [-o BENCH_pipeline.json] [-instances 60] [-successes 30] [-failures 30] [-workers 0] [-baseline old.json]
+//	benchjson [-o BENCH_pipeline.json] [-instances 60] [-successes 30] [-failures 30] [-workers 0] [-baseline old.json] [-repeat 3]
 //
 // With -baseline, the named file's "current" section is embedded as
 // "baseline" in the output, giving a self-contained before/after
@@ -16,6 +16,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"maps"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -23,12 +25,55 @@ import (
 	"aid"
 )
 
-// Figure is one benchmarked figure workload: its wall-clock and the
-// paper metrics it reproduces.
+// Figure is one benchmarked figure workload: its wall-clock, its
+// allocation profile, and the paper metrics it reproduces.
 type Figure struct {
-	Name    string             `json:"name"`
-	NsPerOp int64              `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap-allocation deltas
+	// (runtime.MemStats Mallocs/TotalAlloc) across the whole figure
+	// pass, summed over all pool workers.
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// measure runs fn repeat times and keeps the fastest pass — one-shot
+// wall-clock records on shared hosts are dominated by scheduling
+// noise, and the minimum is the standard robust estimator. Every pass
+// re-runs the full deterministic workload, so the caller can (and
+// does) assert the figure metrics agree across passes.
+func measure(repeat int, fn func() error) (Figure, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	best := Figure{NsPerOp: math.MaxInt64}
+	for r := 0; r < repeat; r++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := fn(); err != nil {
+			return Figure{}, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&after)
+		if ns < best.NsPerOp {
+			best = Figure{
+				NsPerOp:     ns,
+				AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+				BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+			}
+		}
+	}
+	return best, nil
+}
+
+// checkMetrics enforces the determinism contract across measurement
+// passes: identical flags must yield identical figure metrics.
+func checkMetrics(name string, prev, cur map[string]float64) {
+	if prev != nil && !maps.Equal(prev, cur) {
+		fatal(fmt.Errorf("%s: metrics differ between measurement passes (nondeterminism): %v vs %v", name, prev, cur))
+	}
 }
 
 // Run is one full measurement pass.
@@ -56,6 +101,7 @@ func main() {
 		failures  = flag.Int("failures", 30, "Fig. 7 failures per study")
 		workers   = flag.Int("workers", 0, "execution-pool width (0 = GOMAXPROCS)")
 		baseline  = flag.String("baseline", "", "embed this file's current run as the baseline")
+		repeat    = flag.Int("repeat", 3, "measurement passes per figure (fastest is recorded; metrics must agree)")
 	)
 	flag.Parse()
 
@@ -89,43 +135,58 @@ func main() {
 	)
 	for _, s := range aid.CaseStudies() {
 		fmt.Fprintf(os.Stderr, "benchjson: Figure7/%s...\n", s.Name)
-		start := time.Now()
-		rep, err := pipeline.Run(context.Background(), aid.FromStudy(s))
-		if err != nil {
-			fatal(err)
-		}
-		run.Figures = append(run.Figures, Figure{
-			Name:    "Figure7/" + s.Name,
-			NsPerOp: time.Since(start).Nanoseconds(),
-			Metrics: map[string]float64{
+		name := "Figure7/" + s.Name
+		var metrics map[string]float64
+		fig, err := measure(*repeat, func() error {
+			rep, err := pipeline.Run(context.Background(), aid.FromStudy(s))
+			if err != nil {
+				return err
+			}
+			m := map[string]float64{
 				"discrim-preds":      float64(rep.Discriminative),
 				"causal-path":        float64(rep.CausalPathLen),
 				"AID-interventions":  float64(rep.AIDInterventions),
 				"TAGT-interventions": float64(rep.TAGTInterventions),
 				"TAGT-bound":         float64(rep.TAGTWorstCase),
-			},
+			}
+			checkMetrics(name, metrics, m)
+			metrics = m
+			return nil
 		})
+		if err != nil {
+			fatal(err)
+		}
+		fig.Name = name
+		fig.Metrics = metrics
+		run.Figures = append(run.Figures, fig)
 	}
 
 	for _, maxT := range aid.Figure8MaxTs() {
 		fmt.Fprintf(os.Stderr, "benchjson: Figure8/MAXt=%d...\n", maxT)
-		start := time.Now()
-		st, err := aid.RunSyntheticSweep(context.Background(), maxT, *instances, 1234,
-			aid.SyntheticSweepOptions{Workers: *workers})
+		name := fmt.Sprintf("Figure8/MAXt=%d", maxT)
+		var metrics map[string]float64
+		fig, err := measure(*repeat, func() error {
+			st, err := aid.RunSyntheticSweep(context.Background(), maxT, *instances, 1234,
+				aid.SyntheticSweepOptions{Workers: *workers})
+			if err != nil {
+				return err
+			}
+			m := map[string]float64{"avg-preds": st.AvgPreds}
+			for _, ap := range aid.Approaches() {
+				c := st.Cells[ap]
+				m[string(ap)+"-avg"] = c.Average
+				m[string(ap)+"-worst"] = float64(c.WorstCase)
+			}
+			checkMetrics(name, metrics, m)
+			metrics = m
+			return nil
+		})
 		if err != nil {
 			fatal(err)
 		}
-		m := map[string]float64{"avg-preds": st.AvgPreds}
-		for _, ap := range aid.Approaches() {
-			c := st.Cells[ap]
-			m[string(ap)+"-avg"] = c.Average
-			m[string(ap)+"-worst"] = float64(c.WorstCase)
-		}
-		run.Figures = append(run.Figures, Figure{
-			Name:    fmt.Sprintf("Figure8/MAXt=%d", maxT),
-			NsPerOp: time.Since(start).Nanoseconds(),
-			Metrics: m,
-		})
+		fig.Name = name
+		fig.Metrics = metrics
+		run.Figures = append(run.Figures, fig)
 	}
 
 	doc := &Doc{Baseline: prevRun, Current: run}

@@ -167,20 +167,28 @@ func (e *Executor) InterveneBatch(ctx context.Context, groups [][]predicate.ID) 
 	if len(groups) == 0 {
 		return nil, nil
 	}
-	plans := make([]sim.Plan, len(groups))
+	// Compile each group's plan once (sim.Prepare splices the injection
+	// stubs at the instruction level); the len(groups)·len(Seeds)
+	// replays then run on pooled machine state with no per-call plan
+	// application.
+	preps := make([]*sim.Prepared, len(groups))
 	for i, preds := range groups {
 		plan, err := PlanFor(e.Corpus, preds)
 		if err != nil {
 			return nil, err
 		}
-		plans[i] = plan
+		pp, err := sim.Prepare(e.Prog, plan)
+		if err != nil {
+			return nil, fmt.Errorf("inject: re-execution: %w", err)
+		}
+		preps[i] = pp
 	}
 	// Replay every (group, seed) pair across one flat pool; par.Map
 	// returns them in (group, seed) order, so everything downstream sees
 	// the per-group sequential view.
 	nSeeds := len(e.Seeds)
 	execs, err := par.Map(ctx, len(groups)*nSeeds, e.Workers, func(i int) (trace.Execution, error) {
-		return sim.Run(e.Prog, e.Seeds[i%nSeeds], sim.RunOptions{Plan: plans[i/nSeeds], MaxSteps: e.MaxSteps})
+		return preps[i/nSeeds].Run(e.Seeds[i%nSeeds], e.MaxSteps), nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("inject: re-execution: %w", err)

@@ -3,6 +3,7 @@ package predicate
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"aid/internal/trace"
 )
@@ -39,7 +40,7 @@ type instKey struct {
 	inst int
 }
 
-func (k instKey) String() string { return fmt.Sprintf("%s#%d", k.m, k.inst) }
+func (k instKey) String() string { return k.m + "#" + strconv.Itoa(k.inst) }
 
 // succStats aggregates per-instance behaviour over successful runs.
 type succStats struct {
@@ -175,12 +176,14 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 
 			if call.Failed() {
 				id := ID("fails:" + k.String())
-				c.AddPred(Predicate{
-					ID: id, Kind: KindMethodFails,
-					Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
-					Repair: catchRepair(k, stats[k], cfg),
-					Desc:   fmt.Sprintf("method %s (call #%d) throws %s", k.m, k.inst, call.Exception),
-				})
+				if !c.Has(id) {
+					c.AddPred(Predicate{
+						ID: id, Kind: KindMethodFails,
+						Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
+						Repair: catchRepair(k, stats[k], cfg),
+						Desc:   fmt.Sprintf("method %s (call #%d) throws %s", k.m, k.inst, call.Exception),
+					})
+				}
 				log.Occ[id] = window
 			}
 
@@ -190,27 +193,31 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 			}
 			if call.Duration() > st.maxDur+cfg.DurationMargin {
 				id := ID("slow:" + k.String())
-				c.AddPred(Predicate{
-					ID: id, Kind: KindTooSlow,
-					Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
-					Repair: prematureRepair(k, st, cfg),
-					Desc: fmt.Sprintf("method %s (call #%d) runs too slow (> %d ticks)",
-						k.m, k.inst, st.maxDur),
-				})
+				if !c.Has(id) {
+					c.AddPred(Predicate{
+						ID: id, Kind: KindTooSlow,
+						Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
+						Repair: prematureRepair(k, st, cfg),
+						Desc: fmt.Sprintf("method %s (call #%d) runs too slow (> %d ticks)",
+							k.m, k.inst, st.maxDur),
+					})
+				}
 				log.Occ[id] = window
 			}
 			if !call.Failed() && call.Duration() < st.minDur-cfg.DurationMargin {
 				id := ID("fast:" + k.String())
-				c.AddPred(Predicate{
-					ID: id, Kind: KindTooFast,
-					Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
-					Repair: Intervention{
-						Kind: IvDelayReturn, Methods: []string{k.m},
-						Delay: int64(st.minDur), Safe: true,
-					},
-					Desc: fmt.Sprintf("method %s (call #%d) runs too fast (< %d ticks)",
-						k.m, k.inst, st.minDur),
-				})
+				if !c.Has(id) {
+					c.AddPred(Predicate{
+						ID: id, Kind: KindTooFast,
+						Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
+						Repair: Intervention{
+							Kind: IvDelayReturn, Methods: []string{k.m},
+							Delay: int64(st.minDur), Safe: true,
+						},
+						Desc: fmt.Sprintf("method %s (call #%d) runs too fast (< %d ticks)",
+							k.m, k.inst, st.minDur),
+					})
+				}
 				log.Occ[id] = window
 			}
 			// Lateness of a nested call is subsumed by its enclosing
@@ -219,30 +226,34 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 			// caller's late start causes the callee's).
 			if call.Start > st.maxStart+cfg.DurationMargin && isThreadRoot(e, call) {
 				id := ID("late:" + k.String())
-				c.AddPred(Predicate{
-					ID: id, Kind: KindStartsLate,
-					Methods: []string{k.m}, Instance: k.inst, Stamp: ByStart,
-					// Lateness has no local repair (§4 Case 2): the cause
-					// lies upstream, so the predicate is diagnostic only.
-					Repair: Intervention{Kind: IvNone},
-					Desc: fmt.Sprintf("method %s (call #%d) starts later than expected (> tick %d)",
-						k.m, k.inst, st.maxStart),
-				})
+				if !c.Has(id) {
+					c.AddPred(Predicate{
+						ID: id, Kind: KindStartsLate,
+						Methods: []string{k.m}, Instance: k.inst, Stamp: ByStart,
+						// Lateness has no local repair (§4 Case 2): the cause
+						// lies upstream, so the predicate is diagnostic only.
+						Repair: Intervention{Kind: IvNone},
+						Desc: fmt.Sprintf("method %s (call #%d) starts later than expected (> tick %d)",
+							k.m, k.inst, st.maxStart),
+					})
+				}
 				log.Occ[id] = window
 			}
 			if !call.Failed() && st.retSet && st.retConsistent && !st.ret.Void &&
 				!call.Return.Void && !call.Return.Equal(st.ret) {
 				id := ID("ret:" + k.String())
-				c.AddPred(Predicate{
-					ID: id, Kind: KindWrongReturn,
-					Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
-					Repair: Intervention{
-						Kind: IvOverrideReturn, Methods: []string{k.m},
-						Value: st.ret.Int, Safe: cfg.sideEffectFree(k.m),
-					},
-					Desc: fmt.Sprintf("method %s (call #%d) returns incorrect value (correct: %s)",
-						k.m, k.inst, st.ret),
-				})
+				if !c.Has(id) {
+					c.AddPred(Predicate{
+						ID: id, Kind: KindWrongReturn,
+						Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
+						Repair: Intervention{
+							Kind: IvOverrideReturn, Methods: []string{k.m},
+							Value: st.ret.Int, Safe: cfg.sideEffectFree(k.m),
+						},
+						Desc: fmt.Sprintf("method %s (call #%d) returns incorrect value (correct: %s)",
+							k.m, k.inst, st.ret),
+					})
+				}
 				log.Occ[id] = window
 			}
 		}
@@ -373,15 +384,17 @@ func extractRaces(execs []trace.Execution, off int, c *Corpus) {
 					if m1 > m2 {
 						m1, m2 = m2, m1
 					}
-					id := ID(fmt.Sprintf("race:%s|%s@%s", m1, m2, obj))
-					c.AddPred(Predicate{
-						ID: id, Kind: KindDataRace,
-						Methods: dedupe(m1, m2), Object: obj, Stamp: ByStart,
-						Repair: Intervention{
-							Kind: IvLockMethods, Methods: dedupe(m1, m2), Safe: true,
-						},
-						Desc: fmt.Sprintf("data race between %s and %s on %s", m1, m2, obj),
-					})
+					id := ID("race:" + m1 + "|" + m2 + "@" + string(obj))
+					if !c.Has(id) {
+						c.AddPred(Predicate{
+							ID: id, Kind: KindDataRace,
+							Methods: dedupe(m1, m2), Object: obj, Stamp: ByStart,
+							Repair: Intervention{
+								Kind: IvLockMethods, Methods: dedupe(m1, m2), Safe: true,
+							},
+							Desc: "data race between " + m1 + " and " + m2 + " on " + string(obj),
+						})
+					}
 					start := maxTime(a.start, b.start)
 					end := minTime(a.end, b.end)
 					if prev, ok := log.Occ[id]; ok {
@@ -583,7 +596,7 @@ func emitOrderViolations(c *Corpus, st *orderState, rows [][]*trace.MethodCall, 
 				return
 			}
 			ka, kb := st.keys[ai], st.keys[bi]
-			id := ID(fmt.Sprintf("order:%s<%s", ka, kb))
+			id := ID("order:" + ka.String() + "<" + kb.String())
 			pred := Predicate{
 				ID: id, Kind: KindOrderViolation,
 				Methods: dedupe(ka.m, kb.m), Instance: ka.inst, Stamp: ByStart,
@@ -707,23 +720,25 @@ func emitAtomicityViolations(execs []trace.Execution, off int, c *Corpus, st *at
 			if !violated || !st.candidates[cd] || st.violatedInSuccess[cd] {
 				return
 			}
-			id := ID(fmt.Sprintf("atom:%s,%s@%s", cd.a, cd.b, cd.obj))
-			parent := commonParent(e, cd.a, cd.b)
-			repair := Intervention{Kind: IvNone}
-			if parent != "" {
-				repair = Intervention{
-					Kind:    IvLockMethods,
-					Methods: []string{parent},
-					Safe:    true,
+			id := ID("atom:" + cd.a.String() + "," + cd.b.String() + "@" + string(cd.obj))
+			if !c.Has(id) {
+				parent := commonParent(e, cd.a, cd.b)
+				repair := Intervention{Kind: IvNone}
+				if parent != "" {
+					repair = Intervention{
+						Kind:    IvLockMethods,
+						Methods: []string{parent},
+						Safe:    true,
+					}
 				}
+				c.AddPred(Predicate{
+					ID: id, Kind: KindAtomicityViolation,
+					Methods: dedupe(cd.a.m, cd.b.m), Object: cd.obj, Stamp: ByStart,
+					Repair: repair,
+					Desc: fmt.Sprintf("atomicity of %s then %s on %s violated by a remote write",
+						cd.a, cd.b, cd.obj),
+				})
 			}
-			c.AddPred(Predicate{
-				ID: id, Kind: KindAtomicityViolation,
-				Methods: dedupe(cd.a.m, cd.b.m), Object: cd.obj, Stamp: ByStart,
-				Repair: repair,
-				Desc: fmt.Sprintf("atomicity of %s then %s on %s violated by a remote write",
-					cd.a, cd.b, cd.obj),
-			})
 			log.Occ[id] = Occurrence{Start: gapStart, End: gapEnd, Thread: NoThread}
 		})
 	}

@@ -214,6 +214,14 @@ func (c *Corpus) AddPred(p Predicate) {
 	c.Preds = append(c.Preds, p)
 }
 
+// Has reports whether a predicate with the given ID is registered.
+// Extractors use it to skip re-building predicate metadata (notably
+// description strings) for IDs they have already emitted.
+func (c *Corpus) Has(id ID) bool {
+	_, ok := c.byID[id]
+	return ok
+}
+
 // Pred returns the predicate with the given ID, or nil.
 func (c *Corpus) Pred(id ID) *Predicate {
 	i, ok := c.byID[id]

@@ -103,33 +103,48 @@ func (p Plan) Merge(other Plan) Plan {
 	return out
 }
 
+// appendUniqueStrings merges src into dst, deduplicated and sorted:
+// append-all, sort, compact — O((n+m)·log(n+m)) instead of the
+// quadratic scan-per-element with a redundant sort per call.
 func appendUniqueStrings(dst, src []string) []string {
-	for _, s := range src {
-		found := false
-		for _, d := range dst {
-			if d == s {
-				found = true
-				break
-			}
-		}
-		if !found {
-			dst = append(dst, s)
+	dst = append(dst, src...)
+	sort.Strings(dst)
+	out := dst[:0]
+	for _, s := range dst {
+		if len(out) == 0 || s != out[len(out)-1] {
+			out = append(out, s)
 		}
 	}
-	sort.Strings(dst)
-	return dst
+	return out
 }
 
+// appendUniqueSignals merges src into dst preserving first-occurrence
+// order. Small lists (the common case: one or two order-enforcement
+// signals) keep the allocation-free linear scan; larger merges switch
+// to a set.
 func appendUniqueSignals(dst, src []Signal) []Signal {
-	for _, s := range src {
-		found := false
-		for _, d := range dst {
-			if d == s {
-				found = true
-				break
+	if len(dst)+len(src) <= 8 {
+		for _, s := range src {
+			found := false
+			for _, d := range dst {
+				if d == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				dst = append(dst, s)
 			}
 		}
-		if !found {
+		return dst
+	}
+	seen := make(map[Signal]struct{}, len(dst)+len(src))
+	for _, d := range dst {
+		seen[d] = struct{}{}
+	}
+	for _, s := range src {
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
 			dst = append(dst, s)
 		}
 	}

@@ -1,0 +1,778 @@
+package sim
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+
+	"aid/internal/trace"
+)
+
+// machine is the mutable state of one compiled execution: slot slices
+// instead of string-keyed maps, a flat control stack instead of frame
+// objects, and append-only span/access logs distributed into the
+// returned trace at the end of the run. Machines are pooled and reset
+// between runs, so steady-state replay allocates only the buffers that
+// escape into the returned trace.Execution.
+
+const (
+	mRun uint8 = iota
+	mReturn
+	mThrow
+)
+
+const (
+	ctlBlock uint8 = iota
+	ctlWhile
+	ctlTry
+	ctlCall
+)
+
+// ctlRec mirrors one interpreter frame: a block/while/try marker (so
+// unwinding consumes the same one-pop-per-step budget) or a call
+// record (return address plus span bookkeeping).
+type ctlRec struct {
+	kind         uint8
+	delayApplied bool
+	catchKind    int32 // try: interned kind, or catchAny
+	handlerPC    int32 // try: handler entry
+	fnIdx        int32 // call
+	retPC        int32 // call: caller resume pc
+	dstSlot      int32 // call: caller local for the return value, -1 none
+	spanIdx      int32 // call: index into machine.spans
+	prevSpan     int32 // call: enclosing span to restore on pop
+}
+
+type mthread struct {
+	pc    int32
+	stack []ctlRec
+
+	locals []int64
+
+	mode    uint8
+	retVoid bool
+	retInt  int64
+	excIdx  int32 // interned exception kind; -1 none
+
+	sleepUntil trace.Time
+	waitSlot   int32 // -1 = not waiting
+	waitVal    int64
+	joining    bool
+	joinTarget int32
+	lockWait   int32 // -1 = not blocked on a mutex
+
+	held []int32 // mutex slots, kept rank- (i.e. name-) sorted
+	// lockset is the current held set as sorted names, shared by every
+	// access recorded until the next lock/unlock. It escapes into the
+	// trace, so it is freshly allocated per change, never pooled.
+	lockset      []string
+	locksetStale bool
+
+	curSpan int32 // innermost open call span, -1 none
+	done    bool
+}
+
+// accRec is one shared-object access, tagged with its span so the
+// per-span access slices can be carved from a single exact-size arena
+// after the run.
+type accRec struct {
+	span  int32
+	obj   string
+	kind  trace.AccessKind
+	at    trace.Time
+	locks []string
+}
+
+type machine struct {
+	pp  *Prepared
+	src rand.Source
+	rng *rand.Rand
+	now trace.Time
+
+	threads []*mthread
+	spare   []*mthread // thread objects retained across resets
+
+	globals []int64
+	arrays  [][]int64
+	owners  []int32 // per mutex slot: owning thread, -1 free
+
+	spans      []trace.MethodCall
+	finalOrder []int32
+	accs       []accRec
+
+	runnable []int32
+	accCount []int32
+	accOff   []int32
+
+	failed  bool
+	failSig string
+}
+
+var machinePool = sync.Pool{New: func() any {
+	m := &machine{}
+	m.src = newSchedulerSource()
+	m.rng = rand.New(m.src)
+	return m
+}}
+
+func (m *machine) reset(pp *Prepared, seed int64) {
+	m.pp = pp
+	m.src.Seed(seed)
+	m.now = 0
+	m.failed = false
+	m.failSig = ""
+	m.threads = m.threads[:0]
+	m.spans = m.spans[:0]
+	m.finalOrder = m.finalOrder[:0]
+	m.accs = m.accs[:0]
+
+	if cap(m.globals) < pp.nGlobals {
+		m.globals = make([]int64, pp.nGlobals)
+	}
+	m.globals = m.globals[:pp.nGlobals]
+	copy(m.globals, pp.globalInit)
+
+	if cap(m.arrays) < len(pp.c.arrayInit) {
+		m.arrays = make([][]int64, len(pp.c.arrayInit))
+	}
+	m.arrays = m.arrays[:len(pp.c.arrayInit)]
+	for i, init := range pp.c.arrayInit {
+		if cap(m.arrays[i]) < len(init) {
+			m.arrays[i] = make([]int64, len(init))
+		}
+		m.arrays[i] = m.arrays[i][:len(init)]
+		copy(m.arrays[i], init)
+	}
+
+	if cap(m.owners) < pp.nMutexes {
+		m.owners = make([]int32, pp.nMutexes)
+	}
+	m.owners = m.owners[:pp.nMutexes]
+	for i := range m.owners {
+		m.owners[i] = -1
+	}
+}
+
+func (m *machine) newThread() int32 {
+	id := len(m.threads)
+	var th *mthread
+	if id < len(m.spare) {
+		th = m.spare[id]
+	} else {
+		th = &mthread{}
+		m.spare = append(m.spare, th)
+	}
+	th.pc = 0
+	th.stack = th.stack[:0]
+	if cap(th.locals) < m.pp.c.nLocals {
+		th.locals = make([]int64, m.pp.c.nLocals)
+	}
+	th.locals = th.locals[:m.pp.c.nLocals]
+	for i := range th.locals {
+		th.locals[i] = 0
+	}
+	th.mode = mRun
+	th.retVoid = true
+	th.retInt = 0
+	th.excIdx = -1
+	th.sleepUntil = 0
+	th.waitSlot = -1
+	th.waitVal = 0
+	th.joining = false
+	th.joinTarget = 0
+	th.lockWait = -1
+	th.held = th.held[:0]
+	th.lockset = nil
+	th.locksetStale = false
+	th.curSpan = -1
+	th.done = false
+	m.threads = append(m.threads, th)
+	return int32(id)
+}
+
+func execID(name string, seed int64) string {
+	return name + "/seed=" + strconv.FormatInt(seed, 10)
+}
+
+// Run executes the prepared program once under the given seed; the
+// trace is byte-identical to the interpreter's for the same
+// (program, seed, plan) triple. maxSteps <= 0 means DefaultMaxSteps.
+func (pp *Prepared) Run(seed int64, maxSteps int) trace.Execution {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	m := machinePool.Get().(*machine)
+	m.reset(pp, seed)
+	m.pushCall(m.newThread(), pp.c.entryFn, -1, -1)
+	m.loop(maxSteps)
+	exec := m.buildExecution(seed)
+	m.pp = nil
+	machinePool.Put(m)
+	return exec
+}
+
+func (m *machine) loop(maxSteps int) {
+	for steps := 0; ; steps++ {
+		if m.failed {
+			break
+		}
+		if steps >= maxSteps {
+			m.fail(SigHang)
+			break
+		}
+		m.runnable = m.runnable[:0]
+		for i, th := range m.threads {
+			if th.done || th.sleepUntil > m.now {
+				continue
+			}
+			if th.waitSlot >= 0 && m.globals[th.waitSlot] != th.waitVal {
+				continue
+			}
+			if th.joining && !m.threads[th.joinTarget].done {
+				continue
+			}
+			if th.lockWait >= 0 && m.owners[th.lockWait] >= 0 {
+				continue
+			}
+			m.runnable = append(m.runnable, int32(i))
+		}
+		if len(m.runnable) == 0 {
+			if m.allDone() {
+				break
+			}
+			if !m.advanceToWake() {
+				m.fail(SigDeadlock)
+				break
+			}
+			continue
+		}
+		ti := m.runnable[m.rng.Intn(len(m.runnable))]
+		m.step(ti)
+		m.now++
+	}
+	m.finalizeOpenSpans()
+}
+
+func (m *machine) fail(sig string) {
+	if !m.failed {
+		m.failed = true
+		m.failSig = sig
+	}
+}
+
+func (m *machine) allDone() bool {
+	for _, th := range m.threads {
+		if !th.done {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) advanceToWake() bool {
+	var wake trace.Time
+	found := false
+	for _, th := range m.threads {
+		if th.done || th.sleepUntil <= m.now {
+			continue
+		}
+		if !found || th.sleepUntil < wake {
+			wake = th.sleepUntil
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	m.now = wake
+	return true
+}
+
+func (m *machine) ev(th *mthread, e cexpr) int64 {
+	if e.slot >= 0 {
+		return th.locals[e.slot]
+	}
+	return e.lit
+}
+
+func evalCmp(op uint8, a, b int64) bool {
+	switch CmpOp(op) {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	}
+	return false
+}
+
+func (m *machine) pushCall(ti, fnIdx, dstSlot, retPC int32) {
+	th := m.threads[ti]
+	spanIdx := int32(len(m.spans))
+	m.spans = append(m.spans, trace.MethodCall{
+		Method:   m.pp.c.funcs[fnIdx].name,
+		Thread:   trace.ThreadID(ti),
+		Start:    m.now,
+		Return:   trace.VoidValue(),
+		Injected: m.pp.inj[fnIdx].injected,
+	})
+	th.stack = append(th.stack, ctlRec{
+		kind: ctlCall, fnIdx: fnIdx, retPC: retPC, dstSlot: dstSlot,
+		spanIdx: spanIdx, prevSpan: th.curSpan,
+	})
+	th.curSpan = spanIdx
+	th.pc = m.pp.entries[fnIdx]
+}
+
+func (m *machine) heldInsert(th *mthread, mu int32) {
+	rank := m.pp.mutexRank
+	th.held = append(th.held, mu)
+	i := len(th.held) - 1
+	for i > 0 && rank[th.held[i-1]] > rank[mu] {
+		th.held[i] = th.held[i-1]
+		i--
+	}
+	th.held[i] = mu
+	th.locksetStale = true
+}
+
+func (m *machine) release(ti int32, mu int32) {
+	if m.owners[mu] != ti {
+		return
+	}
+	m.owners[mu] = -1
+	th := m.threads[ti]
+	for i, h := range th.held {
+		if h == mu {
+			th.held = append(th.held[:i], th.held[i+1:]...)
+			break
+		}
+	}
+	th.locksetStale = true
+}
+
+func (m *machine) recordAccess(th *mthread, obj string, kind trace.AccessKind) {
+	if th.curSpan < 0 {
+		return
+	}
+	if th.locksetStale {
+		th.locksetStale = false
+		if len(th.held) == 0 {
+			th.lockset = nil
+		} else {
+			names := make([]string, len(th.held))
+			for i, mu := range th.held {
+				names[i] = m.pp.mutexNames[mu]
+			}
+			th.lockset = names
+		}
+	}
+	m.accs = append(m.accs, accRec{
+		span: th.curSpan, obj: obj, kind: kind, at: m.now, locks: th.lockset,
+	})
+}
+
+func (m *machine) throw(th *mthread, kindIdx int32) {
+	th.mode = mThrow
+	th.excIdx = kindIdx
+}
+
+func (m *machine) step(ti int32) {
+	th := m.threads[ti]
+	switch th.mode {
+	case mReturn:
+		m.unwindReturn(ti)
+		return
+	case mThrow:
+		m.unwindThrow(ti)
+		return
+	}
+	if len(th.stack) == 0 {
+		th.done = true
+		return
+	}
+	in := &m.pp.code[th.pc]
+	switch in.op {
+	case opNop:
+		th.pc++
+	case opAssign:
+		th.locals[in.a] = m.ev(th, in.x)
+		th.pc++
+	case opArith:
+		a, b := m.ev(th, in.x), m.ev(th, in.y)
+		var v int64
+		switch ArithOp(in.aux) {
+		case OpAdd:
+			v = a + b
+		case OpSub:
+			v = a - b
+		case OpMul:
+			v = a * b
+		case OpDiv:
+			if b == 0 {
+				th.pc++
+				m.throw(th, m.pp.c.kindDiv0)
+				return
+			}
+			v = a / b
+		case OpMod:
+			if b == 0 {
+				th.pc++
+				m.throw(th, m.pp.c.kindDiv0)
+				return
+			}
+			v = a % b
+		}
+		th.locals[in.a] = v
+		th.pc++
+	case opReadGlobal:
+		m.recordAccess(th, m.pp.globalNames[in.b], trace.Read)
+		th.locals[in.a] = m.globals[in.b]
+		th.pc++
+	case opWriteGlobal:
+		m.recordAccess(th, m.pp.globalNames[in.b], trace.Write)
+		m.globals[in.b] = m.ev(th, in.x)
+		th.pc++
+	case opArrayRead:
+		m.recordAccess(th, m.pp.c.arrayNames[in.b], trace.Read)
+		arr := m.arrays[in.b]
+		idx := m.ev(th, in.x)
+		th.pc++
+		if idx < 0 || idx >= int64(len(arr)) {
+			m.throw(th, m.pp.c.kindOOB)
+			return
+		}
+		th.locals[in.a] = arr[idx]
+	case opArrayWrite:
+		m.recordAccess(th, m.pp.c.arrayNames[in.b], trace.Write)
+		arr := m.arrays[in.b]
+		idx := m.ev(th, in.x)
+		th.pc++
+		if idx < 0 || idx >= int64(len(arr)) {
+			m.throw(th, m.pp.c.kindOOB)
+			return
+		}
+		arr[idx] = m.ev(th, in.y)
+	case opArrayLen:
+		m.recordAccess(th, m.pp.c.arrayNames[in.b], trace.Read)
+		th.locals[in.a] = int64(len(m.arrays[in.b]))
+		th.pc++
+	case opArrayResize:
+		m.recordAccess(th, m.pp.c.arrayNames[in.b], trace.Write)
+		n := m.ev(th, in.x)
+		if n < 0 {
+			n = 0
+		}
+		fresh := make([]int64, n)
+		copy(fresh, m.arrays[in.b])
+		m.arrays[in.b] = fresh
+		th.pc++
+	case opLock:
+		if m.owners[in.b] >= 0 {
+			th.lockWait = in.b // re-attempted when free
+			return
+		}
+		m.owners[in.b] = ti
+		m.heldInsert(th, in.b)
+		th.lockWait = -1
+		th.pc++
+	case opUnlock:
+		if m.owners[in.b] != ti {
+			th.pc++
+			m.throw(th, m.pp.c.kindSync)
+			return
+		}
+		m.release(ti, in.b)
+		th.pc++
+	case opSleep:
+		d := m.ev(th, in.x)
+		if d < 0 {
+			d = 0
+		}
+		th.sleepUntil = m.now + trace.Time(d)
+		th.pc++
+	case opWaitUntil:
+		v := m.ev(th, in.x)
+		if m.globals[in.b] == v {
+			th.waitSlot = -1
+			th.pc++
+			return
+		}
+		th.waitSlot = in.b
+		th.waitVal = v
+	case opCall:
+		th.pc++
+		m.pushCall(ti, in.b, in.a, th.pc)
+	case opReturn:
+		th.mode = mReturn
+		th.retVoid = false
+		th.retInt = m.ev(th, in.x)
+	case opReturnVoid:
+		th.mode = mReturn
+		th.retVoid = true
+	case opThrow:
+		th.pc++
+		m.throw(th, in.b)
+	case opTryEnter:
+		th.pc++
+		th.stack = append(th.stack, ctlRec{kind: ctlTry, catchKind: in.c, handlerPC: in.b})
+	case opIf:
+		if evalCmp(in.aux, m.ev(th, in.x), m.ev(th, in.y)) {
+			th.stack = append(th.stack, ctlRec{kind: ctlBlock})
+			th.pc++
+		} else if in.b >= 0 {
+			th.stack = append(th.stack, ctlRec{kind: ctlBlock})
+			th.pc = in.b
+		} else {
+			th.pc = in.c
+		}
+	case opEndBlock:
+		th.stack = th.stack[:len(th.stack)-1]
+		th.pc = in.b
+	case opWhileEnter:
+		if evalCmp(in.aux, m.ev(th, in.x), m.ev(th, in.y)) {
+			th.stack = append(th.stack, ctlRec{kind: ctlWhile})
+			th.pc++
+		} else {
+			th.pc = in.b
+		}
+	case opWhileCheck:
+		if evalCmp(in.aux, m.ev(th, in.x), m.ev(th, in.y)) {
+			th.pc = in.b
+		} else {
+			th.stack = th.stack[:len(th.stack)-1]
+			th.pc++ // falls through to the exit-pad opNop
+		}
+	case opSpawn:
+		child := m.newThread()
+		th = m.threads[ti] // newThread only appends, but re-fetch for clarity
+		th.pc++
+		if in.a >= 0 {
+			th.locals[in.a] = int64(child)
+		}
+		m.pushCall(child, in.b, -1, -1)
+	case opJoin:
+		target := m.ev(th, in.x)
+		if target < 0 || target >= int64(len(m.threads)) {
+			th.pc++
+			m.throw(th, m.pp.c.kindSync)
+			return
+		}
+		if m.threads[target].done {
+			th.joining = false
+			th.pc++
+			return
+		}
+		th.joining = true
+		th.joinTarget = int32(target)
+	case opRandom:
+		n := m.ev(th, in.x)
+		if n <= 0 {
+			th.locals[in.a] = 0
+		} else {
+			th.locals[in.a] = m.rng.Int63n(n)
+		}
+		th.pc++
+	case opReadClock:
+		th.locals[in.a] = int64(m.now)
+		th.pc++
+	case opFail:
+		th.pc++
+		m.fail(m.pp.c.strs[in.b])
+	case opPanic:
+		panic(m.pp.c.strs[in.b])
+	}
+}
+
+// finalizeCall completes a call record's span, releasing injector locks
+// and firing injector signals; the caller has already popped the record.
+func (m *machine) finalizeCall(ti int32, fr *ctlRec, retVoid bool, retInt int64, excIdx int32) {
+	meta := &m.pp.inj[fr.fnIdx]
+	ret := trace.Value{Void: retVoid, Int: retInt}
+	if retVoid {
+		ret.Int = 0
+	}
+	exc := ""
+	if excIdx >= 0 {
+		exc = m.pp.c.strs[excIdx]
+	}
+	if meta.override != nil && exc == "" {
+		ret = trace.IntValue(*meta.override)
+	}
+	span := &m.spans[fr.spanIdx]
+	span.End = m.now
+	span.Return = ret
+	span.Exception = exc
+	m.finalOrder = append(m.finalOrder, fr.spanIdx)
+	th := m.threads[ti]
+	for _, mu := range meta.release {
+		m.release(ti, mu)
+	}
+	for _, sg := range meta.signals {
+		// Injector-internal write: not a traced program access.
+		m.globals[sg.slot] = sg.val
+	}
+	if fr.dstSlot >= 0 && !ret.Void {
+		th.locals[fr.dstSlot] = ret.Int
+	}
+	th.curSpan = fr.prevSpan
+}
+
+func (m *machine) unwindReturn(ti int32) {
+	th := m.threads[ti]
+	if len(th.stack) == 0 {
+		th.mode = mRun
+		th.done = true
+		return
+	}
+	fr := &th.stack[len(th.stack)-1]
+	if fr.kind != ctlCall {
+		th.stack = th.stack[:len(th.stack)-1]
+		return
+	}
+	if d := m.pp.inj[fr.fnIdx].endDelay; d > 0 && !fr.delayApplied {
+		fr.delayApplied = true
+		th.sleepUntil = m.now + d
+		return
+	}
+	rec := *fr
+	th.stack = th.stack[:len(th.stack)-1]
+	m.finalizeCall(ti, &rec, th.retVoid, th.retInt, -1)
+	th.mode = mRun
+	th.pc = rec.retPC
+	if len(th.stack) == 0 {
+		th.done = true
+	}
+}
+
+func (m *machine) unwindThrow(ti int32) {
+	th := m.threads[ti]
+	if len(th.stack) == 0 {
+		th.mode = mRun
+		th.done = true
+		m.fail(UncaughtSig(m.pp.c.strs[th.excIdx]))
+		return
+	}
+	fr := th.stack[len(th.stack)-1]
+	switch {
+	case fr.kind == ctlTry && (fr.catchKind == catchAny || fr.catchKind == th.excIdx):
+		// Swap the try record for the handler's block record and enter
+		// the handler, all in this one unwind step.
+		th.stack[len(th.stack)-1] = ctlRec{kind: ctlBlock}
+		th.pc = fr.handlerPC
+		th.excIdx = -1
+		th.mode = mRun
+	case fr.kind == ctlCall && m.pp.inj[fr.fnIdx].catchAll:
+		// Injected try-catch: the span completes as if the body
+		// succeeded, repairing the "method fails" predicate.
+		th.stack = th.stack[:len(th.stack)-1]
+		m.finalizeCall(ti, &fr, false, m.pp.inj[fr.fnIdx].catchValue, -1)
+		th.excIdx = -1
+		th.mode = mRun
+		th.pc = fr.retPC
+		if len(th.stack) == 0 {
+			th.done = true
+		}
+	case fr.kind == ctlCall:
+		th.stack = th.stack[:len(th.stack)-1]
+		m.finalizeCall(ti, &fr, true, 0, th.excIdx)
+		th.pc = fr.retPC
+		if len(th.stack) == 0 {
+			th.mode = mRun
+			th.done = true
+			m.fail(UncaughtSig(m.pp.c.strs[th.excIdx]))
+		}
+	default:
+		th.stack = th.stack[:len(th.stack)-1]
+	}
+}
+
+// finalizeOpenSpans closes spans still open when the run stops (crash
+// or hang), innermost first per thread, matching the interpreter.
+func (m *machine) finalizeOpenSpans() {
+	for _, th := range m.threads {
+		for i := len(th.stack) - 1; i >= 0; i-- {
+			fr := &th.stack[i]
+			if fr.kind != ctlCall {
+				continue
+			}
+			span := &m.spans[fr.spanIdx]
+			span.End = m.now
+			if th.mode == mThrow {
+				span.Exception = m.pp.c.strs[th.excIdx]
+			}
+			m.finalOrder = append(m.finalOrder, fr.spanIdx)
+		}
+		th.stack = th.stack[:0]
+	}
+}
+
+// buildExecution assembles the returned trace: one exact-size Calls
+// slice plus one exact-size Access arena carved into per-span
+// subslices, so a whole replay costs a handful of allocations.
+func (m *machine) buildExecution(seed int64) trace.Execution {
+	exec := trace.Execution{ID: execID(m.pp.c.name, seed), Seed: seed}
+	if m.failed {
+		exec.Outcome = trace.Failure
+		exec.FailureSig = m.failSig
+	} else {
+		exec.Outcome = trace.Success
+	}
+
+	nSpans := len(m.spans)
+	if cap(m.accCount) < nSpans {
+		m.accCount = make([]int32, nSpans)
+		m.accOff = make([]int32, nSpans)
+	}
+	m.accCount = m.accCount[:nSpans]
+	m.accOff = m.accOff[:nSpans]
+	for i := range m.accCount {
+		m.accCount[i] = 0
+	}
+	for i := range m.accs {
+		m.accCount[m.accs[i].span]++
+	}
+	var total int32
+	for i, n := range m.accCount {
+		m.accOff[i] = total
+		total += n
+	}
+	var arena []trace.Access
+	if total > 0 {
+		arena = make([]trace.Access, total)
+		fill := m.accOff
+		// fill doubles as the running cursor; restore it from counts
+		// when slicing below (off = cursor - count after the pass).
+		for i := range m.accs {
+			a := &m.accs[i]
+			arena[fill[a.span]] = trace.Access{
+				Object: trace.ObjectID(a.obj),
+				Kind:   a.kind,
+				At:     a.at,
+				Locks:  a.locks,
+			}
+			fill[a.span]++
+		}
+	}
+
+	calls := make([]trace.MethodCall, len(m.finalOrder))
+	for k, spanIdx := range m.finalOrder {
+		c := m.spans[spanIdx]
+		if n := m.accCount[spanIdx]; n > 0 {
+			end := m.accOff[spanIdx] // cursor == original offset + count
+			start := end - n
+			c.Accesses = arena[start:end:end]
+		}
+		calls[k] = c
+	}
+	exec.Calls = calls
+	exec.Canonicalize()
+	return exec
+}

@@ -27,6 +27,17 @@ type BatchOptions struct {
 // Cancelling ctx stops the sweep within one task-drain and returns
 // ctx.Err() (see par.Map's cancellation contract).
 func RunBatch(ctx context.Context, p *Program, seeds []int64, opts BatchOptions) ([]trace.Execution, error) {
+	if opts.Run.Engine == EngineCompiled {
+		// Compile the program and splice the plan once; the workers
+		// share the read-only Prepared and only pay for the runs.
+		pp, err := Prepare(p, opts.Run.Plan)
+		if err != nil {
+			return nil, err
+		}
+		return par.Map(ctx, len(seeds), opts.Workers, func(i int) (trace.Execution, error) {
+			return pp.Run(seeds[i], opts.Run.MaxSteps), nil
+		})
+	}
 	return par.Map(ctx, len(seeds), opts.Workers, func(i int) (trace.Execution, error) {
 		return Run(p, seeds[i], opts.Run)
 	})

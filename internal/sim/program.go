@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Func is a named function of a simulated program. Every dynamic
@@ -20,6 +21,10 @@ type Func struct {
 
 // Program is a complete simulated application: shared state plus
 // functions, with Entry as the main thread's body.
+//
+// A Program must be fully constructed before its first run: the first
+// Run/Prepare compiles it to bytecode and caches the compilation, so
+// later mutations (AddFunc, Globals edits) would not be picked up.
 type Program struct {
 	Name  string
 	Entry string
@@ -28,6 +33,9 @@ type Program struct {
 	Globals map[string]int64
 	// Arrays are initial shared array contents.
 	Arrays map[string][]int64
+
+	// compiled caches the bytecode compilation (see compile.go).
+	compiled atomic.Pointer[compiled]
 }
 
 // NewProgram returns an empty program with the given entry function name.

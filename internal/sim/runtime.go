@@ -8,6 +8,19 @@ import (
 	"aid/internal/trace"
 )
 
+// Engine selects the execution engine for a run.
+type Engine int
+
+const (
+	// EngineCompiled (the default) runs the bytecode-compiled program
+	// on the slot-indexed machine: same traces, far fewer allocations.
+	EngineCompiled Engine = iota
+	// EngineInterpreter runs the original tree-walking interpreter. It
+	// is kept as the reference oracle for the compiled engine's
+	// equivalence tests.
+	EngineInterpreter
+)
+
 // RunOptions configures one simulated execution.
 type RunOptions struct {
 	// MaxSteps bounds the total number of scheduler steps; exceeding it
@@ -15,6 +28,9 @@ type RunOptions struct {
 	MaxSteps int
 	// Plan is the fault-injection plan (nil for an uninstrumented run).
 	Plan Plan
+	// Engine selects the execution engine; the zero value is the
+	// compiled engine. Both engines produce byte-identical traces.
+	Engine Engine
 }
 
 // DefaultMaxSteps is the step budget when RunOptions.MaxSteps is zero.
@@ -92,7 +108,14 @@ type thread struct {
 	joinTarget trace.ThreadID
 	lockWait   string // non-"" = blocked until mutex free
 
+	// held is kept name-sorted so locksets need no per-access sort.
 	held []string
+	// locksetCache is the current held set shared by all accesses
+	// recorded until the next lock/unlock; it escapes into the trace,
+	// so it is freshly allocated per change.
+	locksetCache []string
+	locksetStale bool
+
 	done bool
 }
 
@@ -113,8 +136,26 @@ type world struct {
 
 // Run executes the program once under the given seed and options and
 // returns the recorded execution trace. The same (program, seed, plan)
-// triple always yields the identical trace.
+// triple always yields the identical trace regardless of the engine.
+//
+// The default (compiled) engine compiles the program once, caches the
+// compilation on the Program, and replays on pooled machine state;
+// programs must not be mutated after their first run. For repeated
+// replays under one plan, Prepare amortizes the plan splicing too.
 func Run(p *Program, seed int64, opts RunOptions) (trace.Execution, error) {
+	if opts.Engine == EngineCompiled {
+		pp, err := Prepare(p, opts.Plan)
+		if err != nil {
+			return trace.Execution{}, err
+		}
+		return pp.Run(seed, opts.MaxSteps), nil
+	}
+	return runInterpreted(p, seed, opts)
+}
+
+// runInterpreted is the original tree-walking interpreter, retained as
+// the reference oracle for the compiled engine.
+func runInterpreted(p *Program, seed int64, opts RunOptions) (trace.Execution, error) {
 	if err := p.Validate(); err != nil {
 		return trace.Execution{}, err
 	}
@@ -130,7 +171,7 @@ func Run(p *Program, seed int64, opts RunOptions) (trace.Execution, error) {
 		arrays:  make(map[string][]int64, len(p.Arrays)),
 		owners:  make(map[string]trace.ThreadID),
 		exec: trace.Execution{
-			ID:   fmt.Sprintf("%s/seed=%d", p.Name, seed),
+			ID:   execID(p.Name, seed),
 			Seed: seed,
 		},
 	}
@@ -174,8 +215,7 @@ func Run(p *Program, seed int64, opts RunOptions) (trace.Execution, error) {
 	} else {
 		w.exec.Outcome = trace.Success
 	}
-	w.exec.SortCalls()
-	w.exec.NumberInstances()
+	w.exec.Canonicalize()
 	return w.exec, nil
 }
 
@@ -336,13 +376,20 @@ func (w *world) finalizeCall(th *thread, fr *frame, ret trace.Value, exc string)
 func (w *world) release(th *thread, mu string) {
 	if owner, ok := w.owners[mu]; ok && owner == th.id {
 		delete(w.owners, mu)
-		for i, h := range th.held {
-			if h == mu {
-				th.held = append(th.held[:i], th.held[i+1:]...)
-				break
-			}
+		if i := sort.SearchStrings(th.held, mu); i < len(th.held) && th.held[i] == mu {
+			th.held = append(th.held[:i], th.held[i+1:]...)
+			th.locksetStale = true
 		}
 	}
+}
+
+// acquire records a taken mutex, keeping held name-sorted.
+func (th *thread) acquire(mu string) {
+	i := sort.SearchStrings(th.held, mu)
+	th.held = append(th.held, "")
+	copy(th.held[i+1:], th.held[i:])
+	th.held[i] = mu
+	th.locksetStale = true
 }
 
 func (th *thread) top() *frame { return th.frames[len(th.frames)-1] }
@@ -363,13 +410,19 @@ func (th *thread) currentSpan() *trace.MethodCall {
 	return nil
 }
 
+// lockset returns the held mutexes, name-sorted. The slice is shared
+// by every access recorded until the held set next changes (it is
+// never mutated after an access stores it).
 func (th *thread) lockset() []string {
-	if len(th.held) == 0 {
-		return nil
+	if th.locksetStale {
+		th.locksetStale = false
+		if len(th.held) == 0 {
+			th.locksetCache = nil
+		} else {
+			th.locksetCache = append([]string(nil), th.held...)
+		}
 	}
-	out := append([]string(nil), th.held...)
-	sort.Strings(out)
-	return out
+	return th.locksetCache
 }
 
 func (w *world) recordAccess(th *thread, obj string, kind trace.AccessKind) {
@@ -583,7 +636,7 @@ func (w *world) exec1(th *thread, fr *frame, op Op) {
 			return
 		}
 		w.owners[o.Mu] = th.id
-		th.held = append(th.held, o.Mu)
+		th.acquire(o.Mu)
 		th.lockWait = ""
 		fr.pc++
 	case Unlock:

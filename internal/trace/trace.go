@@ -154,19 +154,37 @@ type Execution struct {
 // Failed reports whether the execution's outcome is Failure.
 func (e *Execution) Failed() bool { return e.Outcome == Failure }
 
+// callsByStart implements the canonical span order without reflection
+// (sort.SliceStable allocates a reflect-based swapper per call; the
+// replay path sorts once per execution).
+type callsByStart []MethodCall
+
+func (s callsByStart) Len() int      { return len(s) }
+func (s callsByStart) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s callsByStart) Less(i, j int) bool {
+	a, b := &s[i], &s[j]
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.Thread != b.Thread {
+		return a.Thread < b.Thread
+	}
+	return a.Method < b.Method
+}
+
 // SortCalls orders spans by start time, breaking ties by thread then
 // method name so traces are canonical and diffable.
 func (e *Execution) SortCalls() {
-	sort.SliceStable(e.Calls, func(i, j int) bool {
-		a, b := &e.Calls[i], &e.Calls[j]
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		if a.Thread != b.Thread {
-			return a.Thread < b.Thread
-		}
-		return a.Method < b.Method
-	})
+	sort.Stable(callsByStart(e.Calls))
+}
+
+// Canonicalize puts the execution in canonical form: spans sorted and
+// instance numbers assigned. Every trace producer (both sim engines,
+// Set.Add) funnels through it, so canonical traces are comparable
+// byte-for-byte.
+func (e *Execution) Canonicalize() {
+	e.SortCalls()
+	e.NumberInstances()
 }
 
 // NumberInstances assigns Instance indices to calls: the k-th start of a
@@ -225,10 +243,13 @@ type Set struct {
 // Add appends an execution, canonicalizing its call order and instance
 // numbering.
 func (s *Set) Add(e Execution) {
-	e.SortCalls()
-	e.NumberInstances()
+	e.Canonicalize()
 	s.Executions = append(s.Executions, e)
 }
+
+// Reset clears the corpus for reuse, keeping the Executions capacity
+// (arena hook, like Execution.Reset).
+func (s *Set) Reset() { s.Executions = s.Executions[:0] }
 
 // Successes returns the successful executions.
 func (s *Set) Successes() []*Execution { return s.byOutcome(Success) }
