@@ -10,6 +10,8 @@
 // Usage:
 //
 //	aid -case npgsql [-successes 50] [-failures 50] [-seed 1] [-rounds] [-dot] [-json]
+//	aid -case npgsql -stream            # rank as the corpus ingests (live Ranked progress)
+//	aid -case npgsql -sd -top 20        # SD ranking table, top 20 rows
 //	aid -case npgsql -save-traces corpus.jsonl
 //	aid -case npgsql -load-traces corpus.jsonl
 package main
@@ -33,6 +35,8 @@ func main() {
 		variant    = flag.String("variant", "aid", "algorithm variant: aid, aid-p, aid-p-b")
 		compounds  = flag.Int("compounds", 0, "max compound (conjunction) predicates to materialize")
 		rounds     = flag.Bool("rounds", false, "stream the intervention round log as it happens")
+		stream     = flag.Bool("stream", false, "rank as the corpus ingests: stream extraction row by row with live Ranked progress")
+		top        = flag.Int("top", 40, "rows of the -sd ranking table to print (0 = all)")
 		dot        = flag.Bool("dot", false, "print the AC-DAG in Graphviz format and exit")
 		sd         = flag.Bool("sd", false, "print the statistical-debugging ranking and exit (the SD baseline)")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON instead of text")
@@ -61,14 +65,25 @@ func main() {
 		aid.WithCompounds(*compounds),
 		aid.WithWorkers(*workers),
 	}
-	// The -rounds log is an observer over the pipeline's event stream.
-	if *rounds {
+	// The -rounds and -stream logs are observers over the pipeline's
+	// event stream.
+	if *rounds || *stream {
+		wantRounds, wantStream := *rounds, *stream
 		opts = append(opts, aid.WithObserver(aid.ObserverFunc(func(e aid.Event) {
-			switch e.(type) {
+			switch ev := e.(type) {
 			case aid.RoundDone, aid.CauseConfirmed:
-				fmt.Fprintln(os.Stderr, e)
+				if wantRounds {
+					fmt.Fprintln(os.Stderr, e)
+				}
+			case aid.Ranked:
+				if wantStream && ev.RowsTotal > 0 {
+					fmt.Fprintln(os.Stderr, e)
+				}
 			}
 		})))
+	}
+	if *stream {
+		opts = append(opts, aid.WithStreamingExtract(true))
 	}
 	pipeline := aid.New(opts...)
 
@@ -79,7 +94,7 @@ func main() {
 
 	ctx := context.Background()
 	if *dot || *sd || *saveTraces != "" {
-		if err := inspect(ctx, pipeline, source, *dot, *sd, *saveTraces); err != nil {
+		if err := inspect(ctx, pipeline, source, *dot, *sd, *top, *saveTraces); err != nil {
 			fmt.Fprintln(os.Stderr, "aid:", err)
 			os.Exit(1)
 		}
@@ -115,7 +130,7 @@ func main() {
 
 // inspect runs the early pipeline stages only and prints/saves the
 // requested views.
-func inspect(ctx context.Context, pipeline *aid.Pipeline, source aid.TraceSource, dot, sd bool, savePath string) error {
+func inspect(ctx context.Context, pipeline *aid.Pipeline, source aid.TraceSource, dot, sd bool, top int, savePath string) error {
 	traces, err := pipeline.Collect(ctx, source)
 	if err != nil {
 		return err
@@ -131,7 +146,7 @@ func inspect(ctx context.Context, pipeline *aid.Pipeline, source aid.TraceSource
 	if sd {
 		fmt.Printf("statistical debugging ranking for %s (%d predicates):\n\n",
 			source.Label(), len(corpus.Preds))
-		fmt.Print(ranking.Format(40))
+		fmt.Print(ranking.Format(top))
 		return nil
 	}
 	if dot {

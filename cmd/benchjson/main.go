@@ -189,6 +189,48 @@ func main() {
 		run.Figures = append(run.Figures, fig)
 	}
 
+	// Corpus-scaling record: rank + AC-DAG build over a 50k-execution ×
+	// 2k-predicate synthetic corpus, columnar store vs the preserved
+	// row-oriented oracle (outputs cross-checked equal inside the run).
+	// NsPerOp and the allocation profile are the columnar phase's; the
+	// row path's wall-clock and the speedup land in the metrics.
+	{
+		const scaleExecs, scalePreds = 50000, 2000
+		name := fmt.Sprintf("CorpusScaling/%dx%d", scaleExecs, scalePreds)
+		fmt.Fprintf(os.Stderr, "benchjson: %s...\n", name)
+		passes := *repeat
+		if passes < 1 {
+			passes = 1 // mirror measure()'s clamp
+		}
+		var metrics map[string]float64
+		var best *aid.CorpusScalingResult
+		for r := 0; r < passes; r++ {
+			res, err := aid.RunCorpusScaling(scaleExecs, scalePreds, 1)
+			if err != nil {
+				fatal(err)
+			}
+			m := map[string]float64{
+				"fully-discriminative": float64(res.FullyDiscriminative),
+				"dag-nodes":            float64(res.DAGNodes),
+			}
+			checkMetrics(name, metrics, m)
+			metrics = m
+			if best == nil || res.ColumnarNs < best.ColumnarNs {
+				best = res
+			}
+		}
+		metrics["row-ns"] = float64(best.RowNs)
+		metrics["ingest-ns"] = float64(best.IngestNs)
+		metrics["rank+build-speedup"] = best.Speedup
+		run.Figures = append(run.Figures, Figure{
+			Name:        name,
+			NsPerOp:     best.ColumnarNs,
+			AllocsPerOp: best.ColumnarAllocs,
+			BytesPerOp:  best.ColumnarBytes,
+			Metrics:     metrics,
+		})
+	}
+
 	doc := &Doc{Baseline: prevRun, Current: run}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

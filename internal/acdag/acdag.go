@@ -13,6 +13,14 @@
 // antisymmetric, so the relation is a strict partial order and the DAG
 // is acyclic by construction; the stored relation is its own transitive
 // closure.
+//
+// Nodes are dense indices internally (predicate IDs survive at the API
+// edges: construction input, reports, DOT). Construction consumes the
+// corpus's columnar store directly — the counterfactual filter is a
+// maintained counter comparison and the pairwise precedence loops run
+// over dense per-node occurrence arrays, with no per-log map probes.
+// Node-set arguments (alive/exclude sets threaded through discovery)
+// are bitsets (NodeSet), so set queries run word-parallel end-to-end.
 package acdag
 
 import (
@@ -21,17 +29,94 @@ import (
 	"sort"
 	"strings"
 
+	"aid/internal/bitvec"
 	"aid/internal/predicate"
 )
+
+// bitset is the local alias for the shared packed bit-vector.
+type bitset = bitvec.Vec
 
 // DAG is an immutable approximate causal DAG. Nodes are predicate IDs;
 // Precedes is the transitive (closed) precedence relation, stored as
 // row bitsets so closure and reachability run word-parallel.
 type DAG struct {
-	nodes []predicate.ID
-	idx   map[predicate.ID]int
-	prec  []bitset // prec[i] has j: node i consistently precedes node j
-	pred  []bitset // transpose of prec, built by close()
+	nodes  []predicate.ID
+	idx    map[predicate.ID]int
+	idRank []int    // idRank[i] = rank of nodes[i] in ID sort order
+	prec   []bitset // prec[i] has j: node i consistently precedes node j
+	pred   []bitset // transpose of prec, built by close()
+}
+
+// NodeSet is a set of DAG nodes backed by one bitset — the
+// alive/exclude currency of causal-path discovery. A nil *NodeSet
+// passed to a query means "all nodes".
+type NodeSet struct {
+	d    *DAG
+	bits bitset
+}
+
+// NewNodeSet returns a set over the DAG's nodes containing the given
+// IDs; unknown IDs are ignored.
+func (d *DAG) NewNodeSet(ids ...predicate.ID) *NodeSet {
+	s := &NodeSet{d: d, bits: bitvec.New(len(d.nodes))}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts the node with the given ID (unknown IDs are ignored) and
+// returns the set for chaining.
+func (s *NodeSet) Add(id predicate.ID) *NodeSet {
+	if i, ok := s.d.idx[id]; ok {
+		s.bits.SetInCap(i)
+	}
+	return s
+}
+
+// AddIndex inserts the node at the given dense index.
+func (s *NodeSet) AddIndex(i int) *NodeSet {
+	s.bits.SetInCap(i)
+	return s
+}
+
+// Remove deletes the node with the given ID.
+func (s *NodeSet) Remove(id predicate.ID) {
+	if i, ok := s.d.idx[id]; ok {
+		s.bits.Unset(i)
+	}
+}
+
+// RemoveIndex deletes the node at the given dense index.
+func (s *NodeSet) RemoveIndex(i int) { s.bits.Unset(i) }
+
+// Has reports membership by ID.
+func (s *NodeSet) Has(id predicate.ID) bool {
+	i, ok := s.d.idx[id]
+	return ok && s.bits.Has(i)
+}
+
+// HasIndex reports membership by dense index.
+func (s *NodeSet) HasIndex(i int) bool { return s.bits.Has(i) }
+
+// Len returns the number of members.
+func (s *NodeSet) Len() int { return s.bits.Count() }
+
+// Clone returns an independent copy.
+func (s *NodeSet) Clone() *NodeSet {
+	return &NodeSet{d: s.d, bits: s.bits.Clone()}
+}
+
+// ForEachIndex calls fn for every member index in ascending order.
+func (s *NodeSet) ForEachIndex(fn func(i int)) { s.bits.ForEach(fn) }
+
+// maskFor resolves a possibly-nil set to its bitset (nil = all nodes).
+// The result is shared storage: callers must not mutate it.
+func (d *DAG) maskFor(s *NodeSet) bitset {
+	if s == nil {
+		return bitvec.Ones(len(d.nodes))
+	}
+	return s.bits
 }
 
 // BuildOptions configures DAG construction from a corpus.
@@ -54,9 +139,15 @@ type BuildReport struct {
 // Build constructs the AC-DAG over the given candidate predicates
 // (typically statdebug.FullyDiscriminative output) plus the failure
 // predicate F. It requires at least one failed execution in the corpus.
+//
+// Build consumes the columnar corpus directly: the counterfactual
+// filter compares each candidate's maintained failed-occurrence count
+// against the corpus's failed-row count (O(1) per candidate), and the
+// pairwise precedence policies run over dense occurrence arrays
+// materialized once per node — no per-(pair, log) map probes.
 func Build(c *predicate.Corpus, candidates []predicate.ID, opts BuildOptions) (*DAG, *BuildReport, error) {
-	fails := c.FailedLogs()
-	if len(fails) == 0 {
+	nFails := c.FailedCount()
+	if nFails == 0 {
 		return nil, nil, fmt.Errorf("acdag: corpus has no failed executions")
 	}
 	report := &BuildReport{}
@@ -69,7 +160,65 @@ func Build(c *predicate.Corpus, candidates []predicate.ID, opts BuildOptions) (*
 			continue
 		}
 		seen[id] = true
-		p := c.Pred(id)
+		h, ok := c.HandleOf(id)
+		if !ok {
+			return nil, nil, fmt.Errorf("acdag: predicate %q not in corpus", id)
+		}
+		p := c.PredAt(h)
+		if id != predicate.FailureID && !opts.IncludeUnsafe &&
+			(p.Repair.Kind == predicate.IvNone || !p.Repair.Safe) {
+			report.Unsafe = append(report.Unsafe, id)
+			continue
+		}
+		if _, inFail := c.CountsAt(h); inFail != nFails {
+			report.NotCounterfactual = append(report.NotCounterfactual, id)
+			continue
+		}
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	// Dense per-node occurrence arrays over the failed rows, in
+	// failed-row order; every node is counterfactual, so each array has
+	// exactly one entry per failed execution.
+	preds := make([]*predicate.Predicate, len(nodes))
+	occ := make([][]predicate.Occurrence, len(nodes))
+	for i, id := range nodes {
+		h, _ := c.HandleOf(id)
+		preds[i] = c.PredAt(h)
+		occ[i] = c.FailedOccurrences(h)
+	}
+	return assemble(nodes, preds, func(i, j int) bool {
+		for f := 0; f < nFails; f++ {
+			if !pairPrecedes(preds[i], preds[j], occ[i][f], occ[j][f]) {
+				return false
+			}
+		}
+		return true
+	}), report, nil
+}
+
+// BuildRowOracle is the pre-columnar row-oriented builder, kept as the
+// equivalence oracle (and the baseline of the corpus-scaling
+// benchmark): candidates are filtered and ordered pairwise by probing
+// ID-keyed occurrence maps per failed log, exactly as the row corpus
+// did. lookup resolves predicate metadata; failLogs holds the failed
+// executions' occurrence maps in corpus order.
+func BuildRowOracle(lookup func(predicate.ID) *predicate.Predicate, failLogs []map[predicate.ID]predicate.Occurrence, candidates []predicate.ID, opts BuildOptions) (*DAG, *BuildReport, error) {
+	if len(failLogs) == 0 {
+		return nil, nil, fmt.Errorf("acdag: corpus has no failed executions")
+	}
+	report := &BuildReport{}
+	var nodes []predicate.ID
+	seen := map[predicate.ID]bool{}
+	consider := append([]predicate.ID{}, candidates...)
+	consider = append(consider, predicate.FailureID)
+	for _, id := range consider {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		p := lookup(id)
 		if p == nil {
 			return nil, nil, fmt.Errorf("acdag: predicate %q not in corpus", id)
 		}
@@ -79,8 +228,8 @@ func Build(c *predicate.Corpus, candidates []predicate.ID, opts BuildOptions) (*
 			continue
 		}
 		counterfactual := true
-		for _, l := range fails {
-			if !l.Has(id) {
+		for _, l := range failLogs {
+			if _, ok := l[id]; !ok {
 				counterfactual = false
 				break
 			}
@@ -92,31 +241,39 @@ func Build(c *predicate.Corpus, candidates []predicate.ID, opts BuildOptions) (*
 		nodes = append(nodes, id)
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	preds := make([]*predicate.Predicate, len(nodes))
+	for i, id := range nodes {
+		preds[i] = lookup(id)
+	}
+	return assemble(nodes, preds, func(i, j int) bool {
+		for _, l := range failLogs {
+			if !pairPrecedes(preds[i], preds[j], l[nodes[i]], l[nodes[j]]) {
+				return false
+			}
+		}
+		return true
+	}), report, nil
+}
 
+// assemble runs the shared tail of construction: the pairwise
+// precedence matrix (via the supplied pair test), durational cycle
+// breaking, and closure.
+func assemble(nodes []predicate.ID, preds []*predicate.Predicate, precedes func(i, j int) bool) *DAG {
 	d := newDAG(nodes)
 	durPair := make([]bitset, len(nodes))
 	for i := range durPair {
-		durPair[i] = newBitset(len(nodes))
+		durPair[i] = bitvec.New(len(nodes))
 	}
-	for i, a := range nodes {
-		pa := c.Pred(a)
-		for j, b := range nodes {
+	for i := range nodes {
+		for j := range nodes {
 			if i == j {
 				continue
 			}
-			pb := c.Pred(b)
-			if pa.Kind.Durational() && pb.Kind.Durational() {
-				durPair[i].set(j)
+			if preds[i].Kind.Durational() && preds[j].Kind.Durational() {
+				durPair[i].SetInCap(j)
 			}
-			precedes := true
-			for _, l := range fails {
-				if !pairPrecedes(pa, pb, l.Occ[a], l.Occ[b]) {
-					precedes = false
-					break
-				}
-			}
-			if precedes {
-				d.prec[i].set(j)
+			if precedes(i, j) {
+				d.prec[i].SetInCap(j)
 			}
 		}
 	}
@@ -128,7 +285,7 @@ func Build(c *predicate.Corpus, candidates []predicate.ID, opts BuildOptions) (*
 	// precedence heuristic only costs pruning power, never soundness).
 	d.breakCycles(durPair)
 	d.close()
-	return d, report, nil
+	return d
 }
 
 // pairPrecedes decides whether a precedes b in one log, implementing
@@ -185,18 +342,18 @@ func (d *DAG) breakCycles(durPair []bitset) {
 		cyclic := false
 		for u := 0; u < len(d.nodes); u++ {
 			var drop []int
-			d.prec[u].forEach(func(v int) {
+			d.prec[u].ForEach(func(v int) {
 				if comp[u] != comp[v] {
 					return
 				}
 				cyclic = true
-				if durPair == nil || durPair[u].has(v) {
+				if durPair == nil || durPair[u].Has(v) {
 					drop = append(drop, v)
 					changed = true
 				}
 			})
 			for _, v := range drop {
-				d.prec[u].unset(v)
+				d.prec[u].Unset(v)
 			}
 		}
 		if !cyclic {
@@ -219,13 +376,13 @@ func (d *DAG) sccs() []int {
 	// Kosaraju: order by finish time on the forward graph, then label
 	// components on the reverse graph (a transient transpose — d.pred is
 	// only built once construction finishes).
-	rev := transpose(d.prec, n)
+	rev := bitvec.Transpose(d.prec, n)
 	var order []int
 	visited := make([]bool, n)
 	var dfs1 func(u int)
 	dfs1 = func(u int) {
 		visited[u] = true
-		d.prec[u].forEach(func(v int) {
+		d.prec[u].ForEach(func(v int) {
 			if !visited[v] {
 				dfs1(v)
 			}
@@ -240,7 +397,7 @@ func (d *DAG) sccs() []int {
 	var dfs2 func(u, label int)
 	dfs2 = func(u, label int) {
 		comp[u] = label
-		rev[u].forEach(func(v int) {
+		rev[u].ForEach(func(v int) {
 			if comp[v] == -1 {
 				dfs2(v, label)
 			}
@@ -269,11 +426,11 @@ func FromEdges(nodes []predicate.ID, edges [][2]predicate.ID) (*DAG, error) {
 		if i == j {
 			return nil, fmt.Errorf("acdag: self-loop on %s", e[0])
 		}
-		d.prec[i].set(j)
+		d.prec[i].SetInCap(j)
 	}
 	d.close()
 	for i := range d.nodes {
-		if d.prec[i].has(i) {
+		if d.prec[i].Has(i) {
 			return nil, fmt.Errorf("acdag: cycle through %s", d.nodes[i])
 		}
 	}
@@ -288,7 +445,18 @@ func newDAG(nodes []predicate.ID) *DAG {
 	}
 	for i, id := range nodes {
 		d.idx[id] = i
-		d.prec[i] = newBitset(len(nodes))
+		d.prec[i] = bitvec.New(len(nodes))
+	}
+	// idRank lets dense loops compare nodes in ID order without string
+	// comparisons: idRank[i] < idRank[j] iff nodes[i] < nodes[j].
+	byID := make([]int, len(nodes))
+	for i := range byID {
+		byID[i] = i
+	}
+	sort.Slice(byID, func(a, b int) bool { return nodes[byID[a]] < nodes[byID[b]] })
+	d.idRank = make([]int, len(nodes))
+	for rank, i := range byID {
+		d.idRank[i] = rank
 	}
 	return d
 }
@@ -302,12 +470,12 @@ func (d *DAG) close() {
 	for k := 0; k < n; k++ {
 		rk := d.prec[k]
 		for i := 0; i < n; i++ {
-			if d.prec[i].has(k) {
-				d.prec[i].orWith(rk)
+			if d.prec[i].Has(k) {
+				d.prec[i].OrWith(rk)
 			}
 		}
 	}
-	d.pred = transpose(d.prec, n)
+	d.pred = bitvec.Transpose(d.prec, n)
 }
 
 // Nodes returns all node IDs in stable order.
@@ -324,11 +492,38 @@ func (d *DAG) Has(id predicate.ID) bool {
 	return ok
 }
 
+// IndexOf returns the node's dense index.
+func (d *DAG) IndexOf(id predicate.ID) (int, bool) {
+	i, ok := d.idx[id]
+	return i, ok
+}
+
+// IDAt returns the node ID at a dense index.
+func (d *DAG) IDAt(i int) predicate.ID { return d.nodes[i] }
+
+// IDRank returns the node's rank in ID sort order: sorting dense
+// indices by IDRank reproduces sorting IDs lexicographically.
+func (d *DAG) IDRank(i int) int { return d.idRank[i] }
+
 // Precedes reports a ⇝ b: a consistently precedes (potentially causes) b.
 func (d *DAG) Precedes(a, b predicate.ID) bool {
 	i, ok1 := d.idx[a]
 	j, ok2 := d.idx[b]
-	return ok1 && ok2 && d.prec[i].has(j)
+	return ok1 && ok2 && d.prec[i].Has(j)
+}
+
+// PrecedesIndex is Precedes over dense indices.
+func (d *DAG) PrecedesIndex(i, j int) bool { return d.prec[i].Has(j) }
+
+// ReachesAny reports whether node i precedes any member of s — one
+// word-parallel row intersection.
+func (d *DAG) ReachesAny(i int, s *NodeSet) bool {
+	return d.prec[i].Intersects(s.bits)
+}
+
+// ReachedFromAny reports whether any member of s precedes node i.
+func (d *DAG) ReachedFromAny(i int, s *NodeSet) bool {
+	return d.pred[i].Intersects(s.bits)
 }
 
 // Ancestors returns every node that precedes id.
@@ -338,7 +533,7 @@ func (d *DAG) Ancestors(id predicate.ID) []predicate.ID {
 		return nil
 	}
 	var out []predicate.ID
-	d.pred[j].forEach(func(i int) { out = append(out, d.nodes[i]) })
+	d.pred[j].ForEach(func(i int) { out = append(out, d.nodes[i]) })
 	return out
 }
 
@@ -349,55 +544,60 @@ func (d *DAG) Descendants(id predicate.ID) []predicate.ID {
 		return nil
 	}
 	var out []predicate.ID
-	d.prec[i].forEach(func(j int) { out = append(out, d.nodes[j]) })
+	d.prec[i].ForEach(func(j int) { out = append(out, d.nodes[j]) })
 	return out
 }
 
-// LevelsWithin computes topological levels restricted to the alive set
-// (nil = all nodes): level(P) = length of the longest precedence chain
-// ending at P among alive nodes. Nodes at the same level are mutually
+// levelsDense computes topological levels restricted to the alive mask:
+// level(P) = length of the longest precedence chain ending at P among
+// alive nodes. The returned slice is indexed by dense node index; only
+// alive entries are meaningful. Nodes at the same level are mutually
 // unordered — the junctions of Algorithm 2.
-func (d *DAG) LevelsWithin(alive map[predicate.ID]bool) map[predicate.ID]int {
-	n := len(d.nodes)
-	aliveMask := ones(n)
-	if alive != nil {
-		aliveMask = newBitset(n)
-		for i, id := range d.nodes {
-			if alive[id] {
-				aliveMask.set(i)
-			}
-		}
-	}
+func (d *DAG) levelsDense(aliveMask bitset) []int {
 	// Longest-chain DP over the partial order: process nodes in
 	// ascending alive-ancestor count (a word-parallel popcount per
-	// node), computing levels on dense indices and materializing the ID
-	// map only at the end.
+	// node); ties resolve in ID order so the DP order is deterministic.
 	type rec struct {
 		i    int
 		rank int
 	}
 	var order []rec
-	aliveMask.forEach(func(i int) {
-		order = append(order, rec{i, d.pred[i].countAnd(aliveMask)})
+	aliveMask.ForEach(func(i int) {
+		order = append(order, rec{i, d.pred[i].CountAnd(aliveMask)})
 	})
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].rank != order[j].rank {
 			return order[i].rank < order[j].rank
 		}
-		return d.nodes[order[i].i] < d.nodes[order[j].i]
+		return d.idRank[order[i].i] < d.idRank[order[j].i]
 	})
-	lvls := make([]int, n)
-	levels := make(map[predicate.ID]int, len(order))
+	lvls := make([]int, len(d.nodes))
 	for _, r := range order {
 		lvl := 0
-		d.pred[r.i].forEachAnd(aliveMask, func(a int) {
+		d.pred[r.i].ForEachAnd(aliveMask, func(a int) {
 			if l := lvls[a] + 1; l > lvl {
 				lvl = l
 			}
 		})
 		lvls[r.i] = lvl
-		levels[d.nodes[r.i]] = lvl
 	}
+	return lvls
+}
+
+// LevelsIndex is levelsDense over a node set (nil = all nodes): the
+// per-index topological levels discovery's dense loops consume. Only
+// entries of members are meaningful.
+func (d *DAG) LevelsIndex(alive *NodeSet) []int {
+	return d.levelsDense(d.maskFor(alive))
+}
+
+// LevelsWithin computes topological levels restricted to the alive set
+// (nil = all nodes), keyed by ID — the edge form of levelsDense.
+func (d *DAG) LevelsWithin(alive *NodeSet) map[predicate.ID]int {
+	mask := d.maskFor(alive)
+	lvls := d.levelsDense(mask)
+	levels := make(map[predicate.ID]int)
+	mask.ForEach(func(i int) { levels[d.nodes[i]] = lvls[i] })
 	return levels
 }
 
@@ -411,24 +611,27 @@ func (d *DAG) TopoOrder(rng *rand.Rand) []predicate.ID {
 }
 
 // TopoOrderWithin is TopoOrder restricted to the alive set.
-func (d *DAG) TopoOrderWithin(alive map[predicate.ID]bool, rng *rand.Rand) []predicate.ID {
-	levels := d.LevelsWithin(alive)
-	out := make([]predicate.ID, 0, len(levels))
-	for id := range levels {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if levels[out[i]] != levels[out[j]] {
-			return levels[out[i]] < levels[out[j]]
+func (d *DAG) TopoOrderWithin(alive *NodeSet, rng *rand.Rand) []predicate.ID {
+	mask := d.maskFor(alive)
+	lvls := d.levelsDense(mask)
+	var idxs []int
+	mask.ForEach(func(i int) { idxs = append(idxs, i) })
+	sort.Slice(idxs, func(a, b int) bool {
+		if lvls[idxs[a]] != lvls[idxs[b]] {
+			return lvls[idxs[a]] < lvls[idxs[b]]
 		}
-		return out[i] < out[j]
+		return d.idRank[idxs[a]] < d.idRank[idxs[b]]
 	})
+	out := make([]predicate.ID, len(idxs))
+	for i, ix := range idxs {
+		out[i] = d.nodes[ix]
+	}
 	if rng != nil {
 		// Shuffle within equal-level groups.
 		start := 0
 		for start < len(out) {
 			end := start + 1
-			for end < len(out) && levels[out[end]] == levels[out[start]] {
+			for end < len(idxs) && lvls[idxs[end]] == lvls[idxs[start]] {
 				end++
 			}
 			group := out[start:end]
@@ -439,32 +642,16 @@ func (d *DAG) TopoOrderWithin(alive map[predicate.ID]bool, rng *rand.Rand) []pre
 	return out
 }
 
-// maskOf builds the dense bitset mask of a predicate set (nil = all
-// nodes) — the entry point of every word-parallel set query below.
-func (d *DAG) maskOf(set map[predicate.ID]bool) bitset {
-	n := len(d.nodes)
-	if set == nil {
-		return ones(n)
-	}
-	mask := newBitset(n)
-	for i, id := range d.nodes {
-		if set[id] {
-			mask.set(i)
-		}
-	}
-	return mask
-}
-
 // MinimalWithin returns the minimal elements of the suborder induced by
 // set — the members with no ancestor inside set. They form an antichain
 // (mutual incomparability follows from closure): the candidate frontier
 // an intervention scheduler materializes each round. Output is sorted
 // by ID.
-func (d *DAG) MinimalWithin(set map[predicate.ID]bool) []predicate.ID {
-	mask := d.maskOf(set)
+func (d *DAG) MinimalWithin(set *NodeSet) []predicate.ID {
+	mask := d.maskFor(set)
 	var out []predicate.ID
-	mask.forEach(func(i int) {
-		if !d.pred[i].intersects(mask) {
+	mask.ForEach(func(i int) {
+		if !d.pred[i].Intersects(mask) {
 			out = append(out, d.nodes[i])
 		}
 	})
@@ -477,15 +664,15 @@ func (d *DAG) MinimalWithin(set map[predicate.ID]bool) []predicate.ID {
 // drawn from an antichain are independent: no intervention on one can
 // silence or reorder another through the DAG's precedence relation.
 func (d *DAG) IsAntichain(ids []predicate.ID) bool {
-	mask := newBitset(len(d.nodes))
+	mask := bitvec.New(len(d.nodes))
 	for _, id := range ids {
 		if i, ok := d.idx[id]; ok {
-			mask.set(i)
+			mask.SetInCap(i)
 		}
 	}
 	ok := true
-	mask.forEach(func(i int) {
-		if ok && d.prec[i].intersects(mask) {
+	mask.ForEach(func(i int) {
+		if ok && d.prec[i].Intersects(mask) {
 			ok = false
 		}
 	})
@@ -496,10 +683,10 @@ func (d *DAG) IsAntichain(ids []predicate.ID) bool {
 // in either direction — the scheduler's independence test for batching
 // two candidate groups into one logical round.
 func (d *DAG) Unordered(a, b []predicate.ID) bool {
-	maskB := newBitset(len(d.nodes))
+	maskB := bitvec.New(len(d.nodes))
 	for _, id := range b {
 		if i, ok := d.idx[id]; ok {
-			maskB.set(i)
+			maskB.SetInCap(i)
 		}
 	}
 	for _, id := range a {
@@ -507,35 +694,61 @@ func (d *DAG) Unordered(a, b []predicate.ID) bool {
 		if !ok {
 			continue
 		}
-		if maskB.has(i) || d.prec[i].intersects(maskB) || d.pred[i].intersects(maskB) {
+		if maskB.Has(i) || d.prec[i].Intersects(maskB) || d.pred[i].Intersects(maskB) {
 			return false
 		}
 	}
 	return true
 }
 
-// LevelFrontierWithin returns the members of alive\exclude at the
-// minimum topological level computed within alive — the junction
-// members Algorithm 2 visits next. Output is sorted by ID; the result
-// is empty when exclude covers alive.
-func (d *DAG) LevelFrontierWithin(alive, exclude map[predicate.ID]bool) []predicate.ID {
-	levels := d.LevelsWithin(alive)
-	minLevel := -1
-	var out []predicate.ID
-	for id, l := range levels {
-		if exclude[id] || (alive != nil && !alive[id]) {
-			continue
-		}
-		switch {
-		case minLevel == -1 || l < minLevel:
-			minLevel = l
-			out = out[:0]
-			out = append(out, id)
-		case l == minLevel:
-			out = append(out, id)
+// UnorderedIndex is Unordered over dense node indices.
+func (d *DAG) UnorderedIndex(a, b []int) bool {
+	maskB := bitvec.New(len(d.nodes))
+	for _, i := range b {
+		maskB.SetInCap(i)
+	}
+	for _, i := range a {
+		if maskB.Has(i) || d.prec[i].Intersects(maskB) || d.pred[i].Intersects(maskB) {
+			return false
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return true
+}
+
+// FrontierIndex returns the dense indices of alive\exclude members at
+// the minimum topological level computed within alive — the junction
+// members Algorithm 2 visits next, in ID order. The result is empty
+// when exclude covers alive.
+func (d *DAG) FrontierIndex(alive, exclude *NodeSet) []int {
+	aliveMask := d.maskFor(alive)
+	lvls := d.levelsDense(aliveMask)
+	minLevel := -1
+	var out []int
+	aliveMask.ForEach(func(i int) {
+		if exclude != nil && exclude.bits.Has(i) {
+			return
+		}
+		switch {
+		case minLevel == -1 || lvls[i] < minLevel:
+			minLevel = lvls[i]
+			out = out[:0]
+			out = append(out, i)
+		case lvls[i] == minLevel:
+			out = append(out, i)
+		}
+	})
+	sort.Slice(out, func(a, b int) bool { return d.idRank[out[a]] < d.idRank[out[b]] })
+	return out
+}
+
+// LevelFrontierWithin is FrontierIndex at the ID edge: the frontier
+// members as IDs, sorted.
+func (d *DAG) LevelFrontierWithin(alive, exclude *NodeSet) []predicate.ID {
+	idxs := d.FrontierIndex(alive, exclude)
+	out := make([]predicate.ID, len(idxs))
+	for k, i := range idxs {
+		out[k] = d.nodes[i]
+	}
 	return out
 }
 
@@ -543,57 +756,68 @@ func (d *DAG) LevelFrontierWithin(alive, exclude map[predicate.ID]bool) []predic
 func (d *DAG) Roots() []predicate.ID {
 	var out []predicate.ID
 	for i, id := range d.nodes {
-		if d.pred[i].count() == 0 {
+		if d.pred[i].Count() == 0 {
 			out = append(out, id)
 		}
 	}
 	return out
 }
 
-// Branches computes the independent branches at a junction (Algorithm 2
-// lines 10–12): for each junction member P, the branch is P together
-// with every alive descendant of P that is not a descendant of any
-// other member. The failure predicate never belongs to a branch.
-func (d *DAG) Branches(junction []predicate.ID, alive map[predicate.ID]bool) map[predicate.ID][]predicate.ID {
-	n := len(d.nodes)
-	aliveMask := ones(n)
-	if alive != nil {
-		aliveMask = newBitset(n)
-		for i, id := range d.nodes {
-			if alive[id] {
-				aliveMask.set(i)
-			}
-		}
-	}
+// BranchesIndex computes the independent branches at a junction
+// (Algorithm 2 lines 10–12) over dense indices: for each junction
+// member P, the branch is P followed by every alive descendant of P
+// that is not a descendant of any other member, in dense-index order.
+// The failure predicate never belongs to a branch. The result is
+// aligned with the junction slice.
+func (d *DAG) BranchesIndex(junction []int, alive *NodeSet) [][]int {
+	aliveMask := d.maskFor(alive).Clone()
 	if f, ok := d.idx[predicate.FailureID]; ok {
-		aliveMask.unset(f)
+		aliveMask.Unset(f)
 	}
-	out := make(map[predicate.ID][]predicate.ID, len(junction))
-	for _, p := range junction {
-		branch := []predicate.ID{p}
-		pi, ok := d.idx[p]
-		if !ok {
-			out[p] = branch
-			continue
-		}
+	out := make([][]int, len(junction))
+	for k, pi := range junction {
+		branch := []int{pi}
 		// Word-parallel exclusivity: P's branch is its alive descendants
 		// minus every other member's descendant set.
-		bits := d.prec[pi].clone()
+		bits := d.prec[pi].Clone()
 		for w := range bits {
 			bits[w] &= aliveMask[w]
 		}
-		for _, other := range junction {
-			if other == p {
+		for _, oi := range junction {
+			if oi == pi {
 				continue
 			}
-			if oi, ok := d.idx[other]; ok {
-				for w := range bits {
-					bits[w] &^= d.prec[oi][w]
-				}
+			for w := range bits {
+				bits[w] &^= d.prec[oi][w]
 			}
 		}
-		bits.forEach(func(q int) { branch = append(branch, d.nodes[q]) })
-		out[p] = branch
+		bits.ForEach(func(q int) { branch = append(branch, q) })
+		out[k] = branch
+	}
+	return out
+}
+
+// Branches is BranchesIndex at the ID edge, keyed by junction member.
+// Unknown members map to a branch containing only themselves.
+func (d *DAG) Branches(junction []predicate.ID, alive *NodeSet) map[predicate.ID][]predicate.ID {
+	out := make(map[predicate.ID][]predicate.ID, len(junction))
+	var known []int
+	var knownIDs []predicate.ID
+	for _, p := range junction {
+		if i, ok := d.idx[p]; ok {
+			known = append(known, i)
+			knownIDs = append(knownIDs, p)
+		} else {
+			out[p] = []predicate.ID{p}
+		}
+	}
+	dense := d.BranchesIndex(known, alive)
+	for k, branch := range dense {
+		ids := make([]predicate.ID, len(branch))
+		for x, q := range branch {
+			ids[x] = d.nodes[q]
+		}
+		out[knownIDs[k]] = ids
 	}
 	return out
 }
@@ -604,11 +828,11 @@ func (d *DAG) ReductionEdges() [][2]predicate.ID {
 	var out [][2]predicate.ID
 	n := len(d.nodes)
 	for i := 0; i < n; i++ {
-		d.prec[i].forEach(func(j int) {
+		d.prec[i].ForEach(func(j int) {
 			// i → j is direct iff no witness k with i ⇝ k ⇝ j: the
 			// word-parallel intersection of i's descendants with j's
 			// ancestors.
-			if !d.prec[i].intersectsExcept(d.pred[j], i, j) {
+			if !d.prec[i].IntersectsExcept(d.pred[j], i, j) {
 				out = append(out, [2]predicate.ID{d.nodes[i], d.nodes[j]})
 			}
 		})

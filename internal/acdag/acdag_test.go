@@ -102,7 +102,7 @@ func TestLevels(t *testing.T) {
 
 func TestLevelsWithinSubset(t *testing.T) {
 	d := paperDAG(t)
-	alive := map[predicate.ID]bool{"P1": true, "P3": true, "P7": true, "F": true}
+	alive := d.NewNodeSet("P1", "P3", "P7", "F")
 	levels := d.LevelsWithin(alive)
 	if len(levels) != 4 {
 		t.Fatalf("levels over subset = %v", levels)
@@ -167,9 +167,7 @@ func TestBranchesAtJunction(t *testing.T) {
 
 func TestBranchesExcludeDeadAndF(t *testing.T) {
 	d := paperDAG(t)
-	alive := map[predicate.ID]bool{
-		"P4": true, "P5": true, "P7": true, "P11": true, "F": true,
-	}
+	alive := d.NewNodeSet("P4", "P5", "P7", "P11", "F")
 	branches := d.Branches([]predicate.ID{"P4", "P7"}, alive)
 	b1 := branches["P4"]
 	sort.Slice(b1, func(i, j int) bool { return b1[i] < b1[j] })
@@ -215,15 +213,11 @@ func logCorpus(outcomes []bool, preds []predicate.Predicate, stamps []map[predic
 		c.AddPred(p)
 	}
 	for i, failed := range outcomes {
-		log := predicate.ExecLog{
-			ExecID: string(rune('a' + i)),
-			Failed: failed,
-			Occ:    make(map[predicate.ID]predicate.Occurrence),
-		}
+		occ := make(map[predicate.ID]predicate.Occurrence)
 		for id, s := range stamps[i] {
-			log.Occ[id] = predicate.Occurrence{Start: trace.Time(s), End: trace.Time(s + 1)}
+			occ[id] = predicate.Occurrence{Start: trace.Time(s), End: trace.Time(s + 1)}
 		}
-		c.Logs = append(c.Logs, log)
+		c.AddLog(string(rune('a'+i)), failed, occ)
 	}
 	return c
 }
@@ -244,7 +238,7 @@ func TestBuildFromCorpus(t *testing.T) {
 	}
 	c := logCorpus([]bool{true, true}, preds, stamps)
 	// Need one success so the corpus is sane (empty log).
-	c.Logs = append(c.Logs, predicate.ExecLog{ExecID: "s", Occ: map[predicate.ID]predicate.Occurrence{}})
+	c.AddLog("s", false, map[predicate.ID]predicate.Occurrence{})
 
 	d, report, err := Build(c, []predicate.ID{"A", "B", "C"}, BuildOptions{})
 	if err != nil {
@@ -319,7 +313,7 @@ func TestBuildExcludesUnsafeAndNonCounterfactual(t *testing.T) {
 func TestBuildNoFailures(t *testing.T) {
 	c := predicate.NewCorpus()
 	c.AddPred(predicate.FailurePredicate())
-	c.Logs = append(c.Logs, predicate.ExecLog{ExecID: "s", Occ: map[predicate.ID]predicate.Occurrence{}})
+	c.AddLog("s", false, map[predicate.ID]predicate.Occurrence{})
 	if _, _, err := Build(c, nil, BuildOptions{}); err == nil {
 		t.Fatal("Build without failures should error")
 	}
@@ -328,10 +322,7 @@ func TestBuildNoFailures(t *testing.T) {
 func TestBuildUnknownCandidate(t *testing.T) {
 	c := predicate.NewCorpus()
 	c.AddPred(predicate.FailurePredicate())
-	c.Logs = append(c.Logs, predicate.ExecLog{
-		ExecID: "f", Failed: true,
-		Occ: map[predicate.ID]predicate.Occurrence{predicate.FailureID: {}},
-	})
+	c.AddLog("f", true, map[predicate.ID]predicate.Occurrence{predicate.FailureID: {}})
 	if _, _, err := Build(c, []predicate.ID{"ghost"}, BuildOptions{}); err == nil {
 		t.Fatal("unknown candidate accepted")
 	}
@@ -407,7 +398,7 @@ func TestMinimalWithin(t *testing.T) {
 	}
 	// Restricted to the two parallel branches after P3: their heads are
 	// the frontier, and they form an antichain.
-	set := map[predicate.ID]bool{"P4": true, "P5": true, "P7": true, "P8": true, "P9": true}
+	set := d.NewNodeSet("P4", "P5", "P7", "P8", "P9")
 	got := d.MinimalWithin(set)
 	if !reflect.DeepEqual(got, []predicate.ID{"P4", "P7"}) {
 		t.Fatalf("MinimalWithin = %v, want [P4 P7]", got)
@@ -448,22 +439,20 @@ func TestIsAntichainAndUnordered(t *testing.T) {
 
 func TestLevelFrontierWithin(t *testing.T) {
 	d := paperDAG(t)
-	alive := map[predicate.ID]bool{
-		"P3": true, "P4": true, "P7": true, "P8": true, "F": true,
-	}
+	alive := d.NewNodeSet("P3", "P4", "P7", "P8", "F")
 	// No exclusions: P3 alone sits at the minimum level.
 	if got := d.LevelFrontierWithin(alive, nil); !reflect.DeepEqual(got, []predicate.ID{"P3"}) {
 		t.Fatalf("LevelFrontierWithin = %v, want [P3]", got)
 	}
 	// Excluding the walked P3 exposes the junction {P4, P7}; F is
 	// excluded the way branchPrune always excludes it.
-	exclude := map[predicate.ID]bool{"P3": true, "F": true}
+	exclude := d.NewNodeSet("P3", "F")
 	got := d.LevelFrontierWithin(alive, exclude)
 	if !reflect.DeepEqual(got, []predicate.ID{"P4", "P7"}) {
 		t.Fatalf("LevelFrontierWithin(exclude P3) = %v, want [P4 P7]", got)
 	}
 	// Everything excluded: empty frontier terminates the walk.
-	all := map[predicate.ID]bool{"P3": true, "P4": true, "P7": true, "P8": true, "F": true}
+	all := d.NewNodeSet("P3", "P4", "P7", "P8", "F")
 	if got := d.LevelFrontierWithin(alive, all); len(got) != 0 {
 		t.Fatalf("fully excluded frontier = %v, want empty", got)
 	}
@@ -477,9 +466,11 @@ func TestMinimalWithinMatchesBruteForce(t *testing.T) {
 	nodes := d.Nodes()
 	for trial := 0; trial < 200; trial++ {
 		set := map[predicate.ID]bool{}
+		ns := d.NewNodeSet()
 		for _, id := range nodes {
 			if rng.Intn(2) == 0 {
 				set[id] = true
+				ns.Add(id)
 			}
 		}
 		var want []predicate.ID
@@ -496,7 +487,7 @@ func TestMinimalWithinMatchesBruteForce(t *testing.T) {
 			}
 		}
 		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
-		got := d.MinimalWithin(set)
+		got := d.MinimalWithin(ns)
 		if len(got) == 0 && len(want) == 0 {
 			continue
 		}

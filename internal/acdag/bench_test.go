@@ -22,22 +22,19 @@ func benchCorpus(n, f int) (*predicate.Corpus, []predicate.ID) {
 		})
 	}
 	for l := 0; l < f; l++ {
-		log := predicate.ExecLog{
-			ExecID: fmt.Sprintf("f%d", l), Failed: true,
-			Occ: map[predicate.ID]predicate.Occurrence{
-				predicate.FailureID: {Start: 100000, End: 100001, Thread: predicate.NoThread},
-			},
+		occ := map[predicate.ID]predicate.Occurrence{
+			predicate.FailureID: {Start: 100000, End: 100001, Thread: predicate.NoThread},
 		}
 		for i, id := range ids {
 			// Stable order with per-log jitter that never crosses
 			// neighbours: a long chain with occasional incomparabilities.
 			base := trace.Time(i * 10)
 			jit := trace.Time((l * (i + 3)) % 4)
-			log.Occ[id] = predicate.Occurrence{Start: base + jit, End: base + jit + 2, Thread: 0}
+			occ[id] = predicate.Occurrence{Start: base + jit, End: base + jit + 2, Thread: 0}
 		}
-		c.Logs = append(c.Logs, log)
+		c.AddLog(fmt.Sprintf("f%d", l), true, occ)
 	}
-	c.Logs = append(c.Logs, predicate.ExecLog{ExecID: "s", Occ: map[predicate.ID]predicate.Occurrence{}})
+	c.AddLog("s", false, map[predicate.ID]predicate.Occurrence{})
 	return c, ids
 }
 

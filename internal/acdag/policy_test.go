@@ -16,17 +16,14 @@ func policyCorpus(preds []predicate.Predicate, occ map[predicate.ID]predicate.Oc
 		p.Repair = predicate.Intervention{Kind: predicate.IvLockMethods, Safe: true}
 		c.AddPred(p)
 	}
-	log := predicate.ExecLog{
-		ExecID: "f", Failed: true,
-		Occ: map[predicate.ID]predicate.Occurrence{
-			predicate.FailureID: {Start: 1000, End: 1001, Thread: predicate.NoThread},
-		},
+	row := map[predicate.ID]predicate.Occurrence{
+		predicate.FailureID: {Start: 1000, End: 1001, Thread: predicate.NoThread},
 	}
 	for id, o := range occ {
-		log.Occ[id] = o
+		row[id] = o
 	}
-	c.Logs = append(c.Logs, log)
-	c.Logs = append(c.Logs, predicate.ExecLog{ExecID: "s", Occ: map[predicate.ID]predicate.Occurrence{}})
+	c.AddLog("f", true, row)
+	c.AddLog("s", false, map[predicate.ID]predicate.Occurrence{})
 	return c
 }
 

@@ -9,6 +9,13 @@
 // many intervention rounds were needed. Ablation options reproduce the
 // paper's AID-P (no predicate pruning) and AID-P-B (no predicate or
 // branch pruning) variants.
+//
+// The decision state is dense: candidates are AC-DAG node indices and
+// the alive/cause/spurious/walked sets are bitsets (acdag.NodeSet), so
+// every per-round query — frontier, branches, Definition 2's protection
+// test, reachability pruning — is a word-parallel row intersection.
+// Predicate IDs appear only at the edges: the Intervener contract, the
+// scheduler's memo keys, and the Round/Result logs.
 package core
 
 import (
@@ -177,17 +184,23 @@ func (r *Result) PruningStats() (s1, s2 float64) {
 	return s1, s2
 }
 
-// discoverer carries the shared state of one discovery run.
+// discoverer carries the shared state of one discovery run. Candidates
+// are dense AC-DAG node indices; the classification sets are bitsets.
 type discoverer struct {
 	ctx   context.Context
 	dag   *acdag.DAG
 	sched *Scheduler
 	opts  Options
 	rng   *rand.Rand
-	alive map[predicate.ID]bool // candidate predicates (never F)
-	cause map[predicate.ID]bool
-	spur  map[predicate.ID]bool
-	log   []Round
+	fIdx  int
+	alive *acdag.NodeSet // candidate predicates (never F)
+	// aliveAndF mirrors alive plus F — the subgraph every level
+	// computation restricts to, maintained incrementally instead of
+	// rebuilt per round.
+	aliveAndF *acdag.NodeSet
+	cause     *acdag.NodeSet
+	spur      *acdag.NodeSet
+	log       []Round
 }
 
 // Discover runs causal path discovery (Algorithm 3) on the AC-DAG.
@@ -199,7 +212,8 @@ type discoverer struct {
 // Cancelling ctx aborts the run before the next intervention round (and
 // mid-round, through the Intervener) with ctx's error.
 func Discover(ctx context.Context, dag *acdag.DAG, iv Intervener, opts Options) (*Result, error) {
-	if !dag.Has(predicate.FailureID) {
+	fIdx, ok := dag.IndexOf(predicate.FailureID)
+	if !ok {
 		return nil, fmt.Errorf("core: AC-DAG lacks the failure predicate")
 	}
 	sched := opts.Scheduler
@@ -208,27 +222,30 @@ func Discover(ctx context.Context, dag *acdag.DAG, iv Intervener, opts Options) 
 	}
 	defer sched.Wait()
 	d := &discoverer{
-		ctx:   ctx,
-		dag:   dag,
-		sched: sched,
-		opts:  opts,
-		rng:   rand.New(rand.NewSource(opts.Seed)),
-		alive: make(map[predicate.ID]bool),
-		cause: make(map[predicate.ID]bool),
-		spur:  make(map[predicate.ID]bool),
+		ctx:       ctx,
+		dag:       dag,
+		sched:     sched,
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		fIdx:      fIdx,
+		alive:     dag.NewNodeSet(),
+		aliveAndF: dag.NewNodeSet(predicate.FailureID),
+		cause:     dag.NewNodeSet(),
+		spur:      dag.NewNodeSet(),
 	}
-	for _, id := range dag.Nodes() {
-		if id == predicate.FailureID {
+	for i := 0; i < dag.Len(); i++ {
+		if i == fIdx {
 			continue
 		}
 		// Predicates with no path to the failure cannot be causes
 		// (Kafka case study: 30 of 72 predicates were discarded this
 		// way before any intervention).
-		if !dag.Precedes(id, predicate.FailureID) {
-			d.spur[id] = true
+		if !dag.PrecedesIndex(i, fIdx) {
+			d.spur.AddIndex(i)
 			continue
 		}
-		d.alive[id] = true
+		d.alive.AddIndex(i)
+		d.aliveAndF.AddIndex(i)
 	}
 
 	if opts.BranchPruning {
@@ -247,37 +264,43 @@ func Discover(ctx context.Context, dag *acdag.DAG, iv Intervener, opts Options) 
 	return res, nil
 }
 
-// aliveSorted returns the alive candidates in stable order.
-func (d *discoverer) aliveSorted() []predicate.ID {
-	out := make([]predicate.ID, 0, len(d.alive))
-	for id := range d.alive {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+// aliveSorted returns the alive candidate indices in ID order.
+func (d *discoverer) aliveSorted() []int {
+	var out []int
+	d.alive.ForEachIndex(func(i int) { out = append(out, i) })
+	sort.Slice(out, func(a, b int) bool { return d.dag.IDRank(out[a]) < d.dag.IDRank(out[b]) })
 	return out
 }
 
-// topoSorted orders a predicate set by AC-DAG topological level, then ID.
-func (d *discoverer) topoSorted(set map[predicate.ID]bool) []predicate.ID {
-	out := make([]predicate.ID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+// idsOf maps dense indices to predicate IDs, preserving order.
+func (d *discoverer) idsOf(idxs []int) []predicate.ID {
+	out := make([]predicate.ID, len(idxs))
+	for k, i := range idxs {
+		out[k] = d.dag.IDAt(i)
 	}
-	levels := d.dag.Levels()
-	sort.Slice(out, func(i, j int) bool {
-		if levels[out[i]] != levels[out[j]] {
-			return levels[out[i]] < levels[out[j]]
-		}
-		return out[i] < out[j]
-	})
 	return out
+}
+
+// topoSorted orders a node set by AC-DAG topological level, then ID.
+func (d *discoverer) topoSorted(set *acdag.NodeSet) []predicate.ID {
+	var out []int
+	set.ForEachIndex(func(i int) { out = append(out, i) })
+	levels := d.dag.LevelsIndex(nil)
+	sort.Slice(out, func(a, b int) bool {
+		if levels[out[a]] != levels[out[b]] {
+			return levels[out[a]] < levels[out[b]]
+		}
+		return d.dag.IDRank(out[a]) < d.dag.IDRank(out[b])
+	})
+	return d.idsOf(out)
 }
 
 // intervene performs one group-intervention round through the scheduler
-// and applies both pruning rules; it returns whether the failure
-// stopped. The request's continuation hints, if any, are prefetched
-// concurrently when speculation is enabled.
-func (d *discoverer) intervene(req Request, phase string) (bool, error) {
+// and applies both pruning rules; group is the dense form of req.Preds.
+// It returns whether the failure stopped. The request's continuation
+// hints, if any, are prefetched concurrently when speculation is
+// enabled.
+func (d *discoverer) intervene(req Request, group []int, phase string) (bool, error) {
 	if err := d.ctx.Err(); err != nil {
 		return false, err
 	}
@@ -301,42 +324,49 @@ func (d *discoverer) intervene(req Request, phase string) (bool, error) {
 		Stopped:    stopped,
 		Phase:      phase,
 	}
-	intervened := make(map[predicate.ID]bool, len(preds))
-	for _, p := range preds {
-		intervened[p] = true
+	intervened := d.dag.NewNodeSet()
+	for _, i := range group {
+		intervened.AddIndex(i)
 	}
 	// Definition 2, first rule: intervened predicates are spurious if
 	// some intervening run still failed.
 	if !stopped {
-		for _, p := range preds {
-			if d.alive[p] {
-				d.markSpurious(p)
-				round.Pruned = append(round.Pruned, p)
+		for _, i := range group {
+			if d.alive.HasIndex(i) {
+				d.markSpurious(i)
+				round.Pruned = append(round.Pruned, d.dag.IDAt(i))
 			}
 		}
 	}
 	// Definition 2, second rule: a non-intervened predicate that does
 	// not precede any intervened one is pruned on a counterfactual
-	// violation with F in any intervening run.
+	// violation with F in any intervening run. The per-candidate loop is
+	// bitset-only: observations are interned to node sets once per round
+	// (the ID-map edge), and the protection test is one word-parallel
+	// row intersection.
 	if d.opts.PredicatePruning {
-		for _, q := range d.aliveSorted() {
-			if intervened[q] {
-				continue
-			}
-			protected := false
-			for p := range intervened {
-				if d.dag.Precedes(q, p) {
-					protected = true
-					break
+		masks := make([]*acdag.NodeSet, len(obs))
+		for k, o := range obs {
+			m := d.dag.NewNodeSet()
+			for id, v := range o.Observed {
+				if v {
+					m.Add(id)
 				}
 			}
-			if protected {
+			masks[k] = m
+		}
+		for _, q := range d.aliveSorted() {
+			if intervened.HasIndex(q) {
 				continue
 			}
-			for _, o := range obs {
-				if (o.Observed[q] && !o.Failed) || (!o.Observed[q] && o.Failed) {
+			// Protected: q precedes some intervened predicate.
+			if d.dag.ReachesAny(q, intervened) {
+				continue
+			}
+			for k, o := range obs {
+				if (masks[k].HasIndex(q) && !o.Failed) || (!masks[k].HasIndex(q) && o.Failed) {
 					d.markSpurious(q)
-					round.Pruned = append(round.Pruned, q)
+					round.Pruned = append(round.Pruned, d.dag.IDAt(q))
 					break
 				}
 			}
@@ -349,19 +379,22 @@ func (d *discoverer) intervene(req Request, phase string) (bool, error) {
 	return stopped, nil
 }
 
-func (d *discoverer) markSpurious(p predicate.ID) {
-	delete(d.alive, p)
-	d.spur[p] = true
+func (d *discoverer) markSpurious(i int) {
+	d.alive.RemoveIndex(i)
+	d.aliveAndF.RemoveIndex(i)
+	d.spur.AddIndex(i)
 }
 
-func (d *discoverer) markCause(p predicate.ID) {
-	delete(d.alive, p)
-	d.cause[p] = true
+func (d *discoverer) markCause(i int) {
+	d.alive.RemoveIndex(i)
+	d.aliveAndF.RemoveIndex(i)
+	d.cause.AddIndex(i)
+	id := d.dag.IDAt(i)
 	if n := len(d.log); n > 0 && d.log[n-1].Confirmed == "" {
-		d.log[n-1].Confirmed = p
+		d.log[n-1].Confirmed = id
 	}
 	if d.opts.OnConfirm != nil {
-		d.opts.OnConfirm(p)
+		d.opts.OnConfirm(id)
 	}
 }
 
@@ -376,7 +409,7 @@ func (d *discoverer) markCause(p predicate.ID) {
 // exactly the wasted round that pushed single-thread chains to N+2
 // interventions (ROADMAP: Generate seed 97 at MaxThreads=1); the
 // deduction restores the ≤ N+1 linear bound.
-func (d *discoverer) giwp(pool []predicate.ID, positive bool) (causes, spurious []predicate.ID, err error) {
+func (d *discoverer) giwp(pool []int, positive bool) (causes, spurious []int, err error) {
 	for {
 		pool = d.filterAlive(pool)
 		if len(pool) == 0 {
@@ -394,10 +427,10 @@ func (d *discoverer) giwp(pool []predicate.ID, positive bool) (causes, spurious 
 			causes = append(causes, pool[0])
 			return causes, spurious, nil
 		}
-		levels := d.dag.LevelsWithin(d.aliveWithF())
+		levels := d.dag.LevelsIndex(d.aliveAndF)
 		ordered := d.topoOrderPool(pool, levels)
 		half := ordered[:(len(ordered)+1)/2] // first ⌈n/2⌉ in topo order
-		req := Request{Preds: half}
+		req := Request{Preds: d.idsOf(half)}
 		if d.sched.Speculative() {
 			rest := ordered[len(half):]
 			// Under a persisted outcome the loop continues on the rest;
@@ -406,14 +439,14 @@ func (d *discoverer) giwp(pool []predicate.ID, positive bool) (causes, spurious 
 			// continues on the rest. The hints reuse this round's level
 			// map: recomputing it per hint would triple the decision cost
 			// of the latency-optimized path.
-			req.IfPersisted = d.nextGiwpHalf(rest, levels)
+			req.IfPersisted = d.idsOf(d.nextGiwpHalf(rest, levels))
 			if len(half) > 1 {
-				req.IfStopped = d.nextGiwpHalf(half, levels)
+				req.IfStopped = d.idsOf(d.nextGiwpHalf(half, levels))
 			} else {
 				req.IfStopped = req.IfPersisted
 			}
 		}
-		stopped, err := d.intervene(req, "giwp")
+		stopped, err := d.intervene(req, half, "giwp")
 		if err != nil {
 			return nil, nil, err
 		}
@@ -446,7 +479,7 @@ func (d *discoverer) giwp(pool []predicate.ID, positive bool) (causes, spurious 
 // pruning between now and the next round may still invalidate the
 // prediction, which only wastes the prefetched bundle: the cache is
 // keyed by exact membership, so a stale hint is never consumed.
-func (d *discoverer) nextGiwpHalf(rest []predicate.ID, levels map[predicate.ID]int) []predicate.ID {
+func (d *discoverer) nextGiwpHalf(rest []int, levels []int) []int {
 	if len(rest) == 0 {
 		return nil
 	}
@@ -457,38 +490,27 @@ func (d *discoverer) nextGiwpHalf(rest []predicate.ID, levels map[predicate.ID]i
 		}
 		seen[levels[p]] = true
 	}
-	out := append([]predicate.ID(nil), rest...)
+	out := append([]int(nil), rest...)
 	sort.Slice(out, func(i, j int) bool { return levels[out[i]] < levels[out[j]] })
 	return out[:(len(out)+1)/2]
 }
 
-func (d *discoverer) filterAlive(pool []predicate.ID) []predicate.ID {
+func (d *discoverer) filterAlive(pool []int) []int {
 	out := pool[:0:0]
 	for _, p := range pool {
-		if d.alive[p] {
+		if d.alive.HasIndex(p) {
 			out = append(out, p)
 		}
 	}
 	return out
 }
 
-// aliveWithF is the alive candidate set plus the failure predicate —
-// the subgraph every level computation restricts to.
-func (d *discoverer) aliveWithF() map[predicate.ID]bool {
-	aliveAndF := make(map[predicate.ID]bool, len(d.alive)+1)
-	for id := range d.alive {
-		aliveAndF[id] = true
-	}
-	aliveAndF[predicate.FailureID] = true
-	return aliveAndF
-}
-
 // topoOrderPool orders the pool by topological level within the alive
 // graph (levels as computed by the caller for this round), resolving
 // ties randomly (Algorithm 1, line 4).
-func (d *discoverer) topoOrderPool(pool []predicate.ID, levels map[predicate.ID]int) []predicate.ID {
-	out := append([]predicate.ID(nil), pool...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+func (d *discoverer) topoOrderPool(pool []int, levels []int) []int {
+	out := append([]int(nil), pool...)
+	sort.Slice(out, func(i, j int) bool { return d.dag.IDRank(out[i]) < d.dag.IDRank(out[j]) })
 	d.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	sort.SliceStable(out, func(i, j int) bool { return levels[out[i]] < levels[out[j]] })
 	return out
@@ -500,22 +522,20 @@ func (d *discoverer) topoOrderPool(pool []predicate.ID, levels map[predicate.ID]
 // reachable from the walked chain. The walk reduces the alive set to an
 // approximate causal chain.
 func (d *discoverer) branchPrune() error {
-	walked := make(map[predicate.ID]bool)
+	walked := d.dag.NewNodeSet()
 	// exclude mirrors walked (plus F) for the frontier query; it is
 	// maintained incrementally rather than rebuilt per round.
-	exclude := map[predicate.ID]bool{predicate.FailureID: true}
-	walk := func(id predicate.ID) {
-		walked[id] = true
-		exclude[id] = true
+	exclude := d.dag.NewNodeSet(predicate.FailureID)
+	walk := func(i int) {
+		walked.AddIndex(i)
+		exclude.AddIndex(i)
 	}
 	for {
 		// The per-round candidate frontier: the lowest-level unwalked
 		// members of the alive subgraph (level computation runs
-		// word-parallel over the AC-DAG's bitset rows; see
-		// LevelsWithin). Members at one level are mutually unordered —
-		// the junction of Algorithm 2.
-		aliveAndF := d.aliveWithF()
-		members := d.dag.LevelFrontierWithin(aliveAndF, exclude)
+		// word-parallel over the AC-DAG's bitset rows). Members at one
+		// level are mutually unordered — the junction of Algorithm 2.
+		members := d.dag.FrontierIndex(d.aliveAndF, exclude)
 		if len(members) == 0 {
 			return nil
 		}
@@ -523,27 +543,22 @@ func (d *discoverer) branchPrune() error {
 		if len(members) == 1 {
 			walk(members[0])
 		} else {
-			if err := d.resolveJunction(members, aliveAndF); err != nil {
+			if err := d.resolveJunction(members); err != nil {
 				return err
 			}
 		}
 
 		// Remove nodes unreachable from the walked chain (Algorithm 2,
 		// lines 16–18): once part of the chain is fixed, nodes that no
-		// walked predicate precedes cannot lie on the causal path.
-		if len(walked) > 0 {
+		// walked predicate precedes cannot lie on the causal path. The
+		// reachability test is one word-parallel ancestor-row
+		// intersection per alive node.
+		if walked.Len() > 0 {
 			for _, u := range d.aliveSorted() {
-				if walked[u] {
+				if walked.HasIndex(u) {
 					continue
 				}
-				reachable := false
-				for c := range walked {
-					if d.dag.Precedes(c, u) {
-						reachable = true
-						break
-					}
-				}
-				if !reachable {
+				if !d.dag.ReachedFromAny(u, walked) {
 					d.markSpurious(u)
 				}
 			}
@@ -556,19 +571,23 @@ func (d *discoverer) branchPrune() error {
 // path enters the tested half (the others are spurious); a persisting
 // failure proves the tested half spurious. The surviving branch is not
 // separately confirmed — the GIWP phase will vet its predicates.
-func (d *discoverer) resolveJunction(members []predicate.ID, aliveAndF map[predicate.ID]bool) error {
-	branches := d.dag.Branches(members, aliveAndF)
-	heads := append([]predicate.ID(nil), members...)
+func (d *discoverer) resolveJunction(members []int) error {
+	dense := d.dag.BranchesIndex(members, d.aliveAndF)
+	branches := make(map[int][]int, len(members))
+	for k, m := range members {
+		branches[m] = dense[k]
+	}
+	heads := append([]int(nil), members...)
 	// The paper intervenes on a randomly chosen branch first.
 	d.rng.Shuffle(len(heads), func(i, j int) { heads[i], heads[j] = heads[j], heads[i] })
 
-	pruneBranches := func(hs []predicate.ID) {
+	pruneBranches := func(hs []int) {
 		for _, h := range hs {
 			for _, p := range branches[h] {
-				if d.alive[p] {
+				if d.alive.HasIndex(p) {
 					d.markSpurious(p)
 					if n := len(d.log); n > 0 {
-						d.log[n-1].Pruned = append(d.log[n-1].Pruned, p)
+						d.log[n-1].Pruned = append(d.log[n-1].Pruned, d.dag.IDAt(p))
 					}
 				}
 			}
@@ -576,17 +595,17 @@ func (d *discoverer) resolveJunction(members []predicate.ID, aliveAndF map[predi
 	}
 
 	// collect assembles the alive predicates of the given heads'
-	// branches — the group a junction round intervenes on.
-	collect := func(hs []predicate.ID) []predicate.ID {
-		var group []predicate.ID
+	// branches — the group a junction round intervenes on, in ID order.
+	collect := func(hs []int) []int {
+		var group []int
 		for _, h := range hs {
 			for _, p := range branches[h] {
-				if d.alive[p] {
+				if d.alive.HasIndex(p) {
 					group = append(group, p)
 				}
 			}
 		}
-		sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+		sort.Slice(group, func(i, j int) bool { return d.dag.IDRank(group[i]) < d.dag.IDRank(group[j]) })
 		return group
 	}
 
@@ -598,7 +617,7 @@ func (d *discoverer) resolveJunction(members []predicate.ID, aliveAndF map[predi
 			heads = rest
 			continue
 		}
-		req := Request{Preds: group}
+		req := Request{Preds: d.idsOf(group)}
 		if d.sched.Speculative() {
 			// Continuation hints for the scheduler: the next group under
 			// either outcome. Both live in branch sets of the same
@@ -610,18 +629,25 @@ func (d *discoverer) resolveJunction(members []predicate.ID, aliveAndF map[predi
 			// Unordered check enforces that invariant rather than trusting
 			// it (a future Branches change must not silently batch
 			// dependent groups).
+			var ifStopped, ifPersisted []int
 			if len(half) > 1 {
-				req.IfStopped = collect(half[:(len(half)+1)/2])
+				ifStopped = collect(half[:(len(half)+1)/2])
 			}
 			if len(rest) > 1 {
-				req.IfPersisted = collect(rest[:(len(rest)+1)/2])
+				ifPersisted = collect(rest[:(len(rest)+1)/2])
 			}
-			if len(req.IfStopped) > 0 && len(req.IfPersisted) > 0 &&
-				!d.dag.Unordered(req.IfStopped, req.IfPersisted) {
-				req.IfStopped, req.IfPersisted = nil, nil
+			if len(ifStopped) > 0 && len(ifPersisted) > 0 &&
+				!d.dag.UnorderedIndex(ifStopped, ifPersisted) {
+				ifStopped, ifPersisted = nil, nil
+			}
+			if len(ifStopped) > 0 {
+				req.IfStopped = d.idsOf(ifStopped)
+			}
+			if len(ifPersisted) > 0 {
+				req.IfPersisted = d.idsOf(ifPersisted)
 			}
 		}
-		stopped, err := d.intervene(req, "branch")
+		stopped, err := d.intervene(req, group, "branch")
 		if err != nil {
 			return err
 		}

@@ -238,9 +238,9 @@ func (e *Executor) observe(execs []trace.Execution, preds []predicate.ID) ([]cor
 	// Compound predicates are materialized by statistical debugging,
 	// not by extraction; mirror the corpus's compounds so they stay
 	// observable in intervened runs (a compound occurs iff all its
-	// members do). Only the replay logs are filled: the baseline logs
+	// members do). Only the replay rows are filled: the baseline rows
 	// are shared with the extractor's cached template and must stay
-	// unwritten (observations below read replay logs only).
+	// unwritten (observations below read replay rows only).
 	for i := range e.Corpus.Preds {
 		p := &e.Corpus.Preds[i]
 		if p.Kind == predicate.KindCompound {
@@ -251,26 +251,40 @@ func (e *Executor) observe(execs []trace.Execution, preds []predicate.ID) ([]cor
 	for _, p := range preds {
 		forced[p] = true
 	}
+	// Intern the SD corpus's predicates against the replay corpus once
+	// per bundle; per-row observation is then a bit probe per column
+	// with no string lookups.
+	type watch struct {
+		id predicate.ID
+		h  predicate.Handle
+	}
+	watches := make([]watch, 0, len(e.Corpus.Preds))
+	for i := range e.Corpus.Preds {
+		id := e.Corpus.Preds[i].ID
+		if id == predicate.FailureID {
+			continue
+		}
+		// An intervened predicate is repaired by construction
+		// (¬C(r_C) in Definition 2); injections themselves can
+		// perturb timing enough to re-trigger a nominally forced
+		// predicate, so we pin it to false.
+		if forced[id] {
+			continue
+		}
+		if h, ok := rc.HandleOf(id); ok {
+			watches = append(watches, watch{id, h})
+		}
+	}
 	var out []core.Observation
-	for i := first; i < len(rc.Logs); i++ {
-		log := &rc.Logs[i]
+	for i := first; i < rc.NumLogs(); i++ {
+		log := rc.Log(i)
 		obs := core.Observation{
 			Failed:   failed[i-first],
 			Observed: make(map[predicate.ID]bool),
 		}
-		for _, id := range e.Corpus.IDs() {
-			if id == predicate.FailureID {
-				continue
-			}
-			// An intervened predicate is repaired by construction
-			// (¬C(r_C) in Definition 2); injections themselves can
-			// perturb timing enough to re-trigger a nominally forced
-			// predicate, so we pin it to false.
-			if forced[id] {
-				continue
-			}
-			if log.Has(id) {
-				obs.Observed[id] = true
+		for _, w := range watches {
+			if log.HasHandle(w.h) {
+				obs.Observed[w.id] = true
 			}
 		}
 		out = append(out, obs)

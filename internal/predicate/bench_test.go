@@ -74,9 +74,24 @@ func BenchmarkExtractRaces(b *testing.B) {
 		c := NewCorpus()
 		for j := range set.Executions {
 			e := &set.Executions[j]
-			c.Logs = append(c.Logs, ExecLog{ExecID: e.ID, Failed: e.Failed(), Occ: map[ID]Occurrence{}})
+			c.AddRow(e.ID, e.Failed())
 		}
 		extractRaces(set.Executions, 0, c)
+	}
+}
+
+// BenchmarkExtractStream measures the per-row streaming ingest against
+// the batch path's corpus (same predicates and counts).
+func BenchmarkExtractStream(b *testing.B) {
+	set := benchSet(40, 30)
+	cfg := Config{DurationMargin: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := ExtractStream(set, cfg, nil)
+		if c.NumPreds() == 0 {
+			b.Fatal("no predicates extracted")
+		}
 	}
 }
 

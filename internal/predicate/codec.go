@@ -24,14 +24,29 @@ type execLogFile struct {
 	Occ    map[ID]Occurrence `json:"occurrences"`
 }
 
-// Encode writes the corpus as JSON.
+// Encode writes the corpus as JSON. Rows are materialized back to the
+// row-oriented edge form (ID-keyed occurrence maps) in one
+// column-major pass — O(total occurrences), not O(rows × predicates) —
+// so the columnar in-memory layout never leaks to disk and the format
+// is unchanged.
 func (c *Corpus) Encode(w io.Writer) error {
 	f := corpusFile{Preds: c.Preds}
-	for i := range c.Logs {
+	occs := make([]map[ID]Occurrence, c.NumLogs())
+	for i := range occs {
+		occs[i] = make(map[ID]Occurrence)
+	}
+	for h := 0; h < c.NumPreds(); h++ {
+		id := c.Preds[h].ID
+		c.ForEachOcc(Handle(h), func(row int, occ Occurrence) {
+			occs[row][id] = occ
+		})
+	}
+	for i := 0; i < c.NumLogs(); i++ {
+		l := c.Log(i)
 		f.Logs = append(f.Logs, execLogFile{
-			ExecID: c.Logs[i].ExecID,
-			Failed: c.Logs[i].Failed,
-			Occ:    c.Logs[i].Occ,
+			ExecID: l.ExecID(),
+			Failed: l.Failed(),
+			Occ:    occs[i],
 		})
 	}
 	bw := bufio.NewWriter(w)
@@ -42,7 +57,8 @@ func (c *Corpus) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// DecodeCorpus reads a corpus written by Encode.
+// DecodeCorpus reads a corpus written by Encode, streaming each log
+// into the columnar store.
 func DecodeCorpus(r io.Reader) (*Corpus, error) {
 	var f corpusFile
 	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&f); err != nil {
@@ -53,16 +69,12 @@ func DecodeCorpus(r io.Reader) (*Corpus, error) {
 		c.AddPred(p)
 	}
 	for _, l := range f.Logs {
-		occ := l.Occ
-		if occ == nil {
-			occ = make(map[ID]Occurrence)
-		}
-		for id := range occ {
+		for id := range l.Occ {
 			if c.Pred(id) == nil {
 				return nil, fmt.Errorf("predicate: log %q references unknown predicate %q", l.ExecID, id)
 			}
 		}
-		c.Logs = append(c.Logs, ExecLog{ExecID: l.ExecID, Failed: l.Failed, Occ: occ})
+		c.AddLog(l.ExecID, l.Failed, l.Occ)
 	}
 	return c, nil
 }

@@ -25,14 +25,12 @@ func corpusFixture() *Corpus {
 		Repair: Intervention{Kind: IvOverrideReturn, Methods: []string{"C"}, Value: 7, Safe: true},
 	}
 	c.AddPred(v)
-	c.Logs = append(c.Logs,
-		ExecLog{ExecID: "s1", Occ: map[ID]Occurrence{}},
-		ExecLog{ExecID: "f1", Failed: true, Occ: map[ID]Occurrence{
-			FailureID:    {Start: 90, End: 91, Thread: NoThread},
-			"race:A|B@x": {Start: 5, End: 9, Thread: NoThread},
-			"ret:C#1":    {Start: 20, End: 30, Thread: 2},
-		}},
-	)
+	c.AddLog("s1", false, map[ID]Occurrence{})
+	c.AddLog("f1", true, map[ID]Occurrence{
+		FailureID:    {Start: 90, End: 91, Thread: NoThread},
+		"race:A|B@x": {Start: 5, End: 9, Thread: NoThread},
+		"ret:C#1":    {Start: 20, End: 30, Thread: 2},
+	})
 	return c
 }
 
@@ -49,20 +47,15 @@ func TestCorpusCodecRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(got.Preds, c.Preds) {
 		t.Fatalf("predicates mismatch:\n got %+v\nwant %+v", got.Preds, c.Preds)
 	}
-	if len(got.Logs) != len(c.Logs) {
+	if got.NumLogs() != c.NumLogs() {
 		t.Fatalf("log count mismatch")
 	}
-	for i := range c.Logs {
-		if got.Logs[i].ExecID != c.Logs[i].ExecID || got.Logs[i].Failed != c.Logs[i].Failed {
+	for i := 0; i < c.NumLogs(); i++ {
+		if got.Log(i).ExecID() != c.Log(i).ExecID() || got.Log(i).Failed() != c.Log(i).Failed() {
 			t.Fatalf("log %d header mismatch", i)
 		}
-		if len(got.Logs[i].Occ) != len(c.Logs[i].Occ) {
+		if !reflect.DeepEqual(got.Log(i).OccMap(), c.Log(i).OccMap()) {
 			t.Fatalf("log %d occurrences mismatch", i)
-		}
-		for id, occ := range c.Logs[i].Occ {
-			if got.Logs[i].Occ[id] != occ {
-				t.Fatalf("log %d occurrence %s mismatch", i, id)
-			}
 		}
 	}
 	// Index rebuilt: lookups work on the decoded corpus.
@@ -111,11 +104,11 @@ func TestCorpusCodecPreservesThreads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	occ := got.Logs[1].Occ["ret:C#1"]
+	occ, _ := got.Log(1).Occ("ret:C#1")
 	if occ.Thread != trace.ThreadID(2) {
 		t.Fatalf("thread attribution lost: %+v", occ)
 	}
-	if got.Logs[1].Occ[FailureID].Thread != NoThread {
+	if f, _ := got.Log(1).Occ(FailureID); f.Thread != NoThread {
 		t.Fatal("NoThread sentinel lost")
 	}
 }

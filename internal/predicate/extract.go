@@ -66,11 +66,7 @@ func Extract(s *trace.Set, cfg Config) *Corpus {
 	c := NewCorpus()
 	for i := range s.Executions {
 		e := &s.Executions[i]
-		c.Logs = append(c.Logs, ExecLog{
-			ExecID: e.ID,
-			Failed: e.Failed(),
-			Occ:    make(map[ID]Occurrence),
-		})
+		c.AddRow(e.ID, e.Failed())
 	}
 
 	succs := s.Successes()
@@ -101,9 +97,95 @@ func Extract(s *trace.Set, cfg Config) *Corpus {
 	return c
 }
 
+// ExtractStream evaluates the same predicate vocabulary as Extract but
+// ingests the corpus one execution row at a time, invoking onRow after
+// each row lands — the streaming path behind rank-as-you-ingest: the
+// corpus maintains per-predicate counts incrementally, so the callback
+// can read live statistical-debugging scores in O(predicates).
+//
+// The resulting corpus is analytically identical to Extract's (same
+// predicates, occurrences, and counts); only the predicate registration
+// order differs (first-occurrence order instead of phase order), which
+// no downstream consumer observes — scores, candidate sets, and the
+// AC-DAG all sort by ID. One caveat: with MaxOrderPairs > 0 the cap
+// keeps the first N flipped pairs in stream order rather than baseline
+// pair order.
+func ExtractStream(s *trace.Set, cfg Config, onRow func(row int, c *Corpus)) *Corpus {
+	c := NewCorpus()
+	succs := s.Successes()
+	stats := successBaselines(succs)
+	c.AddPred(FailurePredicate())
+	ost, succRows := buildOrderState(succs, stats)
+	atom := buildAtomState(succs)
+
+	// Candidate order pairs (baseline-ordered, conflicting) and their
+	// lazily assigned handles.
+	var pairs [][2]int
+	var pairHandle []Handle
+	if ost != nil {
+		nk := len(ost.keys)
+		for ai := 0; ai < nk; ai++ {
+			for bi := 0; bi < nk; bi++ {
+				if ai != bi && ost.ordered[ai*nk+bi] && conflicting(ost.profiles[ai], ost.profiles[bi]) {
+					pairs = append(pairs, [2]int{ai, bi})
+				}
+			}
+		}
+		pairHandle = make([]Handle, len(pairs))
+		for i := range pairHandle {
+			pairHandle[i] = NoHandle
+		}
+	}
+	orderEmitted := 0
+
+	si := 0
+	for i := range s.Executions {
+		e := &s.Executions[i]
+		row := c.AddRow(e.ID, e.Failed())
+		one := s.Executions[i : i+1]
+		stampFailures(one, row, c)
+		extractPerCall(one, row, c, stats, cfg)
+		extractRaces(one, row, c)
+		if ost != nil {
+			var cr []*trace.MethodCall
+			if e.Outcome == trace.Success {
+				cr = succRows[si]
+				si++
+			} else {
+				cr = callRow(e, ost.keyIdx, len(ost.keys))
+			}
+			for pi, pr := range pairs {
+				a, b := cr[pr[0]], cr[pr[1]]
+				if a == nil || b == nil || a.End <= b.Start {
+					continue
+				}
+				h := pairHandle[pi]
+				if h == NoHandle {
+					if cfg.MaxOrderPairs > 0 && orderEmitted >= cfg.MaxOrderPairs {
+						continue
+					}
+					h = c.AddPred(orderPredicate(ost.keys[pr[0]], ost.keys[pr[1]]))
+					pairHandle[pi] = h
+					orderEmitted++
+				}
+				c.SetOcc(row, h, Occurrence{Start: b.Start, End: a.End, Thread: NoThread})
+			}
+		}
+		emitAtomicityViolations(one, row, c, atom)
+		if onRow != nil {
+			onRow(row, c)
+		}
+	}
+	if !cfg.keepUnobserved {
+		c.DropUnobserved()
+	}
+	return c
+}
+
 // stampFailures records the failure predicate F in every failed
-// execution's log; execs[k] corresponds to c.Logs[off+k].
+// execution's log; execs[k] corresponds to row off+k.
 func stampFailures(execs []trace.Execution, off int, c *Corpus) {
+	fh, _ := c.HandleOf(FailureID)
 	for i := range execs {
 		e := &execs[i]
 		if !e.Failed() || len(e.Calls) == 0 {
@@ -118,7 +200,7 @@ func stampFailures(execs []trace.Execution, off int, c *Corpus) {
 		// F is stamped strictly after the last event: the failure
 		// manifests once everything observed has happened, so any
 		// predicate completing by the crash can temporally precede F.
-		c.Logs[off+i].Occ[FailureID] = Occurrence{Start: end, End: end + 1, Thread: NoThread}
+		c.SetOcc(off+i, fh, Occurrence{Start: end, End: end + 1, Thread: NoThread})
 	}
 }
 
@@ -163,12 +245,12 @@ func successBaselines(succs []*trace.Execution) map[instKey]*succStats {
 }
 
 // extractPerCall emits method-fails, too-slow, too-fast and wrong-return
-// predicates for every method instance; execs[k] corresponds to
-// c.Logs[off+k].
+// predicates for every method instance; execs[k] corresponds to row
+// off+k.
 func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instKey]*succStats, cfg Config) {
 	for i := range execs {
 		e := &execs[i]
-		log := &c.Logs[off+i]
+		row := off + i
 		for j := range e.Calls {
 			call := &e.Calls[j]
 			k := instKey{call.Method, call.Instance}
@@ -176,15 +258,16 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 
 			if call.Failed() {
 				id := ID("fails:" + k.String())
-				if !c.Has(id) {
-					c.AddPred(Predicate{
+				h, ok := c.HandleOf(id)
+				if !ok {
+					h = c.AddPred(Predicate{
 						ID: id, Kind: KindMethodFails,
 						Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
 						Repair: catchRepair(k, stats[k], cfg),
 						Desc:   fmt.Sprintf("method %s (call #%d) throws %s", k.m, k.inst, call.Exception),
 					})
 				}
-				log.Occ[id] = window
+				c.SetOcc(row, h, window)
 			}
 
 			st := stats[k]
@@ -193,8 +276,9 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 			}
 			if call.Duration() > st.maxDur+cfg.DurationMargin {
 				id := ID("slow:" + k.String())
-				if !c.Has(id) {
-					c.AddPred(Predicate{
+				h, ok := c.HandleOf(id)
+				if !ok {
+					h = c.AddPred(Predicate{
 						ID: id, Kind: KindTooSlow,
 						Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
 						Repair: prematureRepair(k, st, cfg),
@@ -202,12 +286,13 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 							k.m, k.inst, st.maxDur),
 					})
 				}
-				log.Occ[id] = window
+				c.SetOcc(row, h, window)
 			}
 			if !call.Failed() && call.Duration() < st.minDur-cfg.DurationMargin {
 				id := ID("fast:" + k.String())
-				if !c.Has(id) {
-					c.AddPred(Predicate{
+				h, ok := c.HandleOf(id)
+				if !ok {
+					h = c.AddPred(Predicate{
 						ID: id, Kind: KindTooFast,
 						Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
 						Repair: Intervention{
@@ -218,7 +303,7 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 							k.m, k.inst, st.minDur),
 					})
 				}
-				log.Occ[id] = window
+				c.SetOcc(row, h, window)
 			}
 			// Lateness of a nested call is subsumed by its enclosing
 			// span's behaviour; only thread-root spans carry a
@@ -226,8 +311,9 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 			// caller's late start causes the callee's).
 			if call.Start > st.maxStart+cfg.DurationMargin && isThreadRoot(e, call) {
 				id := ID("late:" + k.String())
-				if !c.Has(id) {
-					c.AddPred(Predicate{
+				h, ok := c.HandleOf(id)
+				if !ok {
+					h = c.AddPred(Predicate{
 						ID: id, Kind: KindStartsLate,
 						Methods: []string{k.m}, Instance: k.inst, Stamp: ByStart,
 						// Lateness has no local repair (§4 Case 2): the cause
@@ -237,13 +323,14 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 							k.m, k.inst, st.maxStart),
 					})
 				}
-				log.Occ[id] = window
+				c.SetOcc(row, h, window)
 			}
 			if !call.Failed() && st.retSet && st.retConsistent && !st.ret.Void &&
 				!call.Return.Void && !call.Return.Equal(st.ret) {
 				id := ID("ret:" + k.String())
-				if !c.Has(id) {
-					c.AddPred(Predicate{
+				h, ok := c.HandleOf(id)
+				if !ok {
+					h = c.AddPred(Predicate{
 						ID: id, Kind: KindWrongReturn,
 						Methods: []string{k.m}, Instance: k.inst, Stamp: ByEnd,
 						Repair: Intervention{
@@ -254,7 +341,7 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 							k.m, k.inst, st.ret),
 					})
 				}
-				log.Occ[id] = window
+				c.SetOcc(row, h, window)
 			}
 		}
 	}
@@ -317,7 +404,7 @@ func extractRaces(execs []trace.Execution, off int, c *Corpus) {
 	var objs []trace.ObjectID
 	for i := range execs {
 		e := &execs[i]
-		log := &c.Logs[off+i]
+		row := off + i
 		objs = objs[:0]
 		for j := range e.Calls {
 			call := &e.Calls[j]
@@ -385,8 +472,9 @@ func extractRaces(execs []trace.Execution, off int, c *Corpus) {
 						m1, m2 = m2, m1
 					}
 					id := ID("race:" + m1 + "|" + m2 + "@" + string(obj))
-					if !c.Has(id) {
-						c.AddPred(Predicate{
+					h, ok := c.HandleOf(id)
+					if !ok {
+						h = c.AddPred(Predicate{
 							ID: id, Kind: KindDataRace,
 							Methods: dedupe(m1, m2), Object: obj, Stamp: ByStart,
 							Repair: Intervention{
@@ -397,7 +485,9 @@ func extractRaces(execs []trace.Execution, off int, c *Corpus) {
 					}
 					start := maxTime(a.start, b.start)
 					end := minTime(a.end, b.end)
-					if prev, ok := log.Occ[id]; ok {
+					// Merge with an earlier pair's window in this row
+					// (an O(1) read: the column's last write is this row).
+					if prev, ok := c.OccAt(row, h); ok {
 						if prev.Start < start {
 							start = prev.Start
 						}
@@ -405,7 +495,7 @@ func extractRaces(execs []trace.Execution, off int, c *Corpus) {
 							end = prev.End
 						}
 					}
-					log.Occ[id] = Occurrence{Start: start, End: end, Thread: NoThread}
+					c.SetOcc(row, h, Occurrence{Start: start, End: end, Thread: NoThread})
 				}
 			}
 		}
@@ -580,7 +670,7 @@ func callRow(e *trace.Execution, keyIdx map[instKey]int, nk int) []*trace.Method
 
 // emitOrderViolations emits the predicate "B starts before A ends" for
 // every baseline-ordered conflicting pair wherever the order flips;
-// rows[i] is the callRow of the execution behind c.Logs[i].
+// rows[i] is the callRow of the execution behind corpus row i.
 func emitOrderViolations(c *Corpus, st *orderState, rows [][]*trace.MethodCall, cfg Config) {
 	nk := len(st.keys)
 	emitted := 0
@@ -595,17 +685,7 @@ func emitOrderViolations(c *Corpus, st *orderState, rows [][]*trace.MethodCall, 
 			if cfg.MaxOrderPairs > 0 && emitted >= cfg.MaxOrderPairs {
 				return
 			}
-			ka, kb := st.keys[ai], st.keys[bi]
-			id := ID("order:" + ka.String() + "<" + kb.String())
-			pred := Predicate{
-				ID: id, Kind: KindOrderViolation,
-				Methods: dedupe(ka.m, kb.m), Instance: ka.inst, Stamp: ByStart,
-				Repair: Intervention{
-					Kind: IvEnforceOrder, Methods: []string{ka.m, kb.m}, Safe: true,
-				},
-				Desc: fmt.Sprintf("%s starts before %s ends (expected order: %s then %s)",
-					kb, ka, ka, kb),
-			}
+			var h Handle
 			added := false
 			for i := range rows {
 				a, b := rows[i][ai], rows[i][bi]
@@ -613,13 +693,28 @@ func emitOrderViolations(c *Corpus, st *orderState, rows [][]*trace.MethodCall, 
 					continue
 				}
 				if !added {
-					c.AddPred(pred)
+					h = c.AddPred(orderPredicate(st.keys[ai], st.keys[bi]))
 					added = true
 					emitted++
 				}
-				c.Logs[i].Occ[id] = Occurrence{Start: b.Start, End: a.End, Thread: NoThread}
+				c.SetOcc(i, h, Occurrence{Start: b.Start, End: a.End, Thread: NoThread})
 			}
 		}
+	}
+}
+
+// orderPredicate builds the order-violation predicate "kb starts before
+// ka ends" for a baseline-ordered pair.
+func orderPredicate(ka, kb instKey) Predicate {
+	return Predicate{
+		ID:      ID("order:" + ka.String() + "<" + kb.String()),
+		Kind:    KindOrderViolation,
+		Methods: dedupe(ka.m, kb.m), Instance: ka.inst, Stamp: ByStart,
+		Repair: Intervention{
+			Kind: IvEnforceOrder, Methods: []string{ka.m, kb.m}, Safe: true,
+		},
+		Desc: fmt.Sprintf("%s starts before %s ends (expected order: %s then %s)",
+			kb, ka, ka, kb),
 	}
 }
 
@@ -710,18 +805,19 @@ func buildAtomState(succs []*trace.Execution) *atomState {
 
 // emitAtomicityViolations emits a predicate wherever a remote write
 // slips between a success-established candidate pair; execs[k]
-// corresponds to c.Logs[off+k]. Successful executions can never emit
+// corresponds to row off+k. Successful executions can never emit
 // (a violation there is, by construction, violatedInSuccess).
 func emitAtomicityViolations(execs []trace.Execution, off int, c *Corpus, st *atomState) {
 	for i := range execs {
 		e := &execs[i]
-		log := &c.Logs[off+i]
+		row := off + i
 		scanAtomicity(e, func(cd atomCand, violated bool, gapStart, gapEnd trace.Time) {
 			if !violated || !st.candidates[cd] || st.violatedInSuccess[cd] {
 				return
 			}
 			id := ID("atom:" + cd.a.String() + "," + cd.b.String() + "@" + string(cd.obj))
-			if !c.Has(id) {
+			h, ok := c.HandleOf(id)
+			if !ok {
 				parent := commonParent(e, cd.a, cd.b)
 				repair := Intervention{Kind: IvNone}
 				if parent != "" {
@@ -731,7 +827,7 @@ func emitAtomicityViolations(execs []trace.Execution, off int, c *Corpus, st *at
 						Safe:    true,
 					}
 				}
-				c.AddPred(Predicate{
+				h = c.AddPred(Predicate{
 					ID: id, Kind: KindAtomicityViolation,
 					Methods: dedupe(cd.a.m, cd.b.m), Object: cd.obj, Stamp: ByStart,
 					Repair: repair,
@@ -739,7 +835,7 @@ func emitAtomicityViolations(execs []trace.Execution, off int, c *Corpus, st *at
 						cd.a, cd.b, cd.obj),
 				})
 			}
-			log.Occ[id] = Occurrence{Start: gapStart, End: gapEnd, Thread: NoThread}
+			c.SetOcc(row, h, Occurrence{Start: gapStart, End: gapEnd, Thread: NoThread})
 		})
 	}
 }

@@ -1,6 +1,7 @@
 package predicate
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -29,10 +30,10 @@ func TestFailurePredicateOccursOnlyInFailures(t *testing.T) {
 	if c.Pred(FailureID) == nil {
 		t.Fatal("failure predicate missing")
 	}
-	if c.Logs[0].Has(FailureID) {
+	if c.Log(0).Has(FailureID) {
 		t.Fatal("failure predicate occurred in success")
 	}
-	occ, ok := c.Logs[1].Occ[FailureID]
+	occ, ok := c.Log(1).Occ(FailureID)
 	if !ok {
 		t.Fatal("failure predicate missing in failed run")
 	}
@@ -62,7 +63,7 @@ func TestMethodFailsExtraction(t *testing.T) {
 	if p.Repair.Safe {
 		t.Fatal("catch repair should be unsafe without SideEffectFree")
 	}
-	if !c.Logs[1].Has(p.ID) || c.Logs[0].Has(p.ID) {
+	if !c.Log(1).Has(p.ID) || c.Log(0).Has(p.ID) {
 		t.Fatal("fails occurrence wrong")
 	}
 
@@ -90,7 +91,7 @@ func TestTooSlowTooFastBaselines(t *testing.T) {
 	if slow.Repair.Kind != IvPrematureReturn || !slow.Repair.Void {
 		t.Fatalf("slow repair = %+v, want premature void return", slow.Repair)
 	}
-	if !c.Logs[2].Has(slow.ID) || c.Logs[0].Has(slow.ID) || c.Logs[1].Has(slow.ID) {
+	if !c.Log(2).Has(slow.ID) || c.Log(0).Has(slow.ID) || c.Log(1).Has(slow.ID) {
 		t.Fatal("slow occurrence wrong")
 	}
 	fast := c.Pred("fast:Task#0")
@@ -100,11 +101,11 @@ func TestTooSlowTooFastBaselines(t *testing.T) {
 	if fast.Repair.Kind != IvDelayReturn || fast.Repair.Delay != 10 {
 		t.Fatalf("fast repair = %+v, want delay 10", fast.Repair)
 	}
-	if !c.Logs[3].Has(fast.ID) {
+	if !c.Log(3).Has(fast.ID) {
 		t.Fatal("fast occurrence missing")
 	}
 	// Durations inside the success envelope trigger nothing.
-	if c.Logs[0].Has(slow.ID) || c.Logs[0].Has(fast.ID) {
+	if c.Log(0).Has(slow.ID) || c.Log(0).Has(fast.ID) {
 		t.Fatal("baseline runs should have no duration predicates")
 	}
 }
@@ -127,7 +128,7 @@ func TestStartsLateExtraction(t *testing.T) {
 	if p.Repair.Kind != IvNone {
 		t.Fatal("starts-late must be diagnostic only (no repair)")
 	}
-	if !c.Logs[2].Has(p.ID) || c.Logs[0].Has(p.ID) || c.Logs[1].Has(p.ID) {
+	if !c.Log(2).Has(p.ID) || c.Log(0).Has(p.ID) || c.Log(1).Has(p.ID) {
 		t.Fatal("starts-late occurrence wrong")
 	}
 	// Within the margin: no predicate.
@@ -160,7 +161,7 @@ func TestWrongReturnExtraction(t *testing.T) {
 	if p.Repair.Kind != IvOverrideReturn || p.Repair.Value != 50 || !p.Repair.Safe {
 		t.Fatalf("repair = %+v, want safe override to 50", p.Repair)
 	}
-	if !c.Logs[2].Has(p.ID) {
+	if !c.Log(2).Has(p.ID) {
 		t.Fatal("occurrence missing in failed run")
 	}
 }
@@ -217,10 +218,10 @@ func TestRaceExtraction(t *testing.T) {
 	if p.Repair.Kind != IvLockMethods || !p.Repair.Safe {
 		t.Fatalf("repair = %+v, want safe lock", p.Repair)
 	}
-	if c.Logs[0].Has(p.ID) || !c.Logs[1].Has(p.ID) {
+	if c.Log(0).Has(p.ID) || !c.Log(1).Has(p.ID) {
 		t.Fatal("race occurrence wrong")
 	}
-	occ := c.Logs[1].Occ[p.ID]
+	occ, _ := c.Log(1).Occ(p.ID)
 	if occ.Start != 7 || occ.End != 7 {
 		t.Fatalf("race window = [%d,%d], want access-window overlap [7,7]", occ.Start, occ.End)
 	}
@@ -289,7 +290,7 @@ func TestRaceLostUpdateInterleaving(t *testing.T) {
 	if p == nil {
 		t.Fatalf("lost-update race not detected; have %v", c.IDs())
 	}
-	if c.Logs[0].Has(p.ID) {
+	if c.Log(0).Has(p.ID) {
 		t.Fatal("sequential RMW sections flagged as racing")
 	}
 }
@@ -330,7 +331,7 @@ func TestOrderViolationExtraction(t *testing.T) {
 	if p.Repair.Kind != IvEnforceOrder || len(p.Repair.Methods) != 2 {
 		t.Fatalf("repair = %+v", p.Repair)
 	}
-	if c.Logs[0].Has(p.ID) || !c.Logs[2].Has(p.ID) {
+	if c.Log(0).Has(p.ID) || !c.Log(2).Has(p.ID) {
 		t.Fatal("order occurrence wrong")
 	}
 }
@@ -413,7 +414,7 @@ func TestAtomicityViolationExtraction(t *testing.T) {
 	if len(p.Repair.Methods) != 1 || p.Repair.Methods[0] != "Parent" {
 		t.Fatalf("repair methods = %v, want [Parent]", p.Repair.Methods)
 	}
-	if c.Logs[0].Has(p.ID) || !c.Logs[1].Has(p.ID) {
+	if c.Log(0).Has(p.ID) || !c.Log(1).Has(p.ID) {
 		t.Fatal("atomicity occurrence wrong")
 	}
 }
@@ -453,13 +454,13 @@ func TestCompoundMaterialization(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.MaterializeCompound(comp)
-	if !c.Logs[1].Has(comp.ID) {
+	if !c.Log(1).Has(comp.ID) {
 		t.Fatal("compound should occur where both members occur")
 	}
-	if c.Logs[2].Has(comp.ID) {
+	if c.Log(2).Has(comp.ID) {
 		t.Fatal("compound should not occur where one member is absent")
 	}
-	occ := c.Logs[1].Occ[comp.ID]
+	occ, _ := c.Log(1).Occ(comp.ID)
 	if occ.Start != 0 || occ.End != 50 {
 		t.Fatalf("compound window = [%d,%d], want [0,50]", occ.Start, occ.End)
 	}
@@ -474,14 +475,55 @@ func TestCompoundMaterialization(t *testing.T) {
 	}
 }
 
+// TestExtractStreamMatchesBatch pins the streaming ingest's contract:
+// row-by-row extraction produces the same corpus as the batch path —
+// same predicate set, same per-row occurrences, same maintained counts
+// — differing only in registration order.
+func TestExtractStreamMatchesBatch(t *testing.T) {
+	set := benchSet(40, 30)
+	cfg := Config{DurationMargin: 4}
+	batch := Extract(set, cfg)
+	rows := 0
+	lastFail := -1
+	stream := ExtractStream(set, cfg, func(row int, c *Corpus) {
+		rows++
+		if c.NumLogs() != row+1 {
+			t.Fatalf("callback at row %d sees %d rows", row, c.NumLogs())
+		}
+		lastFail = c.FailedCount()
+	})
+	if rows != len(set.Executions) {
+		t.Fatalf("onRow fired %d times for %d executions", rows, len(set.Executions))
+	}
+	if lastFail != stream.FailedCount() {
+		t.Fatalf("incremental failed count %d, final %d", lastFail, stream.FailedCount())
+	}
+	if batch.NumPreds() != stream.NumPreds() {
+		t.Fatalf("stream extracted %d predicates, batch %d", stream.NumPreds(), batch.NumPreds())
+	}
+	if batch.NumLogs() != stream.NumLogs() {
+		t.Fatalf("stream has %d rows, batch %d", stream.NumLogs(), batch.NumLogs())
+	}
+	for i := 0; i < batch.NumLogs(); i++ {
+		if !reflect.DeepEqual(batch.Log(i).OccMap(), stream.Log(i).OccMap()) {
+			t.Fatalf("row %d differs between stream and batch", i)
+		}
+	}
+	for _, id := range batch.IDs() {
+		bo, bf, bn := batch.Counts(id)
+		so, sf, sn := stream.Counts(id)
+		if bo != so || bf != sf || bn != sn {
+			t.Fatalf("counts for %s: stream (%d,%d,%d), batch (%d,%d,%d)", id, so, sf, sn, bo, bf, bn)
+		}
+	}
+}
+
 func TestCorpusCountsAndDrop(t *testing.T) {
 	c := NewCorpus()
-	c.Logs = []ExecLog{
-		{ExecID: "s", Failed: false, Occ: map[ID]Occurrence{"p": {}}},
-		{ExecID: "f", Failed: true, Occ: map[ID]Occurrence{"p": {}}},
-	}
 	c.AddPred(Predicate{ID: "p"})
 	c.AddPred(Predicate{ID: "ghost"})
+	c.AddLog("s", false, map[ID]Occurrence{"p": {}})
+	c.AddLog("f", true, map[ID]Occurrence{"p": {}})
 	occ, inFail, failed := c.Counts("p")
 	if occ != 2 || inFail != 1 || failed != 1 {
 		t.Fatalf("Counts = (%d,%d,%d)", occ, inFail, failed)

@@ -49,11 +49,7 @@ func NewExtractor(baselines []trace.Execution, cfg Config) (*Extractor, error) {
 		if e.Failed() {
 			return nil, fmt.Errorf("predicate: extractor baseline %q is a failed execution", e.ID)
 		}
-		c.Logs = append(c.Logs, ExecLog{
-			ExecID: e.ID,
-			Failed: false,
-			Occ:    make(map[ID]Occurrence),
-		})
+		c.AddRow(e.ID, false)
 		succs = append(succs, e)
 	}
 	x.stats = successBaselines(succs)
@@ -70,35 +66,21 @@ func NewExtractor(baselines []trace.Execution, cfg Config) (*Extractor, error) {
 }
 
 // Extract evaluates the predicate vocabulary over baselines ++ replays,
-// rescanning only the replays. Log indices follow that order: logs
+// rescanning only the replays. Log indices follow that order: rows
 // [0, len(baselines)) are the baselines', the rest the replays'.
 func (x *Extractor) Extract(replays []trace.Execution) *Corpus {
 	base := x.template
-	c := &Corpus{
-		Preds: append([]Predicate(nil), base.Preds...),
-		Logs:  make([]ExecLog, 0, len(base.Logs)+len(replays)),
-		byID:  make(map[ID]int, len(base.byID)+8),
-	}
-	for id, i := range base.byID {
-		c.byID[id] = i
-	}
-	// Baseline logs are shared with the template (immutable under the
-	// all-replays-fail invariant; see the type comment).
-	c.Logs = append(c.Logs, base.Logs...)
-	off := len(base.Logs)
+	c := base.deriveSealed(len(replays))
+	off := base.NumLogs()
 	for i := range replays {
 		e := &replays[i]
-		c.Logs = append(c.Logs, ExecLog{
-			ExecID: e.ID,
-			Failed: e.Failed(),
-			Occ:    make(map[ID]Occurrence),
-		})
+		c.AddRow(e.ID, e.Failed())
 	}
 	stampFailures(replays, off, c)
 	extractPerCall(replays, off, c, x.stats, x.cfg)
 	extractRaces(replays, off, c)
 	if x.order != nil {
-		rows := make([][]*trace.MethodCall, 0, len(c.Logs))
+		rows := make([][]*trace.MethodCall, 0, c.NumLogs())
 		rows = append(rows, x.baseRows...)
 		for i := range replays {
 			rows = append(rows, callRow(&replays[i], x.order.keyIdx, len(x.order.keys)))

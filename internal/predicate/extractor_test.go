@@ -36,15 +36,15 @@ func TestExtractorMatchesOneShot(t *testing.T) {
 		if !reflect.DeepEqual(want.Preds, got.Preds) {
 			t.Fatalf("round %d: predicate table differs from one-shot extraction", round)
 		}
-		if len(want.Logs) != len(got.Logs) {
-			t.Fatalf("round %d: %d logs, want %d", round, len(got.Logs), len(want.Logs))
+		if want.NumLogs() != got.NumLogs() {
+			t.Fatalf("round %d: %d logs, want %d", round, got.NumLogs(), want.NumLogs())
 		}
-		for i := range want.Logs {
-			if want.Logs[i].ExecID != got.Logs[i].ExecID ||
-				want.Logs[i].Failed != got.Logs[i].Failed ||
-				!reflect.DeepEqual(want.Logs[i].Occ, got.Logs[i].Occ) {
+		for i := 0; i < want.NumLogs(); i++ {
+			if want.Log(i).ExecID() != got.Log(i).ExecID() ||
+				want.Log(i).Failed() != got.Log(i).Failed() ||
+				!reflect.DeepEqual(want.Log(i).OccMap(), got.Log(i).OccMap()) {
 				t.Fatalf("round %d: log %d (%s) differs from one-shot extraction",
-					round, i, want.Logs[i].ExecID)
+					round, i, want.Log(i).ExecID())
 			}
 		}
 	}
@@ -78,8 +78,8 @@ func TestExtractorSubsetReplays(t *testing.T) {
 		if !reflect.DeepEqual(want.Preds, got.Preds) {
 			t.Fatalf("cut %d: predicate table differs from one-shot extraction", cut)
 		}
-		for i := range want.Logs {
-			if !reflect.DeepEqual(want.Logs[i].Occ, got.Logs[i].Occ) {
+		for i := 0; i < want.NumLogs(); i++ {
+			if !reflect.DeepEqual(want.Log(i).OccMap(), got.Log(i).OccMap()) {
 				t.Fatalf("cut %d: log %d differs", cut, i)
 			}
 		}

@@ -12,6 +12,17 @@
 // Every predicate carries the fault-injection recipe that repairs it
 // (forces it to its value in successful executions), per Fig. 2 of the
 // paper; package inject translates recipes into sim plans.
+//
+// The corpus is columnar: predicate IDs are interned to dense int32
+// handles, and each predicate owns one occurrence bitmap over the
+// execution rows plus a rank-aligned occurrence-window array. Corpus-
+// wide queries (precision/recall counts, conjunction tests, the AC-DAG's
+// counterfactual filter) run word-parallel over the bitmaps, and
+// per-predicate counts are maintained incrementally on ingest, so
+// statistical debugging over a streamed corpus is O(predicates-touched)
+// per appended execution. String IDs survive only at the API edges:
+// reports, trace files, DOT output, and the intervention scheduler's
+// memo keys.
 package predicate
 
 import (
@@ -19,11 +30,20 @@ import (
 	"sort"
 	"strings"
 
+	"aid/internal/bitvec"
 	"aid/internal/trace"
 )
 
 // ID uniquely names a predicate within a corpus.
 type ID string
+
+// Handle is the dense corpus-local index of an interned predicate ID.
+// Handles are stable for the life of a corpus except across
+// DropUnobserved, which compacts them.
+type Handle int32
+
+// NoHandle marks the absence of a handle.
+const NoHandle Handle = -1
 
 // Kind classifies predicates by the runtime condition they capture.
 type Kind int
@@ -178,40 +198,116 @@ func (o Occurrence) StampTime(p StampPolicy) trace.Time {
 	return o.Start
 }
 
-// ExecLog is the predicate log of one execution: which predicates
-// occurred and when.
-type ExecLog struct {
-	ExecID string
-	Failed bool
-	Occ    map[ID]Occurrence
+// column is the per-predicate store: the occurrence bitmap over the
+// execution rows plus the occurrence windows, rank-aligned with the
+// set bits (occs[k] belongs to the k-th set row of rows).
+type column struct {
+	rows bitvec.Vec
+	occs []Occurrence
+	// last is the highest row with a bit set (-1 when empty); ingest is
+	// append-only per column, so last makes same-row merge O(1).
+	last int32
+	// failCnt counts set rows that are failed executions (maintained
+	// incrementally — the numerator of precision and recall).
+	failCnt int32
 }
+
+// ExecLog is a read-only view of one execution row of a corpus: which
+// predicates occurred in that execution and when. It is a 16-byte
+// handle, cheap to copy; the data lives in the corpus's columns.
+type ExecLog struct {
+	c   *Corpus
+	row int32
+}
+
+// Row returns the view's execution-row index.
+func (l ExecLog) Row() int { return int(l.row) }
+
+// ExecID returns the execution's identifier.
+func (l ExecLog) ExecID() string { return l.c.execIDs[l.row] }
+
+// Failed reports whether the execution failed.
+func (l ExecLog) Failed() bool { return l.c.failedRows.Has(int(l.row)) }
 
 // Has reports whether the predicate occurred in this execution.
-func (l *ExecLog) Has(id ID) bool {
-	_, ok := l.Occ[id]
-	return ok
+func (l ExecLog) Has(id ID) bool {
+	h, ok := l.c.byID[id]
+	return ok && l.c.cols[h].rows.Has(int(l.row))
 }
 
-// Corpus is a set of predicates plus their logs over a set of
-// executions — the input to statistical debugging and the AC-DAG.
+// HasHandle is Has over an interned handle — no string lookup.
+func (l ExecLog) HasHandle(h Handle) bool {
+	return l.c.cols[h].rows.Has(int(l.row))
+}
+
+// Occ returns the predicate's occurrence window in this execution.
+func (l ExecLog) Occ(id ID) (Occurrence, bool) {
+	h, ok := l.c.byID[id]
+	if !ok {
+		return Occurrence{}, false
+	}
+	return l.c.OccAt(int(l.row), h)
+}
+
+// OccMap materializes the row as an ID-keyed occurrence map — the
+// row-oriented edge representation used by the on-disk codec and tests.
+func (l ExecLog) OccMap() map[ID]Occurrence {
+	out := make(map[ID]Occurrence)
+	row := int(l.row)
+	for h := range l.c.cols {
+		col := &l.c.cols[h]
+		if col.rows.Has(row) {
+			occ, _ := l.c.OccAt(row, Handle(h))
+			out[l.c.Preds[h].ID] = occ
+		}
+	}
+	return out
+}
+
+// Corpus is a set of predicates plus their occurrence columns over a
+// set of executions — the input to statistical debugging and the
+// AC-DAG. Rows (executions) are append-only; columns are written in
+// nondecreasing row order (the natural order of both batch extraction
+// and streaming ingest).
 type Corpus struct {
-	Preds []Predicate
-	Logs  []ExecLog
-	byID  map[ID]int
+	Preds []Predicate // indexed by Handle
+	byID  map[ID]Handle
+	cols  []column
+
+	execIDs    []string
+	failedRows bitvec.Vec
+	// failOrd[row] is the row's index among failed rows (-1 for
+	// successes) — the alignment the AC-DAG's occurrence matrices use.
+	failOrd []int32
+	nFail   int
+
+	// partFail and partSucc are the cached partition views returned by
+	// FailedLogs/SuccessLogs, maintained on ingest (a row's outcome
+	// never changes after AddRow).
+	partFail []ExecLog
+	partSucc []ExecLog
+
+	// sealed guards rows shared with an extraction template (see
+	// Extractor): writes below it would mutate another corpus's columns.
+	sealed int
 }
 
 // NewCorpus returns an empty corpus.
 func NewCorpus() *Corpus {
-	return &Corpus{byID: make(map[ID]int)}
+	return &Corpus{byID: make(map[ID]Handle)}
 }
 
-// AddPred registers a predicate; re-adding an existing ID is a no-op.
-func (c *Corpus) AddPred(p Predicate) {
-	if _, ok := c.byID[p.ID]; ok {
-		return
+// AddPred registers a predicate and returns its handle; re-adding an
+// existing ID returns the existing handle.
+func (c *Corpus) AddPred(p Predicate) Handle {
+	if h, ok := c.byID[p.ID]; ok {
+		return h
 	}
-	c.byID[p.ID] = len(c.Preds)
+	h := Handle(len(c.Preds))
+	c.byID[p.ID] = h
 	c.Preds = append(c.Preds, p)
+	c.cols = append(c.cols, column{last: -1})
+	return h
 }
 
 // Has reports whether a predicate with the given ID is registered.
@@ -222,14 +318,23 @@ func (c *Corpus) Has(id ID) bool {
 	return ok
 }
 
+// HandleOf interns an ID: it returns the predicate's dense handle.
+func (c *Corpus) HandleOf(id ID) (Handle, bool) {
+	h, ok := c.byID[id]
+	return h, ok
+}
+
 // Pred returns the predicate with the given ID, or nil.
 func (c *Corpus) Pred(id ID) *Predicate {
-	i, ok := c.byID[id]
+	h, ok := c.byID[id]
 	if !ok {
 		return nil
 	}
-	return &c.Preds[i]
+	return &c.Preds[h]
 }
+
+// PredAt returns the predicate behind a handle.
+func (c *Corpus) PredAt(h Handle) *Predicate { return &c.Preds[h] }
 
 // IDs returns all predicate IDs in registration order.
 func (c *Corpus) IDs() []ID {
@@ -240,72 +345,218 @@ func (c *Corpus) IDs() []ID {
 	return out
 }
 
+// NumPreds returns the number of registered predicates.
+func (c *Corpus) NumPreds() int { return len(c.Preds) }
+
+// NumLogs returns the number of execution rows.
+func (c *Corpus) NumLogs() int { return len(c.execIDs) }
+
+// FailedCount returns the number of failed execution rows.
+func (c *Corpus) FailedCount() int { return c.nFail }
+
+// Log returns the view of execution row i.
+func (c *Corpus) Log(i int) ExecLog { return ExecLog{c: c, row: int32(i)} }
+
+// AddRow appends one execution row (streaming ingest) and returns its
+// index. Occurrences are then recorded with SetOcc.
+func (c *Corpus) AddRow(execID string, failed bool) int {
+	row := len(c.execIDs)
+	c.execIDs = append(c.execIDs, execID)
+	view := ExecLog{c: c, row: int32(row)}
+	if failed {
+		c.failedRows.Set(row)
+		c.failOrd = append(c.failOrd, int32(c.nFail))
+		c.nFail++
+		c.partFail = append(c.partFail, view)
+	} else {
+		c.failOrd = append(c.failOrd, -1)
+		c.partSucc = append(c.partSucc, view)
+	}
+	return row
+}
+
+// SetOcc records the predicate's occurrence window in the given row,
+// updating the maintained counts. Writes to one column must arrive in
+// nondecreasing row order (re-writing the current row merges by
+// overwrite, matching map semantics); earlier rows are immutable.
+func (c *Corpus) SetOcc(row int, h Handle, occ Occurrence) {
+	if row < c.sealed {
+		panic(fmt.Sprintf("predicate: write to sealed baseline row %d", row))
+	}
+	col := &c.cols[h]
+	if int32(row) == col.last {
+		col.occs[len(col.occs)-1] = occ
+		return
+	}
+	if int32(row) < col.last {
+		panic(fmt.Sprintf("predicate: out-of-order column write: row %d after %d", row, col.last))
+	}
+	col.rows.Set(row)
+	col.occs = append(col.occs, occ)
+	col.last = int32(row)
+	if c.failedRows.Has(row) {
+		col.failCnt++
+	}
+}
+
+// AddLog appends one execution row from its row-oriented form — the
+// streaming ingest entry used by the codec, tests, and offline corpora.
+// Every occurrence's predicate must already be registered.
+func (c *Corpus) AddLog(execID string, failed bool, occ map[ID]Occurrence) int {
+	row := c.AddRow(execID, failed)
+	for id, o := range occ {
+		h, ok := c.byID[id]
+		if !ok {
+			panic(fmt.Sprintf("predicate: AddLog references unregistered predicate %q", id))
+		}
+		c.SetOcc(row, h, o)
+	}
+	return row
+}
+
+// OccAt returns the predicate's occurrence window in the given row.
+func (c *Corpus) OccAt(row int, h Handle) (Occurrence, bool) {
+	col := &c.cols[h]
+	if int32(row) == col.last {
+		return col.occs[len(col.occs)-1], true
+	}
+	if !col.rows.Has(row) {
+		return Occurrence{}, false
+	}
+	return col.occs[col.rows.Rank(row)], true
+}
+
+// ForEachOcc calls fn for every (row, occurrence) of the predicate in
+// ascending row order.
+func (c *Corpus) ForEachOcc(h Handle, fn func(row int, occ Occurrence)) {
+	col := &c.cols[h]
+	k := 0
+	col.rows.ForEach(func(row int) {
+		fn(row, col.occs[k])
+		k++
+	})
+}
+
+// Rows returns the predicate's occurrence bitmap over execution rows.
+// The returned vector is the corpus's own storage: read-only.
+func (c *Corpus) Rows(h Handle) bitvec.Vec { return c.cols[h].rows }
+
+// FailedMask returns the bitmap of failed execution rows (read-only).
+func (c *Corpus) FailedMask() bitvec.Vec { return c.failedRows }
+
+// FailOrd returns row's index among the failed rows, or -1.
+func (c *Corpus) FailOrd(row int) int { return int(c.failOrd[row]) }
+
+// CountsAt returns the maintained (#rows where the predicate occurred,
+// #failed rows where it occurred) — O(1), no scan.
+func (c *Corpus) CountsAt(h Handle) (occurred, occurredInFailed int) {
+	col := &c.cols[h]
+	return len(col.occs), int(col.failCnt)
+}
+
 // Counts returns (#executions where id occurred, #failed executions
-// where id occurred, #failed executions).
+// where id occurred, #failed executions). Counts are maintained on
+// ingest; this is O(1).
 func (c *Corpus) Counts(id ID) (occurred, occurredInFailed, failed int) {
-	for i := range c.Logs {
-		l := &c.Logs[i]
-		if l.Failed {
-			failed++
-		}
-		if l.Has(id) {
-			occurred++
-			if l.Failed {
-				occurredInFailed++
-			}
-		}
+	h, ok := c.byID[id]
+	if !ok {
+		return 0, 0, c.nFail
 	}
-	return
+	occurred, occurredInFailed = c.CountsAt(h)
+	return occurred, occurredInFailed, c.nFail
 }
 
-// FailedLogs returns the logs of failed executions.
-func (c *Corpus) FailedLogs() []*ExecLog {
-	var out []*ExecLog
-	for i := range c.Logs {
-		if c.Logs[i].Failed {
-			out = append(out, &c.Logs[i])
+// FailedOccurrences returns the predicate's occurrence windows at the
+// failed rows, aligned with the failed-row order (length = #failed rows
+// where it occurred; for counterfactual predicates that is every failed
+// row). The result is freshly allocated.
+func (c *Corpus) FailedOccurrences(h Handle) []Occurrence {
+	col := &c.cols[h]
+	out := make([]Occurrence, 0, col.failCnt)
+	k := 0
+	col.rows.ForEach(func(row int) {
+		if c.failedRows.Has(row) {
+			out = append(out, col.occs[k])
 		}
-	}
+		k++
+	})
 	return out
 }
 
-// SuccessLogs returns the logs of successful executions.
-func (c *Corpus) SuccessLogs() []*ExecLog {
-	var out []*ExecLog
-	for i := range c.Logs {
-		if !c.Logs[i].Failed {
-			out = append(out, &c.Logs[i])
-		}
-	}
-	return out
-}
+// FailedLogs returns the cached view slice of failed execution rows.
+// The slice is maintained on ingest and shared: callers must not
+// mutate it or assume it stable across a later AddRow.
+func (c *Corpus) FailedLogs() []ExecLog { return c.partFail }
 
-// DropUnobserved removes predicates that never occur in any log, keeping
-// the corpus small. Returns the number removed.
+// SuccessLogs returns the cached view slice of successful execution
+// rows, under the same sharing contract as FailedLogs.
+func (c *Corpus) SuccessLogs() []ExecLog { return c.partSucc }
+
+// DropUnobserved removes predicates that never occur in any row,
+// compacting handles. Returns the number removed.
 func (c *Corpus) DropUnobserved() int {
-	keep := make([]Predicate, 0, len(c.Preds))
+	keepPreds := make([]Predicate, 0, len(c.Preds))
+	keepCols := make([]column, 0, len(c.cols))
 	removed := 0
 	for i := range c.Preds {
-		id := c.Preds[i].ID
-		seen := false
-		for j := range c.Logs {
-			if c.Logs[j].Has(id) {
-				seen = true
-				break
-			}
-		}
-		if seen {
-			keep = append(keep, c.Preds[i])
+		if len(c.cols[i].occs) > 0 {
+			keepPreds = append(keepPreds, c.Preds[i])
+			keepCols = append(keepCols, c.cols[i])
 		} else {
 			removed++
 		}
 	}
-	c.Preds = keep
-	c.byID = make(map[ID]int, len(keep))
+	c.Preds = keepPreds
+	c.cols = keepCols
+	c.byID = make(map[ID]Handle, len(keepPreds))
 	for i := range c.Preds {
-		c.byID[c.Preds[i].ID] = i
+		c.byID[c.Preds[i].ID] = Handle(i)
 	}
 	return removed
+}
+
+// deriveSealed returns a corpus that shares this one's rows and columns
+// as an immutable prefix, sized to take extraRows appended rows — the
+// zero-copy round template of predicate.Extractor. Shared occurrence
+// arrays are full-capped so any append reallocates (copy-on-write); the
+// per-column row bitmaps are cloned (a few words each, since appended
+// row bits can land in a shared trailing word). Writes into the shared
+// prefix panic via the sealed guard.
+func (c *Corpus) deriveSealed(extraRows int) *Corpus {
+	n := c.NumLogs()
+	d := &Corpus{
+		Preds:      append([]Predicate(nil), c.Preds...),
+		byID:       make(map[ID]Handle, len(c.byID)+8),
+		cols:       make([]column, len(c.cols)),
+		execIDs:    c.execIDs[:n:n],
+		failedRows: c.failedRows.CloneCap(n + extraRows),
+		failOrd:    c.failOrd[:n:n],
+		nFail:      c.nFail,
+		sealed:     n,
+	}
+	for id, h := range c.byID {
+		d.byID[id] = h
+	}
+	for i := range c.cols {
+		b := &c.cols[i]
+		d.cols[i] = column{
+			rows:    b.rows.Clone(),
+			occs:    b.occs[:len(b.occs):len(b.occs)],
+			last:    b.last,
+			failCnt: b.failCnt,
+		}
+	}
+	d.partFail = make([]ExecLog, 0, c.nFail+extraRows)
+	d.partSucc = make([]ExecLog, 0, n-c.nFail)
+	for row := 0; row < n; row++ {
+		v := ExecLog{c: d, row: int32(row)}
+		if d.failedRows.Has(row) {
+			d.partFail = append(d.partFail, v)
+		} else {
+			d.partSucc = append(d.partSucc, v)
+		}
+	}
+	return d
 }
 
 // FailureID is the ID of the distinguished failure predicate F.
@@ -362,40 +613,74 @@ func (c *Corpus) CompoundAnd(members ...ID) (Predicate, error) {
 }
 
 // MaterializeCompound registers the compound predicate and fills its
-// occurrences in every log where all members occur.
+// occurrences in every row where all members occur.
 func (c *Corpus) MaterializeCompound(p Predicate) {
 	c.MaterializeCompoundFrom(p, 0)
 }
 
-// MaterializeCompoundFrom is MaterializeCompound restricted to
-// Logs[from:]. Use it when the earlier logs are shared with a cached
-// extraction template (predicate.Extractor) and must stay unwritten.
+// MaterializeCompoundFrom is MaterializeCompound restricted to rows
+// [from, NumLogs()). Use it when the earlier rows are shared with a
+// cached extraction template (predicate.Extractor) and must stay
+// unwritten. The membership test is a word-parallel AND of the member
+// bitmaps; windows are merged in one pass per member.
 func (c *Corpus) MaterializeCompoundFrom(p Predicate, from int) {
-	c.AddPred(p)
-	for i := from; i < len(c.Logs); i++ {
-		l := &c.Logs[i]
-		var window Occurrence
-		all := true
-		for j, m := range p.Members {
-			occ, ok := l.Occ[m]
-			if !ok {
-				all = false
-				break
-			}
-			if j == 0 {
-				window = occ
-				continue
-			}
-			if occ.Start < window.Start {
-				window.Start = occ.Start
-			}
-			if occ.End > window.End {
-				window.End = occ.End
+	h := c.AddPred(p)
+	if len(p.Members) == 0 {
+		return
+	}
+	mh := make([]Handle, len(p.Members))
+	for i, m := range p.Members {
+		hm, ok := c.byID[m]
+		if !ok {
+			return // unknown member: the conjunction occurs nowhere
+		}
+		mh[i] = hm
+	}
+	and := c.cols[mh[0]].rows.Clone()
+	for _, hm := range mh[1:] {
+		o := c.cols[hm].rows
+		for w := range and {
+			if w < len(o) {
+				and[w] &= o[w]
+			} else {
+				and[w] = 0
 			}
 		}
-		if all {
-			l.Occ[p.ID] = window
+	}
+	var rows []int
+	and.ForEach(func(row int) {
+		if row >= from {
+			rows = append(rows, row)
 		}
+	})
+	if len(rows) == 0 {
+		return
+	}
+	windows := make([]Occurrence, len(rows))
+	for k, hm := range mh {
+		idx := 0
+		c.ForEachOcc(hm, func(row int, occ Occurrence) {
+			for idx < len(rows) && rows[idx] < row {
+				idx++
+			}
+			if idx >= len(rows) || rows[idx] != row {
+				return
+			}
+			if k == 0 {
+				windows[idx] = occ
+				return
+			}
+			w := &windows[idx]
+			if occ.Start < w.Start {
+				w.Start = occ.Start
+			}
+			if occ.End > w.End {
+				w.End = occ.End
+			}
+		})
+	}
+	for i, row := range rows {
+		c.SetOcc(row, h, windows[i])
 	}
 }
 

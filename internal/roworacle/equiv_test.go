@@ -1,0 +1,209 @@
+package roworacle
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aid/internal/acdag"
+	"aid/internal/predicate"
+	"aid/internal/statdebug"
+	"aid/internal/trace"
+)
+
+// genCase is one randomized corpus: a predicate table (mixed kinds,
+// repairs, unobserved entries) plus row-oriented logs.
+type genCase struct {
+	preds []predicate.Predicate
+	logs  []Log
+}
+
+func genCorpus(rng *rand.Rand) genCase {
+	nPreds := 3 + rng.Intn(10)
+	nLogs := 2 + rng.Intn(9)
+
+	var preds []predicate.Predicate
+	preds = append(preds, predicate.FailurePredicate())
+	for i := 0; i < nPreds; i++ {
+		var p predicate.Predicate
+		p.ID = predicate.ID(fmt.Sprintf("p%02d", i))
+		switch rng.Intn(4) {
+		case 0:
+			p.Kind, p.Stamp = predicate.KindWrongReturn, predicate.ByEnd
+		case 1:
+			p.Kind, p.Stamp = predicate.KindTooSlow, predicate.ByEnd // durational
+		case 2:
+			p.Kind, p.Stamp = predicate.KindDataRace, predicate.ByStart
+		default:
+			p.Kind, p.Stamp = predicate.KindStartsLate, predicate.ByStart
+		}
+		switch rng.Intn(4) {
+		case 0:
+			p.Repair = predicate.Intervention{Kind: predicate.IvNone}
+		case 1:
+			p.Repair = predicate.Intervention{Kind: predicate.IvOverrideReturn, Safe: false}
+		default:
+			p.Repair = predicate.Intervention{Kind: predicate.IvLockMethods, Safe: true}
+		}
+		preds = append(preds, p)
+	}
+
+	logs := make([]Log, nLogs)
+	for l := 0; l < nLogs; l++ {
+		failed := rng.Intn(2) == 0
+		occ := make(map[predicate.ID]predicate.Occurrence)
+		if failed && rng.Intn(8) != 0 { // occasionally omit F from a failed log
+			occ[predicate.FailureID] = predicate.Occurrence{Start: 1000, End: 1001, Thread: predicate.NoThread}
+		}
+		for _, p := range preds[1:] {
+			if rng.Intn(3) == 0 {
+				continue // absent in this log (some predicates end up unobserved)
+			}
+			start := trace.Time(rng.Intn(40))
+			end := start + trace.Time(1+rng.Intn(30))
+			th := trace.ThreadID(rng.Intn(3) - 1) // -1, 0, 1
+			occ[p.ID] = predicate.Occurrence{Start: start, End: end, Thread: th}
+		}
+		logs[l] = Log{ExecID: fmt.Sprintf("e%02d", l), Failed: failed, Occ: occ}
+	}
+	return genCase{preds: preds, logs: logs}
+}
+
+// build ingests the same generated data into both representations.
+func (g genCase) build() (*predicate.Corpus, *Corpus) {
+	col := predicate.NewCorpus()
+	row := NewCorpus()
+	for _, p := range g.preds {
+		col.AddPred(p)
+		row.AddPred(p)
+	}
+	for _, l := range g.logs {
+		// Fresh map copies: compound materialization mutates the row
+		// corpus's maps and must not alias the generator's.
+		cp := make(map[predicate.ID]predicate.Occurrence, len(l.Occ))
+		for id, o := range l.Occ {
+			cp[id] = o
+		}
+		col.AddLog(l.ExecID, l.Failed, l.Occ)
+		row.AddLog(l.ExecID, l.Failed, cp)
+	}
+	return col, row
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func expectEqual(t *testing.T, trial int, what string, got, want any) {
+	t.Helper()
+	g, w := mustJSON(t, got), mustJSON(t, want)
+	if !bytes.Equal(g, w) {
+		t.Fatalf("trial %d: columnar %s diverges from row oracle\ncolumnar: %s\noracle:   %s",
+			trial, what, g, w)
+	}
+}
+
+// dagView is the comparable projection of a built DAG.
+type dagView struct {
+	Nodes  []predicate.ID
+	Edges  [][2]predicate.ID
+	Report *acdag.BuildReport
+	Err    string
+}
+
+func viewOf(d *acdag.DAG, rep *acdag.BuildReport, err error) dagView {
+	v := dagView{Report: rep}
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	v.Nodes = d.Nodes()
+	v.Edges = d.ReductionEdges()
+	return v
+}
+
+// TestColumnarMatchesRowOracle pins the columnar corpus's statistical
+// debugging and AC-DAG construction byte-identical (as JSON) to the
+// pre-refactor row-oriented path on randomized corpora: mixed predicate
+// kinds (durational and instantaneous, safe and unsafe repairs),
+// unobserved predicates, missing-F failed logs, and compound
+// generation.
+func TestColumnarMatchesRowOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	for trial := 0; trial < 300; trial++ {
+		g := genCorpus(rng)
+		col, row := g.build()
+
+		expectEqual(t, trial, "Scores", statdebug.Scores(col), Scores(row))
+		expectEqual(t, trial, "Discriminative", statdebug.Discriminative(col, 0.5, 1), Discriminative(row, 0.5, 1))
+		expectEqual(t, trial, "FullyDiscriminative", statdebug.FullyDiscriminative(col), FullyDiscriminative(row))
+		for _, p := range g.preds {
+			cg, rg := statdebug.EntropyGain(col, p.ID), EntropyGain(row, p.ID)
+			if cg != rg {
+				t.Fatalf("trial %d: EntropyGain(%s) = %v, oracle %v", trial, p.ID, cg, rg)
+			}
+			co, cf, cn := col.Counts(p.ID)
+			ro, rf, rn := row.Counts(p.ID)
+			if co != ro || cf != rf || cn != rn {
+				t.Fatalf("trial %d: Counts(%s) = (%d,%d,%d), oracle (%d,%d,%d)",
+					trial, p.ID, co, cf, cn, ro, rf, rn)
+			}
+		}
+
+		// Compound generation mutates both corpora identically.
+		maxComp := rng.Intn(4) // includes 0 = unlimited
+		expectEqual(t, trial, "GenerateCompounds", statdebug.GenerateCompounds(col, maxComp), GenerateCompounds(row, maxComp))
+		expectEqual(t, trial, "post-compound Preds", col.Preds, row.Preds)
+		expectEqual(t, trial, "post-compound FullyDiscriminative", statdebug.FullyDiscriminative(col), FullyDiscriminative(row))
+
+		// AC-DAG construction over the SD candidates, then over a random
+		// candidate subset (exercising the unsafe and counterfactual
+		// filters), with and without IncludeUnsafe.
+		for _, opts := range []acdag.BuildOptions{{}, {IncludeUnsafe: true}} {
+			cands := statdebug.FullyDiscriminative(col)
+			cd, crep, cerr := acdag.Build(col, cands, opts)
+			rd, rrep, rerr := Build(row, cands, opts)
+			expectEqual(t, trial, "Build(SD candidates)", viewOf(cd, crep, cerr), viewOf(rd, rrep, rerr))
+
+			var subset []predicate.ID
+			for _, p := range g.preds[1:] {
+				if rng.Intn(2) == 0 {
+					subset = append(subset, p.ID)
+				}
+			}
+			// DropUnobserved has not run: unobserved predicates are
+			// legal candidates and must be filtered identically.
+			cd2, crep2, cerr2 := acdag.Build(col, subset, opts)
+			rd2, rrep2, rerr2 := Build(row, subset, opts)
+			expectEqual(t, trial, "Build(random candidates)", viewOf(cd2, crep2, cerr2), viewOf(rd2, rrep2, rerr2))
+		}
+	}
+}
+
+// TestRowOracleCodecRoundTrip cross-checks FromColumnar against the
+// streaming ingest: materializing the columnar corpus back to rows
+// reproduces the generated data exactly.
+func TestRowOracleCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := genCorpus(rng)
+		col, _ := g.build()
+		back := FromColumnar(col)
+		if len(back.Logs) != len(g.logs) {
+			t.Fatalf("trial %d: %d logs, want %d", trial, len(back.Logs), len(g.logs))
+		}
+		for i, l := range g.logs {
+			expectEqual(t, trial, "round-trip log", back.Logs[i].Occ, l.Occ)
+			if back.Logs[i].ExecID != l.ExecID || back.Logs[i].Failed != l.Failed {
+				t.Fatalf("trial %d: log %d header mismatch", trial, i)
+			}
+		}
+	}
+}

@@ -48,11 +48,8 @@ func TestFormatScoresTruncatesLongDescriptions(t *testing.T) {
 	c.AddPred(predicate.FailurePredicate())
 	long := strings.Repeat("x", 80)
 	c.AddPred(predicate.Predicate{ID: "p", Desc: long})
-	c.Logs = append(c.Logs, predicate.ExecLog{
-		ExecID: "f", Failed: true,
-		Occ: map[predicate.ID]predicate.Occurrence{
-			"p": {}, predicate.FailureID: {},
-		},
+	c.AddLog("f", true, map[predicate.ID]predicate.Occurrence{
+		"p": {}, predicate.FailureID: {},
 	})
 	out := FormatScores(c, 0)
 	for _, line := range strings.Split(out, "\n") {

@@ -6,12 +6,22 @@
 // fully-discriminative predicates, §3.1) and the baseline it improves
 // on: SD alone reports many correlated predicates without separating
 // causal ones or explaining the failure (Fig. 7, column 3).
+//
+// The corpus is columnar (see package predicate): per-predicate
+// occurrence counts are maintained incrementally on ingest, so scoring
+// reads O(1) counters per predicate instead of scanning logs, and the
+// conjunction test behind compound generation is one word-parallel
+// bitmap comparison per candidate pair. Appending an execution row
+// (Corpus.AddLog) keeps every score current in O(predicates-touched) —
+// the incremental-view-maintenance framing: rank-as-you-ingest needs no
+// batch recompute.
 package statdebug
 
 import (
 	"math"
 	"sort"
 
+	"aid/internal/bitvec"
 	"aid/internal/predicate"
 )
 
@@ -35,26 +45,33 @@ func (s Score) fullyDiscriminative() bool {
 	return s.Precision == 1 && s.Recall == 1
 }
 
+// scoreAt builds one predicate's score from the corpus's maintained
+// counters — O(1).
+func scoreAt(c *predicate.Corpus, h predicate.Handle, failed int) Score {
+	occ, inFail := c.CountsAt(h)
+	s := Score{Pred: c.PredAt(h).ID, Occurrences: occ, FailedOccurrences: inFail}
+	if occ > 0 {
+		s.Precision = float64(inFail) / float64(occ)
+	}
+	if failed > 0 {
+		s.Recall = float64(inFail) / float64(failed)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
 // Scores computes precision and recall for every predicate in the
 // corpus, sorted by F1 (descending), then precision, then ID for
 // stability. Corpora with no failed executions yield zero recall
-// everywhere.
+// everywhere. Counts are maintained on ingest, so this is
+// O(P log P) for the sort alone — no log scan.
 func Scores(c *predicate.Corpus) []Score {
-	out := make([]Score, 0, len(c.Preds))
-	for i := range c.Preds {
-		id := c.Preds[i].ID
-		occ, inFail, failed := c.Counts(id)
-		s := Score{Pred: id, Occurrences: occ, FailedOccurrences: inFail}
-		if occ > 0 {
-			s.Precision = float64(inFail) / float64(occ)
-		}
-		if failed > 0 {
-			s.Recall = float64(inFail) / float64(failed)
-		}
-		if s.Precision+s.Recall > 0 {
-			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
-		}
-		out = append(out, s)
+	failed := c.FailedCount()
+	out := make([]Score, 0, c.NumPreds())
+	for h := 0; h < c.NumPreds(); h++ {
+		out = append(out, scoreAt(c, predicate.Handle(h), failed))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].F1 != out[j].F1 {
@@ -83,6 +100,13 @@ func Discriminative(c *predicate.Corpus, minPrecision, minRecall float64) []pred
 	return out
 }
 
+// fullyAt reports whether the predicate occurs in every failed row and
+// no successful one, straight from the counters.
+func fullyAt(c *predicate.Corpus, h predicate.Handle) bool {
+	occ, inFail := c.CountsAt(h)
+	return occ > 0 && occ == inFail && inFail == c.FailedCount()
+}
+
 // FullyDiscriminative returns predicates that occur in every failed
 // execution and in no successful one (100% precision and recall) —
 // AID's working set. The failure predicate is excluded.
@@ -93,22 +117,40 @@ func Discriminative(c *predicate.Corpus, minPrecision, minRecall float64) []pred
 // naturally; with zero successes in the corpus nothing is trustworthy
 // and the result is empty.
 func FullyDiscriminative(c *predicate.Corpus) []predicate.ID {
-	succ := len(c.SuccessLogs())
-	fail := len(c.FailedLogs())
-	if succ == 0 || fail == 0 {
+	if c.NumLogs()-c.FailedCount() == 0 || c.FailedCount() == 0 {
 		return nil
 	}
 	var out []predicate.ID
-	for _, s := range Scores(c) {
-		if s.Pred == predicate.FailureID {
+	for h := 0; h < c.NumPreds(); h++ {
+		p := c.PredAt(predicate.Handle(h))
+		if p.ID == predicate.FailureID {
 			continue
 		}
-		if s.fullyDiscriminative() {
-			out = append(out, s.Pred)
+		if fullyAt(c, predicate.Handle(h)) {
+			out = append(out, p.ID)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// CountFully returns the number of fully-discriminative predicates
+// without sorting or allocating the ID list — the O(P) live metric a
+// streaming ingest reads after every appended row.
+func CountFully(c *predicate.Corpus) int {
+	if c.NumLogs()-c.FailedCount() == 0 || c.FailedCount() == 0 {
+		return 0
+	}
+	n := 0
+	for h := 0; h < c.NumPreds(); h++ {
+		if c.PredAt(predicate.Handle(h)).ID == predicate.FailureID {
+			continue
+		}
+		if fullyAt(c, predicate.Handle(h)) {
+			n++
+		}
+	}
+	return n
 }
 
 // GenerateCompounds finds pairs of partially-discriminative predicates
@@ -118,24 +160,31 @@ func FullyDiscriminative(c *predicate.Corpus) []predicate.ID {
 // failure", §3.2): neither conjunct reaches 100% precision alone, but
 // the compound does.
 //
+// The pair test is one word-parallel bitmap comparison: a conjunction
+// is fully discriminative iff the AND of the two occurrence bitmaps
+// equals the failed-row bitmap exactly (every failed row has both, no
+// successful row has both).
+//
 // maxCompounds caps the number generated (0 = unlimited).
 func GenerateCompounds(c *predicate.Corpus, maxCompounds int) []predicate.Predicate {
-	scores := Scores(c)
-	byID := make(map[predicate.ID]Score, len(scores))
+	failed := c.FailedCount()
 	var candidates []predicate.ID
-	for _, s := range scores {
-		byID[s.Pred] = s
+	for h := 0; h < c.NumPreds(); h++ {
+		p := c.PredAt(predicate.Handle(h))
 		// Candidates correlate with failure but are not fully
 		// discriminative on their own.
-		if s.Pred == predicate.FailureID || s.fullyDiscriminative() || s.FailedOccurrences == 0 {
+		if p.ID == predicate.FailureID {
 			continue
 		}
-		candidates = append(candidates, s.Pred)
+		s := scoreAt(c, predicate.Handle(h), failed)
+		if s.fullyDiscriminative() || s.FailedOccurrences == 0 {
+			continue
+		}
+		candidates = append(candidates, p.ID)
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 
-	fails := c.FailedLogs()
-	succs := c.SuccessLogs()
+	failMask := c.FailedMask()
 	var out []predicate.Predicate
 	for i := 0; i < len(candidates); i++ {
 		for j := i + 1; j < len(candidates); j++ {
@@ -143,7 +192,9 @@ func GenerateCompounds(c *predicate.Corpus, maxCompounds int) []predicate.Predic
 				return out
 			}
 			a, b := candidates[i], candidates[j]
-			if !conjunctionFullyDiscriminative(fails, succs, a, b) {
+			ha, _ := c.HandleOf(a)
+			hb, _ := c.HandleOf(b)
+			if !bitvec.AndEquals(c.Rows(ha), c.Rows(hb), failMask) {
 				continue
 			}
 			comp, err := c.CompoundAnd(a, b)
@@ -160,20 +211,6 @@ func GenerateCompounds(c *predicate.Corpus, maxCompounds int) []predicate.Predic
 	return out
 }
 
-func conjunctionFullyDiscriminative(fails, succs []*predicate.ExecLog, a, b predicate.ID) bool {
-	for _, l := range fails {
-		if !l.Has(a) || !l.Has(b) {
-			return false
-		}
-	}
-	for _, l := range succs {
-		if l.Has(a) && l.Has(b) {
-			return false
-		}
-	}
-	return true
-}
-
 // Summary aggregates SD output for reporting: counts at each filter
 // level, as in Fig. 7.
 type Summary struct {
@@ -188,7 +225,7 @@ type Summary struct {
 func Summarize(c *predicate.Corpus) Summary {
 	full := FullyDiscriminative(c)
 	return Summary{
-		TotalPredicates:       len(c.Preds),
+		TotalPredicates:       c.NumPreds(),
 		Discriminative:        len(Discriminative(c, 0.5, 1)),
 		FullyDiscriminative:   len(full),
 		FullyDiscriminativeID: full,
@@ -197,25 +234,15 @@ func Summarize(c *predicate.Corpus) Summary {
 
 // EntropyGain ranks a predicate by the information its occurrence gives
 // about the outcome (a HOLMES/CBI-style metric); exposed for analysis
-// tooling and tests of ranking alternatives.
+// tooling and tests of ranking alternatives. Reads the maintained
+// counters — O(1).
 func EntropyGain(c *predicate.Corpus, id predicate.ID) float64 {
-	var n, fail, occ, occFail float64
-	for i := range c.Logs {
-		n++
-		l := &c.Logs[i]
-		if l.Failed {
-			fail++
-		}
-		if l.Has(id) {
-			occ++
-			if l.Failed {
-				occFail++
-			}
-		}
-	}
+	n := float64(c.NumLogs())
 	if n == 0 {
 		return 0
 	}
+	occI, occFailI, failI := c.Counts(id)
+	occ, occFail, fail := float64(occI), float64(occFailI), float64(failI)
 	h := entropy(fail / n)
 	var cond float64
 	if occ > 0 {

@@ -8,30 +8,26 @@ import (
 	"aid/internal/predicate"
 )
 
-// corpus builds a synthetic predicate corpus. rows maps predicate IDs
-// to occurrence vectors aligned with outcomes (true = failed run).
+// corpus builds a synthetic predicate corpus via the streaming ingest.
+// rows maps predicate IDs to occurrence vectors aligned with outcomes
+// (true = failed run).
 func corpus(outcomes []bool, rows map[predicate.ID][]bool) *predicate.Corpus {
 	c := predicate.NewCorpus()
-	for i, failed := range outcomes {
-		c.Logs = append(c.Logs, predicate.ExecLog{
-			ExecID: string(rune('a' + i)),
-			Failed: failed,
-			Occ:    make(map[predicate.ID]predicate.Occurrence),
-		})
-	}
 	c.AddPred(predicate.FailurePredicate())
-	for i, failed := range outcomes {
-		if failed {
-			c.Logs[i].Occ[predicate.FailureID] = predicate.Occurrence{}
-		}
-	}
-	for id, vec := range rows {
+	for id := range rows {
 		c.AddPred(predicate.Predicate{ID: id})
-		for i, has := range vec {
-			if has {
-				c.Logs[i].Occ[id] = predicate.Occurrence{}
+	}
+	for i, failed := range outcomes {
+		occ := make(map[predicate.ID]predicate.Occurrence)
+		if failed {
+			occ[predicate.FailureID] = predicate.Occurrence{}
+		}
+		for id, vec := range rows {
+			if vec[i] {
+				occ[id] = predicate.Occurrence{}
 			}
 		}
+		c.AddLog(string(rune('a'+i)), failed, occ)
 	}
 	return c
 }

@@ -44,6 +44,7 @@ type Pipeline struct {
 	variant   Variant
 	workers   int
 	observer  Observer
+	streaming bool
 }
 
 // Option configures a Pipeline.
@@ -95,6 +96,14 @@ func WithWorkers(n int) Option {
 // extraction counts, per-round intervention outcomes) to o.
 func WithObserver(o Observer) Option {
 	return func(p *Pipeline) { p.observer = o }
+}
+
+// WithStreamingExtract makes Extract ingest the corpus one execution
+// row at a time, firing incremental Ranked events as the maintained
+// scores evolve (rank-as-you-ingest). Analysis results are identical
+// to the batch path; see Pipeline.ExtractStream.
+func WithStreamingExtract(on bool) Option {
+	return func(p *Pipeline) { p.streaming = on }
 }
 
 // New builds a Pipeline with the paper's defaults: a 50+50 corpus
@@ -175,9 +184,46 @@ func (p *Pipeline) Collect(ctx context.Context, src TraceSource) (*Traces, error
 }
 
 // Extract evaluates the predicate vocabulary over the corpus,
-// materializing compound predicates when configured.
+// materializing compound predicates when configured. With
+// WithStreamingExtract it delegates to ExtractStream.
 func (p *Pipeline) Extract(tr *Traces) *Corpus {
+	if p.streaming {
+		return p.ExtractStream(tr)
+	}
 	corpus := predicate.Extract(tr.Set, tr.Config)
+	if p.compounds > 0 {
+		statdebug.GenerateCompounds(corpus, p.compounds)
+	}
+	p.emit(PredicatesExtracted{Total: len(corpus.Preds)})
+	return corpus
+}
+
+// ExtractStream is Extract's rank-as-you-ingest path: execution rows
+// stream into the columnar corpus one at a time, and incremental Ranked
+// events report the live fully-discriminative count as the maintained
+// scores evolve (about twenty progress events per corpus). The
+// resulting corpus yields the same scores, candidate sets, and AC-DAG
+// as the batch path — only the predicate registration order differs
+// (first occurrence instead of phase order), which no analysis output
+// observes.
+func (p *Pipeline) ExtractStream(tr *Traces) *Corpus {
+	total := len(tr.Set.Executions)
+	every := total / 20
+	if every < 1 {
+		every = 1
+	}
+	corpus := predicate.ExtractStream(tr.Set, tr.Config, func(row int, c *Corpus) {
+		if p.observer == nil {
+			return
+		}
+		if (row+1)%every == 0 || row == total-1 {
+			p.emit(Ranked{
+				FullyDiscriminative: statdebug.CountFully(c),
+				RowsIngested:        row + 1,
+				RowsTotal:           total,
+			})
+		}
+	})
 	if p.compounds > 0 {
 		statdebug.GenerateCompounds(corpus, p.compounds)
 	}
