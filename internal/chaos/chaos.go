@@ -1,0 +1,170 @@
+// Package chaos is the fault-injection harness for AID's robustness
+// layer: a deterministic, seeded Intervener wrapper that corrupts the
+// oracle the way real intermittent-failure debugging does — flipped
+// failure verdicts, dropped runs, injected panics, transient errors,
+// and delays — plus a sweep that measures whether discovery still
+// converges to the true cause, and at what round cost, under a given
+// noise rate.
+//
+// The wrapper sits below the adaptive trial oracle
+// (core.RobustIntervener) and above the real intervener, so the stack
+// under test is exactly the production one:
+//
+//	core.Discover → Scheduler(robust) → RobustIntervener → chaos.Intervener → world
+//
+// All fault draws come from one seeded generator taken in a fixed
+// order, so a sweep is reproducible run-to-run and a zero-rate config
+// injects nothing — the wrapper is then observationally identical to
+// the wrapped intervener.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"aid/internal/core"
+	"aid/internal/predicate"
+)
+
+// Config sets the per-call and per-observation fault rates. The zero
+// value injects nothing.
+type Config struct {
+	// Seed drives every fault draw.
+	Seed int64
+	// FlipRate is the per-observation chance the Failed bit is forged
+	// (a monitoring glitch: a stopped run reported failing, or a
+	// failing run reported clean).
+	FlipRate float64
+	// DropRate is the per-observation chance the run's record is lost
+	// entirely.
+	DropRate float64
+	// PanicRate is the per-call chance the intervener panics instead of
+	// returning.
+	PanicRate float64
+	// ErrorRate is the per-call chance of a *TransientError (an
+	// infrastructure failure a retry can cure).
+	ErrorRate float64
+	// MaxDelay, when positive, sleeps each call a uniform random
+	// duration in [0, MaxDelay] (cancellable via ctx).
+	MaxDelay time.Duration
+}
+
+// TransientError is the retryable infrastructure failure the harness
+// injects at ErrorRate.
+type TransientError struct {
+	// Call is the 1-based call number the error was injected on.
+	Call int
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("chaos: injected transient error on call %d", e.Call)
+}
+
+// Stats counts the faults actually injected.
+type Stats struct {
+	// Calls counts Intervene calls that reached the wrapper.
+	Calls int
+	// Flips, Drops, Panics, Errors, and Delays count injected faults by
+	// kind.
+	Flips, Drops, Panics, Errors, Delays int
+}
+
+// Intervener is the fault-injecting wrapper. It is safe for concurrent
+// use (the fault stream is drawn under a mutex); with concurrent
+// callers the fault-to-call assignment depends on arrival order, so
+// deterministic sweeps use it from a single decision thread, as the
+// scheduler contract already guarantees.
+type Intervener struct {
+	inner core.Intervener
+	cfg   Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+var _ core.Intervener = (*Intervener)(nil)
+
+// Wrap builds a fault-injecting wrapper around inner.
+func Wrap(inner core.Intervener, cfg Config) *Intervener {
+	return &Intervener{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns a snapshot of the injected-fault counts.
+func (c *Intervener) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Intervene implements core.Intervener, corrupting the wrapped
+// intervener's behavior per Config. Draw order per call is fixed —
+// error, panic, delay, then per-observation drop and flip in
+// observation order — and a rate of zero consumes no draw, so a config
+// is reproducible regardless of which other rates are set.
+func (c *Intervener) Intervene(ctx context.Context, preds []predicate.ID) ([]core.Observation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.Calls++
+	call := c.stats.Calls
+	injectErr := c.cfg.ErrorRate > 0 && c.rng.Float64() < c.cfg.ErrorRate
+	injectPanic := false
+	if c.cfg.PanicRate > 0 && c.rng.Float64() < c.cfg.PanicRate {
+		injectPanic = !injectErr
+	}
+	var delay time.Duration
+	if c.cfg.MaxDelay > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay) + 1))
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		c.count(func(s *Stats) { s.Delays++ })
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+	if injectErr {
+		c.count(func(s *Stats) { s.Errors++ })
+		return nil, &TransientError{Call: call}
+	}
+	if injectPanic {
+		c.count(func(s *Stats) { s.Panics++ })
+		panic(fmt.Sprintf("chaos: injected panic on call %d", call))
+	}
+
+	obs, err := c.inner.Intervene(ctx, preds)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]core.Observation, 0, len(obs))
+	for _, o := range obs {
+		if c.cfg.DropRate > 0 && c.rng.Float64() < c.cfg.DropRate {
+			c.stats.Drops++
+			continue
+		}
+		if c.cfg.FlipRate > 0 && c.rng.Float64() < c.cfg.FlipRate {
+			o.Failed = !o.Failed
+			c.stats.Flips++
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func (c *Intervener) count(f func(*Stats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(&c.stats)
+}

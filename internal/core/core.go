@@ -35,6 +35,11 @@ type Observation struct {
 	Failed bool
 	// Observed reports predicate occurrence; absent IDs did not occur.
 	Observed map[predicate.ID]bool
+	// Confidence is the posterior of the round verdict this observation
+	// supports, attached by the adaptive trial oracle (see
+	// RobustIntervener); zero for plain interveners, whose observations
+	// carry no uncertainty estimate.
+	Confidence float64
 }
 
 // Intervener re-executes the application with the given predicates
@@ -201,6 +206,11 @@ type discoverer struct {
 	cause     *acdag.NodeSet
 	spur      *acdag.NodeSet
 	log       []Round
+	// escalation, once set by an invariant repair, makes every further
+	// intervention an escalated cache-bypassing retest: the cached
+	// verdicts are what produced the broken state, so the remainder of
+	// the run must not trust them.
+	escalation int
 }
 
 // Discover runs causal path discovery (Algorithm 3) on the AC-DAG.
@@ -248,20 +258,72 @@ func Discover(ctx context.Context, dag *acdag.DAG, iv Intervener, opts Options) 
 		d.aliveAndF.AddIndex(i)
 	}
 
+	// Predicates discarded for lacking a path to F are structurally
+	// spurious: no amount of retesting can revive them, so the robust
+	// restart guard below must not resurrect them.
+	structural := d.spur.Clone()
+
+	// The top-level pool is NOT known-positive even in robust mode
+	// (matching the deterministic path exactly, so a zero-noise robust
+	// stack replays byte-identical rounds); a no-cause outcome is
+	// instead caught by the restart guard below.
 	if opts.BranchPruning {
 		if err := d.branchPrune(); err != nil {
-			return nil, err
+			return d.result(), err
 		}
 	}
 	if _, _, err := d.giwp(d.aliveSorted(), false); err != nil {
-		return nil, err
+		return d.result(), err
 	}
+	if d.sched.Robust() && d.cause.Len() == 0 {
+		// Full-restart guard (once per discovery): no cause confirmed
+		// at all, so some verdict along the way was noise — branch
+		// pruning may have discarded the causal branch on a forged
+		// outcome, which the giwp-level repair cannot see. Resurrect
+		// every non-structural spurious predicate and rerun giwp with
+		// escalated, cache-bypassing retests.
+		if err := d.restartEscalated(structural); err != nil {
+			return d.result(), err
+		}
+	}
+	return d.result(), nil
+}
 
+// result assembles the Result from the current discovery state. On an
+// error path it is the partial result: the causes confirmed so far, the
+// spurious set, and the rounds log up to the failing round — enough for
+// callers (daemon sessions, progress reporting) to account for the work
+// done instead of losing it to the error.
+func (d *discoverer) result() *Result {
 	res := &Result{Rounds: d.log}
 	res.Path = d.topoSorted(d.cause)
 	res.Path = append(res.Path, predicate.FailureID)
 	res.Spurious = d.topoSorted(d.spur)
-	return res, nil
+	return res
+}
+
+// restartEscalated is the robust full-restart guard: revive every
+// spurious predicate that was not structurally discarded and rerun the
+// group-intervention phase with escalated retests. Fires at most once
+// per discovery; its rounds append to the same log.
+func (d *discoverer) restartEscalated(structural *acdag.NodeSet) error {
+	var revive []int
+	d.spur.ForEachIndex(func(i int) {
+		if !structural.HasIndex(i) {
+			revive = append(revive, i)
+		}
+	})
+	if len(revive) == 0 {
+		return nil
+	}
+	for _, i := range revive {
+		d.spur.RemoveIndex(i)
+		d.alive.AddIndex(i)
+		d.aliveAndF.AddIndex(i)
+	}
+	d.escalation = 1
+	_, _, err := d.giwp(d.aliveSorted(), true)
+	return err
 }
 
 // aliveSorted returns the alive candidate indices in ID order.
@@ -305,6 +367,7 @@ func (d *discoverer) intervene(req Request, group []int, phase string) (bool, er
 		return false, err
 	}
 	preds := req.Preds
+	req.Escalation = d.escalation
 	obs, meta, err := d.sched.Outcome(d.ctx, req)
 	if err != nil {
 		return false, fmt.Errorf("core: intervention on %v: %w", preds, err)
@@ -410,19 +473,48 @@ func (d *discoverer) markCause(i int) {
 // interventions (ROADMAP: Generate seed 97 at MaxThreads=1); the
 // deduction restores the ≤ N+1 linear bound.
 func (d *discoverer) giwp(pool []int, positive bool) (causes, spurious []int, err error) {
+	// In robust mode a positive pool's entry membership is snapshotted:
+	// if the pool exhausts without confirming a cause, the
+	// known-positive invariant was violated — some verdict that pruned
+	// a member was noise — and the members are revived for one
+	// escalated retry.
+	var entryPool []int
+	repaired := false
+	if positive && d.sched.Robust() {
+		entryPool = append([]int(nil), pool...)
+	}
 	for {
 		pool = d.filterAlive(pool)
 		if len(pool) == 0 {
+			if entryPool != nil && len(causes) == 0 && !repaired {
+				var revived []int
+				for _, i := range entryPool {
+					if d.spur.HasIndex(i) {
+						d.spur.RemoveIndex(i)
+						d.alive.AddIndex(i)
+						d.aliveAndF.AddIndex(i)
+						revived = append(revived, i)
+					}
+				}
+				if len(revived) > 0 {
+					repaired = true
+					d.escalation = 1
+					pool = entryPool
+					continue
+				}
+			}
 			return causes, spurious, nil
 		}
-		if positive && len(pool) == 1 && d.sched.Deterministic() {
+		if positive && len(pool) == 1 && d.sched.Deductive() {
 			// Deduced confirmation: the pool contains a cause and every
-			// other candidate has been eliminated. Gated on the
-			// deterministic-intervener declaration — under a noisy
-			// intervener the "positive" premise may itself be a missed
-			// manifestation, and the confirming retest the deduction
-			// skips is what keeps a spurious candidate from being
-			// reported causal.
+			// other candidate has been eliminated. Gated on Deductive —
+			// under a plain noisy intervener the "positive" premise may
+			// itself be a missed manifestation, and the confirming
+			// retest the deduction skips is what keeps a spurious
+			// candidate from being reported causal. In robust mode the
+			// premise carries the trial oracle's confidence bound and
+			// the known-positive repair below catches the residue, so
+			// the deduction (and with it the ≤ N+1 bound) is restored.
 			d.markCause(pool[0])
 			causes = append(causes, pool[0])
 			return causes, spurious, nil

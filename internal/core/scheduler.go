@@ -26,6 +26,7 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
 
 	"aid/internal/predicate"
@@ -54,6 +55,13 @@ type Request struct {
 	// stays unused in the cache. Hints are ignored unless speculation is
 	// enabled (a batch-capable intervener and more than one worker).
 	IfStopped, IfPersisted []predicate.ID
+	// Escalation, in robust mode, requests a fresh escalated retest of
+	// the group: the cache is bypassed, the trial budget is scaled by
+	// the level, and the outcome overwrites any cached entry. The
+	// discovery logic uses it during known-positive invariant repair,
+	// where the cached verdicts are exactly what is under suspicion.
+	// Ignored outside robust mode.
+	Escalation int
 }
 
 // RoundMeta describes how a round's outcome was produced. It is
@@ -71,6 +79,18 @@ type RoundMeta struct {
 	// Speculative reports that the outcome was produced by a
 	// continuation-hint prefetch rather than a direct request.
 	Speculative bool
+	// Trials and Retries report the adaptive trial oracle's cost for
+	// the outcome (zero outside robust mode): executions that produced
+	// observations, and transient-error retries on top. A repaired
+	// round folds its escalated retest into the totals.
+	Trials, Retries int
+	// Confidence is the verdict's posterior under the configured noise
+	// bounds (zero outside robust mode, 1 for a conclusive
+	// counter-example).
+	Confidence float64
+	// Contradiction reports that the outcome initially contradicted a
+	// recorded verdict and went through escalated repair.
+	Contradiction bool
 }
 
 // SchedulerStats aggregates a scheduler's execution accounting.
@@ -84,6 +104,16 @@ type SchedulerStats struct {
 	Speculated int
 	// Batches counts logical execution batches launched.
 	Batches int
+	// Contradictions counts monotonicity violations detected between a
+	// fresh outcome and a recorded verdict (robust mode only).
+	Contradictions int
+	// Repaired counts contradictions whose escalated retests restored
+	// consistency; the remainder were resolved by trusting the
+	// persisted side.
+	Repaired int
+	// Escalated counts escalated retests executed (repair retests plus
+	// Request.Escalation rounds).
+	Escalated int
 }
 
 // SchedulerConfig configures a Scheduler.
@@ -118,6 +148,38 @@ type SchedulerConfig struct {
 	// itself be a missed manifestation, and the retest is what keeps a
 	// spurious candidate from being confirmed causal.
 	Nondeterministic bool
+	// Robust declares the intervener noisy but verdict-stabilized —
+	// wrapped in a RobustIntervener (or equivalent) whose outcomes
+	// carry a confidence bound. Unlike Nondeterministic, which abandons
+	// memoization and deduction wholesale, Robust re-enables both under
+	// guards: outcomes are memoized (each verdict is already a
+	// high-confidence aggregate, so replaying it from cache is no worse
+	// than re-asking the oracle), every fresh verdict is checked
+	// against the recorded ones for monotonicity violations, and a
+	// contradiction triggers invalidation plus an escalated retest
+	// instead of silent trust. Takes precedence over Nondeterministic.
+	Robust bool
+	// OnContradiction, when non-nil in robust mode, is invoked for each
+	// detected contradiction after its repair completed. Purely
+	// observational.
+	OnContradiction func(ContradictionEvent)
+}
+
+// ContradictionEvent describes one detected monotonicity violation: a
+// group whose intervention stopped the failure while a superset's
+// intervention let it persist. Under a truthful oracle that is
+// impossible (forcing more predicates to their passing values cannot
+// un-stop the failure), so one of the two verdicts is noise.
+type ContradictionEvent struct {
+	// Stopped is the subset group whose recorded verdict was "failure
+	// stopped"; Persisted is the superset whose verdict was "failure
+	// persisted".
+	Stopped, Persisted []predicate.ID
+	// Resolved reports that the escalated retests restored consistency.
+	// When false, the persisted verdict was trusted (a failing run is
+	// the stronger evidence under missed-manifestation noise) and the
+	// stopped verdict was struck from the index.
+	Resolved bool
 }
 
 // outcomeEntry is one cached (or in-flight) group outcome.
@@ -127,6 +189,19 @@ type outcomeEntry struct {
 	err         error
 	batch       int
 	speculative bool
+	// info and contradiction are the robust-mode provenance of the
+	// outcome, replayed into RoundMeta on cache hits.
+	info          TrialInfo
+	contradiction bool
+}
+
+// verdictRec is one recorded group verdict in the robust scheduler's
+// monotonicity index.
+type verdictRec struct {
+	// ids is the group, sorted for subset tests.
+	ids []predicate.ID
+	// stopped is the verdict.
+	stopped bool
 }
 
 // Scheduler mediates every intervention of a discovery run. It may be
@@ -144,15 +219,26 @@ type outcomeEntry struct {
 type Scheduler struct {
 	iv            Intervener
 	biv           BatchIntervener // nil when iv cannot batch
+	tiv           TrialIntervener // nil when iv runs no adaptive trials
 	speculate     bool
 	noCache       bool
 	deterministic bool
+	robust        bool
+	onContra      func(ContradictionEvent)
 
 	mu      sync.Mutex
 	cache   map[string]*outcomeEntry
 	batches int
 	stats   SchedulerStats
 	wg      sync.WaitGroup
+
+	// verdicts is the monotonicity index of robust mode: every verdict
+	// the scheduler has vouched for, keyed like the cache; verdictKeys
+	// preserves insertion order so conflict detection is deterministic.
+	// Accessed only from the decision thread (see the concurrency
+	// contract), so they need no lock.
+	verdicts    map[string]*verdictRec
+	verdictKeys []string
 }
 
 // NewScheduler builds a scheduler over the intervener. The same
@@ -162,12 +248,20 @@ type Scheduler struct {
 func NewScheduler(iv Intervener, cfg SchedulerConfig) *Scheduler {
 	s := &Scheduler{
 		iv:            iv,
-		noCache:       cfg.NoCache || cfg.Nondeterministic,
-		deterministic: !cfg.Nondeterministic,
+		noCache:       cfg.NoCache || (cfg.Nondeterministic && !cfg.Robust),
+		deterministic: !cfg.Nondeterministic && !cfg.Robust,
+		robust:        cfg.Robust,
+		onContra:      cfg.OnContradiction,
 		cache:         map[string]*outcomeEntry{},
 	}
 	if biv, ok := iv.(BatchIntervener); ok {
 		s.biv = biv
+	}
+	if tiv, ok := iv.(TrialIntervener); ok {
+		s.tiv = tiv
+	}
+	if s.robust {
+		s.verdicts = map[string]*verdictRec{}
 	}
 	s.speculate = cfg.Speculate && !s.noCache && s.biv != nil && cfg.Workers != 1
 	return s
@@ -187,6 +281,21 @@ func (s *Scheduler) Speculative() bool { return s.speculate }
 // falsely-stopped group must still be retested, or a single missed
 // manifestation confirms a spurious candidate.
 func (s *Scheduler) Deterministic() bool { return s.deterministic }
+
+// Robust reports that the scheduler runs in robust mode: a noisy but
+// verdict-stabilized intervener with guarded memoization, contradiction
+// repair, and escalated retests available. The discovery logic consults
+// it to enable the known-positive invariant repair.
+func (s *Scheduler) Robust() bool { return s.robust }
+
+// Deductive reports whether the discovery logic may substitute a
+// group-testing deduction for a confirming retest. True for declared
+// deterministic interveners (the deduction is sound outright) and in
+// robust mode (each verdict carries a confidence bound and the
+// known-positive repair catches the residual error); false under plain
+// Nondeterministic, where a single missed manifestation would confirm a
+// spurious candidate unchecked.
+func (s *Scheduler) Deductive() bool { return s.deterministic || s.robust }
 
 // Stats returns a snapshot of the execution accounting.
 func (s *Scheduler) Stats() SchedulerStats {
@@ -213,6 +322,9 @@ var closedChan = func() chan struct{} {
 // it (and, when speculation is enabled, its continuation hints) as
 // needed. It blocks until the requested group's outcome is available.
 func (s *Scheduler) Outcome(ctx context.Context, req Request) ([]Observation, RoundMeta, error) {
+	if s.robust && req.Escalation > 0 {
+		return s.escalatedOutcome(ctx, req)
+	}
 	if s.noCache {
 		s.mu.Lock()
 		s.stats.Requests++
@@ -222,7 +334,16 @@ func (s *Scheduler) Outcome(ctx context.Context, req Request) ([]Observation, Ro
 		batch := s.batches
 		s.mu.Unlock()
 		obs, err := s.iv.Intervene(ctx, req.Preds)
-		return obs, RoundMeta{Batch: batch}, err
+		meta := RoundMeta{Batch: batch}
+		if err == nil && s.robust {
+			var info TrialInfo
+			var contradicted bool
+			obs, info, contradicted, err = s.vetOutcome(ctx, req.Preds, canonKey(req.Preds), obs)
+			meta.Trials, meta.Retries = info.Trials, info.Retries
+			meta.Confidence = info.Confidence
+			meta.Contradiction = contradicted
+		}
+		return obs, meta, err
 	}
 
 	key := canonKey(req.Preds)
@@ -249,6 +370,9 @@ func (s *Scheduler) Outcome(ctx context.Context, req Request) ([]Observation, Ro
 		// (speculative batches are the only concurrent callers, and only
 		// batch-capable interveners receive them).
 		e.obs, e.err = s.iv.Intervene(ctx, req.Preds)
+		if e.err == nil && s.robust {
+			e.obs, e.info, e.contradiction, e.err = s.vetOutcome(ctx, req.Preds, key, e.obs)
+		}
 		if e.err != nil {
 			// Never memoize failures: a cancelled context or transient
 			// intervener error must not be served back to a later run
@@ -259,7 +383,9 @@ func (s *Scheduler) Outcome(ctx context.Context, req Request) ([]Observation, Ro
 			}
 			s.mu.Unlock()
 		}
-		return e.obs, RoundMeta{Batch: e.batch}, e.err
+		meta := RoundMeta{Batch: e.batch, Trials: e.info.Trials, Retries: e.info.Retries,
+			Confidence: e.info.Confidence, Contradiction: e.contradiction}
+		return e.obs, meta, e.err
 	}
 
 	<-e.done
@@ -295,8 +421,217 @@ func (s *Scheduler) Outcome(ctx context.Context, req Request) ([]Observation, Ro
 		}
 		e, hit = retry, false
 	}
-	meta := RoundMeta{Batch: e.batch, CacheHit: hit, Speculative: e.speculative}
+	meta := RoundMeta{Batch: e.batch, CacheHit: hit, Speculative: e.speculative,
+		Trials: e.info.Trials, Retries: e.info.Retries,
+		Confidence: e.info.Confidence, Contradiction: e.contradiction}
 	return e.obs, meta, e.err
+}
+
+// escalatedOutcome serves a Request with Escalation > 0: a fresh
+// escalated retest that bypasses and then overwrites the cache. Used by
+// the known-positive invariant repair, where the recorded verdicts are
+// exactly what is under suspicion.
+func (s *Scheduler) escalatedOutcome(ctx context.Context, req Request) ([]Observation, RoundMeta, error) {
+	key := canonKey(req.Preds)
+	s.mu.Lock()
+	s.stats.Requests++
+	s.stats.Executions++
+	s.stats.Escalated++
+	s.stats.Batches++
+	s.batches++
+	batch := s.batches
+	s.mu.Unlock()
+	obs, info, err := s.escalatedIntervene(ctx, req.Preds, req.Escalation)
+	if err != nil {
+		s.mu.Lock()
+		delete(s.cache, key)
+		s.mu.Unlock()
+		return nil, RoundMeta{Batch: batch}, err
+	}
+	if !s.noCache {
+		e := &outcomeEntry{done: closedChan, obs: obs, batch: batch, info: info}
+		s.mu.Lock()
+		s.cache[key] = e
+		s.mu.Unlock()
+	}
+	s.recordVerdict(key, req.Preds, !anyFailed(obs))
+	meta := RoundMeta{Batch: batch, Trials: info.Trials, Retries: info.Retries, Confidence: info.Confidence}
+	return obs, meta, nil
+}
+
+// escalatedIntervene runs one escalated retest through the trial
+// oracle, or a plain Intervene when the intervener runs no trials.
+func (s *Scheduler) escalatedIntervene(ctx context.Context, preds []predicate.ID, level int) ([]Observation, TrialInfo, error) {
+	if s.tiv != nil {
+		obs, err := s.tiv.InterveneEscalated(ctx, preds, level)
+		return obs, s.tiv.LastInfo(), err
+	}
+	obs, err := s.iv.Intervene(ctx, preds)
+	return obs, TrialInfo{}, err
+}
+
+// lastInfo reads the trial provenance of the most recent round, when
+// the intervener exposes it.
+func (s *Scheduler) lastInfo() TrialInfo {
+	if s.tiv != nil {
+		return s.tiv.LastInfo()
+	}
+	return TrialInfo{}
+}
+
+// vetOutcome is robust mode's admission check for a fresh outcome: the
+// verdict is tested against every recorded one for monotonicity
+// violations, a contradiction triggers escalated retests of both sides
+// (repair), and the surviving verdict is recorded in the index. Runs on
+// the decision thread only.
+func (s *Scheduler) vetOutcome(ctx context.Context, preds []predicate.ID, key string, obs []Observation) ([]Observation, TrialInfo, bool, error) {
+	info := s.lastInfo()
+	stopped := !anyFailed(obs)
+	conflictKey, conflict := s.findConflict(key, preds, stopped)
+	if conflict == nil {
+		s.recordVerdict(key, preds, stopped)
+		return obs, info, false, nil
+	}
+	s.mu.Lock()
+	s.stats.Contradictions++
+	s.mu.Unlock()
+
+	// Repair: escalated retests of both sides; the retested verdicts
+	// replace the suspect ones in cache and index.
+	retest := func(p []predicate.ID) ([]Observation, TrialInfo, error) {
+		s.mu.Lock()
+		s.stats.Executions++
+		s.stats.Escalated++
+		s.mu.Unlock()
+		return s.escalatedIntervene(ctx, p, 1)
+	}
+	curObs, curInfo, err := retest(preds)
+	if err != nil {
+		return nil, info, true, err
+	}
+	otherObs, otherInfo, err := retest(conflict.ids)
+	if err != nil {
+		return nil, info, true, err
+	}
+	curStopped := !anyFailed(curObs)
+	otherStopped := !anyFailed(otherObs)
+	s.mu.Lock()
+	if e, ok := s.cache[conflictKey]; ok && e.done == closedChan {
+		e.obs, e.info = otherObs, otherInfo
+	}
+	s.mu.Unlock()
+	conflict.stopped = otherStopped
+
+	// The original violation was stopped(S) ⊆ persisted(P); after the
+	// retests, consistency holds unless that same orientation recurs.
+	var still bool
+	var ev ContradictionEvent
+	if stopped {
+		// Current group was the stopped subset.
+		still = curStopped && !otherStopped
+		ev = ContradictionEvent{Stopped: append([]predicate.ID(nil), preds...),
+			Persisted: append([]predicate.ID(nil), conflict.ids...)}
+	} else {
+		still = otherStopped && !curStopped
+		ev = ContradictionEvent{Stopped: append([]predicate.ID(nil), conflict.ids...),
+			Persisted: append([]predicate.ID(nil), preds...)}
+	}
+	ev.Resolved = !still
+	if still {
+		// Unresolved even escalated: trust the persisted side — under
+		// missed-manifestation noise a failing run is the stronger
+		// evidence — and strike the stopped verdict from the index so
+		// it cannot trigger the same repair again. Its cache entry goes
+		// too: a future request must re-ask the oracle.
+		if stopped {
+			delete(s.verdicts, key)
+			s.mu.Lock()
+			delete(s.cache, key)
+			s.mu.Unlock()
+		} else {
+			delete(s.verdicts, conflictKey)
+			s.mu.Lock()
+			delete(s.cache, conflictKey)
+			s.mu.Unlock()
+			s.recordVerdict(key, preds, curStopped)
+		}
+	} else {
+		s.mu.Lock()
+		s.stats.Repaired++
+		s.mu.Unlock()
+		s.recordVerdict(key, preds, curStopped)
+	}
+	if s.onContra != nil {
+		s.onContra(ev)
+	}
+	info.Trials += curInfo.Trials + otherInfo.Trials
+	info.Retries += curInfo.Retries + otherInfo.Retries
+	if curInfo.Confidence > 0 {
+		info.Confidence = curInfo.Confidence
+	}
+	return curObs, info, true, nil
+}
+
+// findConflict scans the verdict index for a monotonicity violation
+// with the given verdict: a stopped group conflicts with any recorded
+// persisted superset, a persisted group with any recorded stopped
+// subset. Scan order is insertion order, so detection is deterministic.
+func (s *Scheduler) findConflict(key string, preds []predicate.ID, stopped bool) (string, *verdictRec) {
+	if len(s.verdicts) == 0 {
+		return "", nil
+	}
+	cur := sortedIDs(preds)
+	for _, k := range s.verdictKeys {
+		rec := s.verdicts[k]
+		if rec == nil || k == key || rec.stopped == stopped {
+			continue
+		}
+		if stopped && subsetIDs(cur, rec.ids) {
+			return k, rec // we stopped, a recorded superset persisted
+		}
+		if !stopped && subsetIDs(rec.ids, cur) {
+			return k, rec // we persisted, a recorded subset stopped
+		}
+	}
+	return "", nil
+}
+
+// recordVerdict inserts or updates a group's verdict in the index.
+func (s *Scheduler) recordVerdict(key string, preds []predicate.ID, stopped bool) {
+	if s.verdicts == nil {
+		return
+	}
+	if rec, ok := s.verdicts[key]; ok {
+		rec.stopped = stopped
+		return
+	}
+	s.verdicts[key] = &verdictRec{ids: sortedIDs(preds), stopped: stopped}
+	s.verdictKeys = append(s.verdictKeys, key)
+}
+
+// sortedIDs copies and sorts a group for subset testing.
+func sortedIDs(preds []predicate.ID) []predicate.ID {
+	out := append([]predicate.ID(nil), preds...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// subsetIDs reports sub ⊆ super over sorted ID slices.
+func subsetIDs(sub, super []predicate.ID) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	j := 0
+	for _, id := range sub {
+		for j < len(super) && super[j] < id {
+			j++
+		}
+		if j >= len(super) || super[j] != id {
+			return false
+		}
+		j++
+	}
+	return true
 }
 
 // prefetch launches the request's continuation hints as one concurrent

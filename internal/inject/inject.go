@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"aid/internal/core"
 	"aid/internal/par"
@@ -120,6 +121,10 @@ type Executor struct {
 	FailureSig string
 	// MaxSteps bounds each re-execution (0 = sim default).
 	MaxSteps int
+	// WallBudget bounds each re-execution's real elapsed time (0 =
+	// unbounded). A replay that exceeds it is quarantined and counted
+	// as a missed run, like a panicking one.
+	WallBudget time.Duration
 	// Workers is the pool width for replaying Seeds concurrently within
 	// one intervention round (and, for InterveneBatch, across every
 	// group of the batch); <= 0 means GOMAXPROCS. Replays are consumed
@@ -129,6 +134,10 @@ type Executor struct {
 	// Guarded by mu: the intervention scheduler may run a speculative
 	// batch concurrently with a direct request.
 	RunsUsed int
+	// Missed counts replays that produced no observation because their
+	// (plan, seed) pair panicked, blew the wall budget, or was already
+	// quarantined. Guarded by mu, like RunsUsed.
+	Missed int
 
 	// mu serializes the executor's mutable state (RunsUsed, the lazily
 	// built extractor, and the extraction post-pass, whose cached
@@ -138,6 +147,93 @@ type Executor struct {
 	// extractor caches the baseline-derived extraction state across
 	// rounds (built lazily on first use).
 	extractor *predicate.Extractor
+
+	// qmu guards the quarantine. It is separate from mu because replays
+	// consult it concurrently from the worker pool, outside the
+	// observation lock.
+	qmu         sync.Mutex
+	quarantined map[string]bool
+	quarantine  []QuarantinedReplay
+}
+
+// QuarantinedReplay records one (plan, seed) pair removed from service:
+// its replay panicked or exceeded the wall budget, and later rounds
+// skip it (counted as a missed run) instead of crashing again.
+type QuarantinedReplay struct {
+	// Group is the forced-predicate group whose plan crashed.
+	Group []predicate.ID
+	// Seed is the scheduler seed of the crashing replay.
+	Seed int64
+	// Err is the contained failure (*sim.ReplayPanicError or
+	// *sim.BudgetError).
+	Err error
+}
+
+// Quarantined returns the quarantined (plan, seed) pairs in detection
+// order.
+func (e *Executor) Quarantined() []QuarantinedReplay {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return append([]QuarantinedReplay(nil), e.quarantine...)
+}
+
+// quarantineKey identifies a (plan, seed) pair: group membership
+// (order-insensitive) plus seed.
+func quarantineKey(group []predicate.ID, seed int64) string {
+	return predicate.GroupKey(group) + "\x00" + fmt.Sprint(seed)
+}
+
+func (e *Executor) isQuarantined(group []predicate.ID, seed int64) bool {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return e.quarantined[quarantineKey(group, seed)]
+}
+
+func (e *Executor) addQuarantine(group []predicate.ID, seed int64, err error) {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	if e.quarantined == nil {
+		e.quarantined = map[string]bool{}
+	}
+	key := quarantineKey(group, seed)
+	if e.quarantined[key] {
+		return
+	}
+	e.quarantined[key] = true
+	e.quarantine = append(e.quarantine, QuarantinedReplay{
+		Group: append([]predicate.ID(nil), group...),
+		Seed:  seed,
+		Err:   err,
+	})
+}
+
+// replayHook, when non-nil, runs at the start of every guarded replay,
+// inside the recover scope — tests use it to inject panics and stalls
+// at exact (group, seed) coordinates.
+var replayHook func(group []predicate.ID, seed int64)
+
+// runOne executes one guarded replay. Every inject replay routes
+// through here: a panic anywhere inside — the hook, plan compilation
+// quirks surfacing at run time, or the engine itself — is recovered
+// into an error instead of escaping through par.Map as a process-level
+// round failure.
+func (e *Executor) runOne(pp *sim.Prepared, group []predicate.ID, seed int64) (exec trace.Execution, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			exec, err = trace.Execution{}, &sim.ReplayPanicError{Seed: seed, Value: rec}
+		}
+	}()
+	if h := replayHook; h != nil {
+		h(group, seed)
+	}
+	return pp.RunGuarded(seed, sim.Budget{MaxSteps: e.MaxSteps, WallClock: e.WallBudget})
+}
+
+// replayResult is one (group, seed) replay outcome: an execution, or a
+// missed run (quarantined now or previously).
+type replayResult struct {
+	exec   trace.Execution
+	missed bool
 }
 
 var (
@@ -185,10 +281,21 @@ func (e *Executor) InterveneBatch(ctx context.Context, groups [][]predicate.ID) 
 	}
 	// Replay every (group, seed) pair across one flat pool; par.Map
 	// returns them in (group, seed) order, so everything downstream sees
-	// the per-group sequential view.
+	// the per-group sequential view. Each replay is guarded: a panic or
+	// blown wall budget quarantines the (plan, seed) pair and yields a
+	// missed run, never a round failure.
 	nSeeds := len(e.Seeds)
-	execs, err := par.Map(ctx, len(groups)*nSeeds, e.Workers, func(i int) (trace.Execution, error) {
-		return preps[i/nSeeds].Run(e.Seeds[i%nSeeds], e.MaxSteps), nil
+	results, err := par.Map(ctx, len(groups)*nSeeds, e.Workers, func(i int) (replayResult, error) {
+		group, seed := groups[i/nSeeds], e.Seeds[i%nSeeds]
+		if e.isQuarantined(group, seed) {
+			return replayResult{missed: true}, nil
+		}
+		exec, rerr := e.runOne(preps[i/nSeeds], group, seed)
+		if rerr != nil {
+			e.addQuarantine(group, seed, rerr)
+			return replayResult{missed: true}, nil
+		}
+		return replayResult{exec: exec}, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("inject: re-execution: %w", err)
@@ -206,8 +313,24 @@ func (e *Executor) InterveneBatch(ctx context.Context, groups [][]predicate.ID) 
 	}
 	out := make([][]core.Observation, len(groups))
 	for gi, preds := range groups {
-		bundle := execs[gi*nSeeds : (gi+1)*nSeeds]
-		obs, err := e.observe(bundle, preds)
+		bundle := results[gi*nSeeds : (gi+1)*nSeeds]
+		execs := make([]trace.Execution, 0, len(bundle))
+		for _, r := range bundle {
+			if r.missed {
+				e.Missed++
+				continue
+			}
+			execs = append(execs, r.exec)
+		}
+		if len(execs) == 0 {
+			// Every replay of the group is quarantined: there is no
+			// evidence to observe, and retrying cannot produce any. The
+			// round fails (the robust layer reports it; discovery
+			// returns its partial result) rather than fabricating an
+			// outcome.
+			return nil, fmt.Errorf("inject: every replay of group %v is quarantined", preds)
+		}
+		obs, err := e.observe(execs, preds)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// guardPanicProgram always hits the test-only panicking op.
+func guardPanicProgram() *Program {
+	p := NewProgram("guard-panic", "Main")
+	p.AddFunc("Main", panicOp{})
+	return p
+}
+
+// guardSpinProgram burns well past the wall-budget check interval
+// (1024 steps) in a tight loop before finishing cleanly.
+func guardSpinProgram() *Program {
+	p := NewProgram("guard-spin", "Main")
+	p.AddFunc("Main",
+		Assign{Dst: "i", Src: Lit(0)},
+		While{Cond: Cond{A: V("i"), Op: LT, B: Lit(100000)}, Body: []Op{
+			Arith{Dst: "i", A: V("i"), Op: OpAdd, B: Lit(1)},
+		}},
+	)
+	return p
+}
+
+// TestRunGuardedRecoversPanic checks a panic inside a replay surfaces
+// as a *ReplayPanicError instead of crashing the process, and that the
+// prepared program stays usable afterwards (the panicked machine is
+// abandoned, not pooled).
+func TestRunGuardedRecoversPanic(t *testing.T) {
+	pp, err := Prepare(guardPanicProgram(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		_, err := pp.RunGuarded(seed, Budget{})
+		var pe *ReplayPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("seed %d: got %T (%v), want *ReplayPanicError", seed, err, err)
+		}
+		if pe.Seed != seed {
+			t.Fatalf("panic error reports seed %d, want %d", pe.Seed, seed)
+		}
+	}
+	// The pool must still serve clean machines for other programs.
+	clean, err := Prepare(batchProgram(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.RunGuarded(1, Budget{}); err != nil {
+		t.Fatalf("clean replay after panics: %v", err)
+	}
+}
+
+// TestRunGuardedWallBudget checks a replay exceeding its wall-clock
+// budget aborts with a *BudgetError rather than hanging or forging a
+// trace.
+func TestRunGuardedWallBudget(t *testing.T) {
+	pp, err := Prepare(guardSpinProgram(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1ns budget is already expired at the first check; the spin
+	// program's >100k steps guarantee the checkpoint is reached.
+	_, err = pp.RunGuarded(1, Budget{MaxSteps: 1 << 20, WallClock: time.Nanosecond})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %T (%v), want *BudgetError", err, err)
+	}
+	if be.Seed != 1 || be.Budget != time.Nanosecond {
+		t.Fatalf("budget error reports seed %d budget %v", be.Seed, be.Budget)
+	}
+	// An ample budget lets the same replay finish normally.
+	if _, err := pp.RunGuarded(1, Budget{MaxSteps: 1 << 20, WallClock: time.Minute}); err != nil {
+		t.Fatalf("replay under ample budget: %v", err)
+	}
+}
+
+// TestRunGuardedZeroBudgetByteIdentical pins the containment wrapper's
+// transparency: with no wall budget and no panic, RunGuarded returns
+// exactly Run's execution, so the deterministic pipeline can route
+// every replay through the guard.
+func TestRunGuardedZeroBudgetByteIdentical(t *testing.T) {
+	pp, err := Prepare(batchProgram(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		want := pp.Run(seed, 0)
+		got, err := pp.RunGuarded(seed, Budget{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: guarded execution differs from Run", seed)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"strconv"
 	"sync"
+	"time"
 
 	"aid/internal/trace"
 )
@@ -106,6 +107,11 @@ type machine struct {
 
 	failed  bool
 	failSig string
+
+	// wallDeadline, when non-zero, aborts the run with SigBudget once
+	// real time passes it (set only by RunGuarded; the check in loop
+	// samples the clock every 1024 steps).
+	wallDeadline time.Time
 }
 
 var machinePool = sync.Pool{New: func() any {
@@ -121,6 +127,7 @@ func (m *machine) reset(pp *Prepared, seed int64) {
 	m.now = 0
 	m.failed = false
 	m.failSig = ""
+	m.wallDeadline = time.Time{}
 	m.threads = m.threads[:0]
 	m.spans = m.spans[:0]
 	m.finalOrder = m.finalOrder[:0]
@@ -218,6 +225,12 @@ func (m *machine) loop(maxSteps int) {
 		}
 		if steps >= maxSteps {
 			m.fail(SigHang)
+			break
+		}
+		// Wall-clock budget (RunGuarded only): sampled every 1024 steps
+		// so the common unguarded path pays one branch on a zero value.
+		if steps&1023 == 1023 && !m.wallDeadline.IsZero() && time.Now().After(m.wallDeadline) {
+			m.fail(SigBudget)
 			break
 		}
 		m.runnable = m.runnable[:0]

@@ -64,6 +64,12 @@ type Noise struct {
 	ManifestProb float64
 	// SymptomNoise is the per-run chance a spurious predicate flickers.
 	SymptomNoise float64
+	// Adaptive routes rounds through the adaptive trial oracle
+	// (core.RobustIntervener with ManifestFloor = ManifestProb) and the
+	// robust scheduler instead of the legacy fixed-Runs repetition: the
+	// oracle then runs one execution per trial and decides per round how
+	// many trials its confidence bound needs. Runs is ignored.
+	Adaptive bool
 }
 
 func (n Noise) enabled() bool {
@@ -94,10 +100,28 @@ func runInstance(ctx context.Context, inst *Instance, approach Approach, seed in
 	var sched *core.Scheduler
 	var oracle grouptest.Oracle
 	if noise.enabled() {
-		fw := NewFlakyWorld(w, noise.Runs, noise.ManifestProb, noise.SymptomNoise, seed^0x51ab5)
-		sched = core.NewScheduler(fw, core.SchedulerConfig{Nondeterministic: true})
+		var iv core.Intervener
+		if noise.Adaptive {
+			// One execution per trial: the oracle, not a fixed Runs
+			// count, decides how much evidence each round needs.
+			fw := NewFlakyWorld(w, 1, noise.ManifestProb, noise.SymptomNoise, seed^0x51ab5)
+			floor := noise.ManifestProb
+			if floor <= 0 || floor > 1 {
+				floor = 1
+			}
+			robust := core.NewRobustIntervener(fw, core.RobustConfig{
+				ManifestFloor: floor,
+				Seed:          seed ^ 0x9e3779b9,
+			})
+			sched = core.NewScheduler(robust, core.SchedulerConfig{Robust: true})
+			iv = robust
+		} else {
+			fw := NewFlakyWorld(w, noise.Runs, noise.ManifestProb, noise.SymptomNoise, seed^0x51ab5)
+			sched = core.NewScheduler(fw, core.SchedulerConfig{Nondeterministic: true})
+			iv = fw
+		}
 		oracle = func(group []predicate.ID) (bool, error) {
-			obs, err := fw.Intervene(ctx, group)
+			obs, err := iv.Intervene(ctx, group)
 			if err != nil {
 				return false, err
 			}

@@ -120,6 +120,16 @@ type RoundDone struct {
 	// Speculative reports the outcome was produced by a
 	// continuation-hint prefetch rather than a direct request.
 	Speculative bool
+	// Trials and Retries report the adaptive trial oracle's cost for
+	// the round (zero outside noise-tolerant mode; see
+	// WithNoiseTolerance).
+	Trials, Retries int
+	// Confidence is the round verdict's posterior under the configured
+	// noise bounds (zero outside noise-tolerant mode).
+	Confidence float64
+	// Contradiction reports the round's outcome initially contradicted
+	// a recorded verdict and went through escalated repair.
+	Contradiction bool
 }
 
 func (e RoundDone) String() string {
@@ -131,8 +141,41 @@ func (e RoundDone) String() string {
 	if e.CacheHit {
 		suffix = " [cached]"
 	}
+	if e.Trials > 0 {
+		suffix += fmt.Sprintf(" [%d trials, conf %.3f", e.Trials, e.Confidence)
+		if e.Retries > 0 {
+			suffix += fmt.Sprintf(", %d retries", e.Retries)
+		}
+		if e.Contradiction {
+			suffix += ", repaired contradiction"
+		}
+		suffix += "]"
+	}
 	return fmt.Sprintf("round %d [%s, batch %d]: intervened on %d predicates -> %s (%d pruned)%s",
 		e.Index, e.Round.Phase, e.Batch, len(e.Round.Intervened), verdict, len(e.Round.Pruned), suffix)
+}
+
+// ContradictionDetected reports the robust scheduler caught a
+// monotonicity violation between two round verdicts — intervening on a
+// subset stopped the failure while a superset let it persist — and ran
+// escalated retests to repair it. Emitted only in noise-tolerant mode.
+type ContradictionDetected struct {
+	// Stopped is the subset group whose verdict was "failure stopped";
+	// Persisted is the superset whose verdict was "failure persisted".
+	Stopped, Persisted []PredicateID
+	// Resolved reports the escalated retests restored consistency; when
+	// false the persisted verdict was trusted and the stopped verdict
+	// discarded.
+	Resolved bool
+}
+
+func (e ContradictionDetected) String() string {
+	state := "repaired"
+	if !e.Resolved {
+		state = "unresolved; trusting persisted side"
+	}
+	return fmt.Sprintf("contradiction: stopped(%d preds) ⊆ persisted(%d preds) — %s",
+		len(e.Stopped), len(e.Persisted), state)
 }
 
 // CauseConfirmed reports a predicate confirmed causal.
@@ -160,11 +203,12 @@ func (e DiscoveryDone) String() string {
 		e.RootCause, e.PathLen, e.Interventions)
 }
 
-func (CollectProgress) event()     {}
-func (TracesCollected) event()     {}
-func (PredicatesExtracted) event() {}
-func (Ranked) event()              {}
-func (DAGBuilt) event()            {}
-func (RoundDone) event()           {}
-func (CauseConfirmed) event()      {}
-func (DiscoveryDone) event()       {}
+func (CollectProgress) event()       {}
+func (TracesCollected) event()       {}
+func (PredicatesExtracted) event()   {}
+func (Ranked) event()                {}
+func (DAGBuilt) event()              {}
+func (RoundDone) event()             {}
+func (ContradictionDetected) event() {}
+func (CauseConfirmed) event()        {}
+func (DiscoveryDone) event()         {}

@@ -1,0 +1,95 @@
+package aid_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"aid"
+)
+
+// TestPipelineNoiseToleranceMatchesDeterministic checks the
+// noise-tolerant facade path on the deterministic simulator: with the
+// floor at 1 every round needs exactly one trial, so the discovered
+// cause, path, and round log must match the plain pipeline — and the
+// report must carry the robustness accounting the plain run omits.
+func TestPipelineNoiseToleranceMatchesDeterministic(t *testing.T) {
+	ctx := context.Background()
+	study := aid.FromStudy(aid.CaseStudyByName("network"))
+
+	plain, err := aid.New(aid.WithCorpusSize(20, 20)).Run(ctx, study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Robustness != nil {
+		t.Fatal("deterministic run must not carry a robustness report")
+	}
+
+	robust, err := aid.New(
+		aid.WithCorpusSize(20, 20),
+		aid.WithNoiseTolerance(aid.NoiseTolerance{ManifestFloor: 1}),
+	).Run(ctx, study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.RootCause != plain.RootCause {
+		t.Fatalf("root cause %q differs from deterministic %q", robust.RootCause, plain.RootCause)
+	}
+	if len(robust.Rounds) != len(plain.Rounds) {
+		t.Fatalf("%d rounds under noise tolerance, %d deterministic", len(robust.Rounds), len(plain.Rounds))
+	}
+	rb := robust.Robustness
+	if rb == nil {
+		t.Fatal("noise-tolerant run must carry a robustness report")
+	}
+	if rb.Trials == 0 {
+		t.Fatalf("robustness report empty: %+v", rb)
+	}
+	if rb.CauseConfidence != 1 {
+		t.Fatalf("cause confidence %v on a deterministic oracle, want 1", rb.CauseConfidence)
+	}
+	if rb.Contradictions != 0 || rb.RecoveredPanics != 0 || len(rb.Quarantined) != 0 {
+		t.Fatalf("deterministic oracle produced faults: %+v", rb)
+	}
+	if !strings.Contains(robust.FormatRobustness(), "trial oracle") {
+		t.Fatalf("FormatRobustness output unexpected:\n%s", robust.FormatRobustness())
+	}
+}
+
+// TestPipelineNoiseToleranceRoundEvents checks RoundDone events carry
+// the trial provenance in noise-tolerant mode.
+func TestPipelineNoiseToleranceRoundEvents(t *testing.T) {
+	var rounds []aid.RoundDone
+	obs := aid.ObserverFunc(func(e aid.Event) {
+		if rd, ok := e.(aid.RoundDone); ok {
+			rounds = append(rounds, rd)
+		}
+	})
+	_, err := aid.New(
+		aid.WithCorpusSize(20, 20),
+		aid.WithObserver(obs),
+		aid.WithNoiseTolerance(aid.NoiseTolerance{ManifestFloor: 1}),
+	).Run(context.Background(), aid.FromStudy(aid.CaseStudyByName("network")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("no RoundDone events")
+	}
+	fresh := 0
+	for _, rd := range rounds {
+		if rd.CacheHit {
+			continue
+		}
+		fresh++
+		if rd.Trials == 0 || rd.Confidence == 0 {
+			t.Fatalf("fresh round without trial provenance: %+v", rd)
+		}
+		if !strings.Contains(rd.String(), "trials") {
+			t.Fatalf("round line lacks trial suffix: %s", rd)
+		}
+	}
+	if fresh == 0 {
+		t.Fatal("every round was a cache hit; fixture broken")
+	}
+}
