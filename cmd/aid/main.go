@@ -14,6 +14,13 @@
 //	aid -case npgsql -sd -top 20        # SD ranking table, top 20 rows
 //	aid -case npgsql -save-traces corpus.jsonl
 //	aid -case npgsql -load-traces corpus.jsonl
+//	aid serve -addr 127.0.0.1:8344 -data ./corpora   # multi-tenant daemon mode
+//
+// In daemon mode the binary hosts the multi-tenant debugging service
+// (internal/service) over an HTTP/JSON-lines API: tenants ingest trace
+// corpora, start discovery sessions, stream typed pipeline events, and
+// fetch reports, under a bounded global session budget with fair
+// admission control. See README "Daemon mode" and examples/daemon-client.
 package main
 
 import (
@@ -26,6 +33,13 @@ import (
 )
 
 func main() {
+	// Daemon mode dispatches before flag parsing: `aid serve [flags]`
+	// hosts the multi-tenant debugging service (internal/service) over
+	// HTTP; everything else is the classic one-shot pipeline run.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		name       = flag.String("case", "npgsql", "case study: npgsql, kafka, cosmosdb, network, buildandtest, healthtelemetry")
 		successes  = flag.Int("successes", 50, "successful executions to collect")

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aid/internal/service"
+)
+
+// runServe is the daemon mode: `aid serve` hosts the multi-tenant
+// debugging service over HTTP until SIGTERM/SIGINT, then drains —
+// in-flight sessions get the grace period to finish before being
+// cancelled, and the process exits only after every session goroutine
+// has unwound.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("aid serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8344", "listen address (host:port; :0 picks a free port)")
+		data         = fs.String("data", "", "corpus data directory (JSON-lines files); empty = in-memory only")
+		budget       = fs.Int("budget", 4, "global concurrent-session weight budget")
+		tenantCap    = fs.Int("tenant-cap", 8, "max queued+running sessions per tenant before 429")
+		timeout      = fs.Duration("session-timeout", 5*time.Minute, "default per-session lifetime cap")
+		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight sessions on shutdown")
+	)
+	fs.Parse(args)
+
+	cfg := service.Config{
+		SessionBudget:  *budget,
+		TenantCap:      *tenantCap,
+		SessionTimeout: *timeout,
+		RetryAfter:     *retryAfter,
+	}
+	if *data != "" {
+		store, err := service.NewFileStore(*data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aid serve:", err)
+			os.Exit(1)
+		}
+		cfg.Store = store
+	}
+	mgr := service.NewManager(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aid serve:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: service.NewHandler(mgr)}
+	fmt.Fprintf(os.Stderr, "aid serve: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "aid serve: %s; draining (up to %s)\n", sig, *drainTimeout)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "aid serve:", err)
+		os.Exit(1)
+	}
+
+	// Drain: stop accepting HTTP, then let sessions finish under the
+	// grace period; Manager.Shutdown force-cancels stragglers and waits
+	// for their goroutines either way.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "aid serve: http shutdown:", err)
+	}
+	if err := mgr.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "aid serve: drain timed out; sessions cancelled")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "aid serve: drained cleanly")
+}

@@ -1,0 +1,131 @@
+package aid
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the Observer event stream's wire format: each Event
+// marshals to a one-line JSON envelope {"type": <name>, "event": {…}}
+// and unmarshals back to its concrete type. It is the currency of the
+// daemon's streaming endpoint (internal/service) and its clients
+// (examples/daemon-client): a session's event stream is exactly the
+// sequence of MarshalEvent lines its pipeline emitted, and a client
+// recovers typed events — including their String renderings — with
+// UnmarshalEvent alone, no internal imports.
+
+// Wire names of the Event types, stable across releases.
+const (
+	EventCollectProgress       = "collect-progress"
+	EventTracesCollected       = "traces-collected"
+	EventPredicatesExtracted   = "predicates-extracted"
+	EventRanked                = "ranked"
+	EventDAGBuilt              = "dag-built"
+	EventRoundDone             = "round-done"
+	EventContradictionDetected = "contradiction-detected"
+	EventCauseConfirmed        = "cause-confirmed"
+	EventDiscoveryDone         = "discovery-done"
+)
+
+// EventType returns e's stable wire name ("" for an unknown type).
+func EventType(e Event) string {
+	switch e.(type) {
+	case CollectProgress:
+		return EventCollectProgress
+	case TracesCollected:
+		return EventTracesCollected
+	case PredicatesExtracted:
+		return EventPredicatesExtracted
+	case Ranked:
+		return EventRanked
+	case DAGBuilt:
+		return EventDAGBuilt
+	case RoundDone:
+		return EventRoundDone
+	case ContradictionDetected:
+		return EventContradictionDetected
+	case CauseConfirmed:
+		return EventCauseConfirmed
+	case DiscoveryDone:
+		return EventDiscoveryDone
+	}
+	return ""
+}
+
+// eventEnvelope is the wire envelope. Decoders ignore unknown sibling
+// fields, so stream producers may add metadata (sequence numbers,
+// timestamps) without breaking UnmarshalEvent.
+type eventEnvelope struct {
+	Type  string          `json:"type"`
+	Event json.RawMessage `json:"event"`
+}
+
+// MarshalEvent serializes an event as its one-line JSON envelope.
+func MarshalEvent(e Event) ([]byte, error) {
+	name := EventType(e)
+	if name == "" {
+		return nil, fmt.Errorf("aid: cannot marshal unknown event type %T", e)
+	}
+	body, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("aid: marshal %s event: %w", name, err)
+	}
+	return json.Marshal(eventEnvelope{Type: name, Event: body})
+}
+
+// UnmarshalEvent decodes one envelope line back to its concrete Event.
+func UnmarshalEvent(data []byte) (Event, error) {
+	var env eventEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("aid: malformed event envelope: %w", err)
+	}
+	var e Event
+	switch env.Type {
+	case EventCollectProgress:
+		e = &CollectProgress{}
+	case EventTracesCollected:
+		e = &TracesCollected{}
+	case EventPredicatesExtracted:
+		e = &PredicatesExtracted{}
+	case EventRanked:
+		e = &Ranked{}
+	case EventDAGBuilt:
+		e = &DAGBuilt{}
+	case EventRoundDone:
+		e = &RoundDone{}
+	case EventContradictionDetected:
+		e = &ContradictionDetected{}
+	case EventCauseConfirmed:
+		e = &CauseConfirmed{}
+	case EventDiscoveryDone:
+		e = &DiscoveryDone{}
+	default:
+		return nil, fmt.Errorf("aid: unknown event type %q", env.Type)
+	}
+	if err := json.Unmarshal(env.Event, e); err != nil {
+		return nil, fmt.Errorf("aid: malformed %s event: %w", env.Type, err)
+	}
+	// Events travel by value everywhere else in the API; return the
+	// concrete value, not the pointer used for decoding.
+	switch v := e.(type) {
+	case *CollectProgress:
+		return *v, nil
+	case *TracesCollected:
+		return *v, nil
+	case *PredicatesExtracted:
+		return *v, nil
+	case *Ranked:
+		return *v, nil
+	case *DAGBuilt:
+		return *v, nil
+	case *RoundDone:
+		return *v, nil
+	case *ContradictionDetected:
+		return *v, nil
+	case *CauseConfirmed:
+		return *v, nil
+	case *DiscoveryDone:
+		return *v, nil
+	}
+	return nil, fmt.Errorf("aid: unknown event type %q", env.Type)
+}

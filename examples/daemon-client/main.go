@@ -1,0 +1,197 @@
+// Daemon-mode walkthrough: drive `aid serve` over plain HTTP.
+//
+// The daemon (internal/service behind `aid serve`) runs discovery
+// sessions for many tenants concurrently: corpora are ingested once per
+// tenant, sessions stream their typed pipeline events as JSON lines,
+// and same-tenant sessions debugging the same target share a scheduler
+// memo so repeated runs skip already-replayed interventions.
+//
+// This client speaks only HTTP and the public aid package (for
+// aid.UnmarshalEvent) — no internal imports — exactly like an external
+// consumer would. It starts the daemon itself so the example is
+// self-contained:
+//
+//	go run ./examples/daemon-client
+//
+// Point it at an already-running daemon instead with -addr:
+//
+//	aid serve -addr 127.0.0.1:8344 &
+//	go run ./examples/daemon-client -addr 127.0.0.1:8344
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/exec"
+	"strings"
+	"time"
+
+	"aid"
+)
+
+func main() {
+	addr := flag.String("addr", "", "daemon address (empty = spawn `aid serve` for the demo)")
+	flag.Parse()
+
+	base := "http://" + *addr
+	if *addr == "" {
+		base = spawnDaemon()
+	}
+	waitHealthy(base)
+
+	// 1. Start a session for tenant "acme": the npgsql data race, small
+	// corpus so the demo is quick.
+	spec := map[string]any{"study": "npgsql", "successes": 12, "failures": 12}
+	status := startSession(base, "acme", spec)
+	fmt.Printf("session %s accepted (state %s)\n\n", status["id"], status["state"])
+	id := status["id"].(string)
+
+	// 2. Stream its events as they happen — the same typed events an
+	// embedded aid.WithObserver sees, as JSON lines over HTTP.
+	fmt.Println("event stream:")
+	streamEvents(base, id)
+
+	// 3. Fetch the finished report.
+	rep := fetchReport(base, id)
+	fmt.Printf("\nroot cause: %s\ncausal path: %d predicates, %d interventions\n",
+		rep.RootCause, rep.CausalPathLen, rep.AIDInterventions)
+
+	// 4. Run the same session again: the tenant's shared scheduler memo
+	// now serves the replays, so the second session reports cache hits.
+	status = startSession(base, "acme", spec)
+	id2 := status["id"].(string)
+	streamQuietly(base, id2)
+	final := sessionStatus(base, id2)
+	fmt.Printf("\nsecond run: %v scheduler requests, %v served from the shared memo\n",
+		final["schedulerRequests"], final["schedulerCacheHits"])
+}
+
+// spawnDaemon starts `aid serve` on a free port and returns its base
+// URL.
+func spawnDaemon() string {
+	cmd := exec.Command("go", "run", "./cmd/aid", "serve", "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			base := strings.TrimSpace(line[i:])
+			go func() { // keep draining so the daemon never blocks on stderr
+				for sc.Scan() {
+				}
+			}()
+			return base
+		}
+	}
+	log.Fatal("daemon did not report a listen address")
+	return ""
+}
+
+func waitHealthy(base string) {
+	for range 100 {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	log.Fatalf("daemon at %s never became healthy", base)
+}
+
+func startSession(base, tenant string, spec map[string]any) map[string]any {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/tenants/"+tenant+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		log.Fatalf("saturated; retry after %s seconds", resp.Header.Get("Retry-After"))
+	}
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		log.Fatal(err)
+	}
+	return status
+}
+
+// streamEvents follows the session's JSON-lines event stream, decoding
+// each line back to a typed aid event with the public codec.
+func streamEvents(base, id string) {
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		ev, err := aid.UnmarshalEvent(line)
+		if err != nil {
+			// The trailing session-end envelope is service-level, not a
+			// pipeline event.
+			fmt.Printf("  [end] %s\n", line)
+			continue
+		}
+		switch ev.(type) {
+		case aid.RoundDone, aid.CauseConfirmed, aid.DAGBuilt, aid.DiscoveryDone:
+			fmt.Println("  ", ev)
+		}
+	}
+}
+
+func streamQuietly(base, id string) {
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+	}
+}
+
+func sessionStatus(base, id string) map[string]any {
+	resp, err := http.Get(base + "/v1/sessions/" + id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		log.Fatal(err)
+	}
+	return status
+}
+
+func fetchReport(base, id string) *aid.Report {
+	resp, err := http.Get(base + "/v1/sessions/" + id + "/report")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("report: HTTP %d", resp.StatusCode)
+	}
+	var rep aid.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		log.Fatal(err)
+	}
+	return &rep
+}

@@ -171,6 +171,10 @@ type Result = core.Result
 // Round records one group intervention.
 type Round = core.Round
 
+// SchedulerStats is the intervention scheduler's execution accounting
+// (requests, executions, cache hits, batches); see SharedScheduler.
+type SchedulerStats = core.SchedulerStats
+
 // ---- Case studies (package casestudy) ----
 
 // CaseStudy is one of the paper's six real-world case studies, modeled

@@ -270,6 +270,25 @@ func NewScheduler(iv Intervener, cfg SchedulerConfig) *Scheduler {
 // Intervener returns the wrapped intervener.
 func (s *Scheduler) Intervener() Intervener { return s.iv }
 
+// Rebind swaps the wrapped intervener while keeping the memo cache —
+// the hook behind cross-session scheduler reuse: a daemon session
+// builds a fresh executor over the same (program, corpus, seeds,
+// config) tuple as an earlier session and inherits its outcomes.
+//
+// The caller owns two contracts. Equivalence: the new intervener must
+// be outcome-equivalent to the old one (same forced-predicate set →
+// same observations), or the cache serves poison; key schedulers by
+// everything that determines outcomes. Exclusivity: Rebind must not
+// race a running Discover — callers serialize runs that share a
+// scheduler (aid.SharedScheduler does). In-flight speculative batches
+// are drained here so none can complete against the swapped intervener.
+func (s *Scheduler) Rebind(iv Intervener) {
+	s.wg.Wait()
+	s.iv = iv
+	s.biv, _ = iv.(BatchIntervener)
+	s.tiv, _ = iv.(TrialIntervener)
+}
+
 // Speculative reports whether the scheduler prefetches continuation
 // hints. Callers use it to skip computing hints that would be ignored.
 func (s *Scheduler) Speculative() bool { return s.speculate }

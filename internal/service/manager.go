@@ -1,0 +1,489 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"aid"
+	"aid/internal/trace"
+)
+
+// Config configures a Manager. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Store backs the per-tenant corpora (default: a fresh MemStore).
+	Store CorpusStore
+	// SessionBudget is the global weight budget of concurrently running
+	// sessions (default 4). A session weighs max(1, its Workers
+	// option), so one wide session and several narrow ones draw the
+	// same accounting.
+	SessionBudget int
+	// TenantCap bounds each tenant's non-terminal (queued + running)
+	// sessions; admission beyond it fails with SaturatedError — the
+	// daemon never queues unboundedly (default 8).
+	TenantCap int
+	// SessionTimeout is the default per-session lifetime cap, queue
+	// wait included (default 5m). SessionSpec.TimeoutMS overrides per
+	// session.
+	SessionTimeout time.Duration
+	// RetryAfter is the backoff hint attached to SaturatedError and the
+	// HTTP Retry-After header (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Store == nil {
+		c.Store = NewMemStore()
+	}
+	if c.SessionBudget < 1 {
+		c.SessionBudget = 4
+	}
+	if c.TenantCap < 1 {
+		c.TenantCap = 8
+	}
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// DrainingError reports that the manager is shutting down and admits no
+// new work (HTTP 503).
+type DrainingError struct{}
+
+func (*DrainingError) Error() string { return "service: daemon is draining; no new sessions admitted" }
+
+// UnknownStudyError reports a session spec naming no valid case study
+// (HTTP 400).
+type UnknownStudyError struct{ Study string }
+
+func (e *UnknownStudyError) Error() string {
+	if e.Study == "" {
+		return "service: session spec names no case study (\"study\" is required)"
+	}
+	return fmt.Sprintf("service: unknown case study %q", e.Study)
+}
+
+// SessionPanicError is a session failure recovered from a panicking
+// pipeline run: the panic is contained to the session — sibling
+// sessions and the daemon keep running.
+type SessionPanicError struct {
+	// Value is the recovered panic value; Stack the goroutine stack at
+	// recovery.
+	Value any
+	Stack string
+}
+
+func (e *SessionPanicError) Error() string {
+	return fmt.Sprintf("service: session panicked: %v", e.Value)
+}
+
+// ManagerStats is a daemon-wide accounting snapshot.
+type ManagerStats struct {
+	// Sessions counts every session ever admitted, by current state.
+	Sessions map[SessionState]int `json:"sessions"`
+	// Saturations counts admissions refused with SaturatedError.
+	Saturations int `json:"saturations"`
+	// Tenants counts tenants with at least one session.
+	Tenants int `json:"tenants"`
+}
+
+// tenantState is the manager's per-tenant state: the live-session count
+// backing the admission cap, and the cross-session scheduler memos
+// keyed by session fingerprint.
+type tenantState struct {
+	active int
+	shared map[string]*aid.SharedScheduler
+}
+
+// Manager owns the daemon's sessions: admission, execution, streaming
+// state, per-tenant scheduler sharing, and drain. It is safe for
+// concurrent use; every HTTP handler is a thin translation over it.
+type Manager struct {
+	cfg     Config
+	store   CorpusStore
+	limiter *Limiter
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu          sync.Mutex
+	sessions    map[string]*Session
+	order       []string
+	seq         int
+	tenants     map[string]*tenantState
+	draining    bool
+	saturations int
+
+	wg sync.WaitGroup
+}
+
+// NewManager builds a manager over the config.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		cfg:        cfg,
+		store:      cfg.Store,
+		limiter:    NewLimiter(cfg.SessionBudget, cfg.TenantCap, cfg.RetryAfter),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		sessions:   map[string]*Session{},
+		tenants:    map[string]*tenantState{},
+	}
+}
+
+// Store returns the corpus store.
+func (m *Manager) Store() CorpusStore { return m.store }
+
+// RetryAfter returns the saturation backoff hint.
+func (m *Manager) RetryAfter() time.Duration { return m.cfg.RetryAfter }
+
+// Ingest decodes a JSON-lines corpus from r and stores it for the
+// tenant.
+func (m *Manager) Ingest(tenant, name string, r io.Reader) (CorpusInfo, error) {
+	if err := validateKey(tenant, name); err != nil {
+		return CorpusInfo{}, err
+	}
+	set, err := DecodeCorpus(tenant, name, r)
+	if err != nil {
+		return CorpusInfo{}, err
+	}
+	if err := m.store.Put(tenant, name, set); err != nil {
+		return CorpusInfo{}, err
+	}
+	return corpusInfo(tenant, name, set), nil
+}
+
+// Corpora lists the tenant's stored corpora.
+func (m *Manager) Corpora(tenant string) ([]CorpusInfo, error) {
+	return m.store.List(tenant)
+}
+
+// Start admits and launches one session. It validates the spec and
+// enforces the tenant's admission cap synchronously — a rejected
+// session was never created — then runs the pipeline on its own
+// goroutine, queued behind the global session budget. The returned
+// session is observable immediately (status, events, cancel).
+func (m *Manager) Start(tenant string, spec SessionSpec) (*Session, error) {
+	if err := ValidateName("tenant", tenant); err != nil {
+		return nil, err
+	}
+	source, err := m.resolveSource(tenant, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, &DrainingError{}
+	}
+	ts := m.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{shared: map[string]*aid.SharedScheduler{}}
+		m.tenants[tenant] = ts
+	}
+	if ts.active >= m.cfg.TenantCap {
+		m.saturations++
+		m.mu.Unlock()
+		return nil, &SaturatedError{Tenant: tenant, RetryAfter: m.cfg.RetryAfter}
+	}
+	ts.active++
+	m.seq++
+	id := fmt.Sprintf("s-%06d", m.seq)
+
+	timeout := m.cfg.SessionTimeout
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(m.baseCtx, timeout)
+	s := &Session{
+		id:      id,
+		tenant:  tenant,
+		spec:    spec,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	var shared *aid.SharedScheduler
+	if key := spec.shareKey(); key != "" {
+		shared = ts.shared[key]
+		if shared == nil {
+			shared = aid.NewSharedScheduler()
+			ts.shared[key] = shared
+		}
+	}
+	m.sessions[id] = s
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.run(ctx, s, source, shared)
+	return s, nil
+}
+
+// run is a session's goroutine: wait for a budget slot, execute the
+// pipeline with panic containment, record the outcome.
+func (m *Manager) run(ctx context.Context, s *Session, source aid.TraceSource, shared *aid.SharedScheduler) {
+	defer m.wg.Done()
+	defer s.cancel() // release the timeout timer
+
+	weight := s.spec.Workers
+	if weight < 1 {
+		weight = 1
+	}
+	release, err := m.limiter.Acquire(ctx, s.tenant, weight)
+	if err != nil {
+		m.finish(s, nil, err)
+		return
+	}
+	defer release()
+
+	s.mu.Lock()
+	s.state = StateRunning
+	s.started = time.Now()
+	s.mu.Unlock()
+
+	var pre aid.SchedulerStats
+	if shared != nil {
+		pre = shared.Stats()
+	}
+	rep, err := m.runPipeline(ctx, s, source, shared)
+	if shared != nil {
+		post := shared.Stats()
+		s.mu.Lock()
+		s.schedReq = post.Requests - pre.Requests
+		s.schedHit = post.CacheHits - pre.CacheHits
+		s.mu.Unlock()
+	}
+	m.finish(s, rep, err)
+}
+
+// runPipeline executes the session's pipeline run, containing panics to
+// the session (the PR 6 containment discipline at session granularity:
+// a crashing session must not take sibling sessions or the daemon down).
+func (m *Manager) runPipeline(ctx context.Context, s *Session, source aid.TraceSource, shared *aid.SharedScheduler) (rep *aid.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, &SessionPanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	opts := []aid.Option{aid.WithObserver(aid.ObserverFunc(s.observe))}
+	sp := s.spec
+	if sp.Successes > 0 || sp.Failures > 0 {
+		opts = append(opts, aid.WithCorpusSize(sp.Successes, sp.Failures))
+	}
+	if sp.SeedCap > 0 {
+		opts = append(opts, aid.WithSeedCap(sp.SeedCap))
+	}
+	if sp.Replays > 0 {
+		opts = append(opts, aid.WithReplays(sp.Replays))
+	}
+	if sp.Seed != 0 {
+		opts = append(opts, aid.WithSeed(sp.Seed))
+	}
+	if sp.Compounds > 0 {
+		opts = append(opts, aid.WithCompounds(sp.Compounds))
+	}
+	if sp.Workers > 0 {
+		opts = append(opts, aid.WithWorkers(sp.Workers))
+	}
+	if sp.Variant != "" {
+		opts = append(opts, aid.WithVariant(aid.Variant(sp.Variant)))
+	}
+	if shared != nil {
+		opts = append(opts, aid.WithSharedScheduler(shared))
+	}
+	return aid.New(opts...).Run(ctx, source)
+}
+
+// finish records a session's terminal state.
+func (m *Manager) finish(s *Session, rep *aid.Report, err error) {
+	s.mu.Lock()
+	s.finished = time.Now()
+	switch {
+	case err == nil:
+		s.state = StateDone
+		s.report = rep
+		if js, jerr := rep.JSON(); jerr == nil {
+			s.reportJS = js
+		} else {
+			s.state = StateFailed
+			s.err = jerr
+			s.report = nil
+		}
+	case errors.Is(err, context.Canceled):
+		s.state = StateCancelled
+		s.err = err
+	case errors.Is(err, context.DeadlineExceeded):
+		s.state = StateFailed
+		s.err = fmt.Errorf("service: session timeout exceeded: %w", err)
+	default:
+		s.state = StateFailed
+		s.err = err
+	}
+	s.mu.Unlock()
+	close(s.done)
+
+	m.mu.Lock()
+	if ts := m.tenants[s.tenant]; ts != nil {
+		ts.active--
+	}
+	m.mu.Unlock()
+}
+
+// resolveSource validates the spec and builds its trace source.
+func (m *Manager) resolveSource(tenant string, spec SessionSpec) (aid.TraceSource, error) {
+	if spec.Source != nil {
+		return spec.Source, nil
+	}
+	study := aid.CaseStudyByName(spec.Study)
+	if study == nil {
+		return nil, &UnknownStudyError{Study: spec.Study}
+	}
+	if spec.Corpus == "" {
+		return aid.FromStudy(study), nil
+	}
+	set, err := m.store.Get(tenant, spec.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	return &setSource{set: set, study: study}, nil
+}
+
+// Session returns a session by id.
+func (m *Manager) Session(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Sessions lists sessions in creation order, optionally filtered by
+// tenant ("" = all).
+func (m *Manager) Sessions(tenant string) []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Session
+	for _, id := range m.order {
+		s := m.sessions[id]
+		if tenant == "" || s.tenant == tenant {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Cancel cancels a session by id (false when unknown). Cancelling a
+// terminal session is a no-op.
+func (m *Manager) Cancel(id string) bool {
+	s, ok := m.Session(id)
+	if !ok {
+		return false
+	}
+	s.cancel()
+	return true
+}
+
+// Stats snapshots daemon-wide accounting.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := ManagerStats{Sessions: map[SessionState]int{}, Saturations: m.saturations, Tenants: len(m.tenants)}
+	for _, s := range m.sessions {
+		st.Sessions[s.State()]++
+	}
+	return st
+}
+
+// Shutdown drains the daemon: no new sessions are admitted, running and
+// queued sessions are given until ctx to finish, then force-cancelled.
+// It returns nil on a clean drain and ctx's error when force-cancel was
+// needed (sessions still unwind — Shutdown waits for them either way,
+// so no session goroutine outlives it).
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Grace expired: cancel every session; they return within one
+		// task-drain by the context-plumbing contract.
+		m.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-cancels everything and waits; for tests and fatal paths.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+// setSource adapts a stored corpus plus a case study's program to the
+// TraceSource interface — the in-store twin of aid.TraceFileSource
+// .ForStudy, field for field, so a session over an ingested corpus is
+// byte-identical to an offline run over the same file.
+type setSource struct {
+	set   *trace.Set
+	study *aid.CaseStudy
+}
+
+// Label implements aid.TraceSource.
+func (s *setSource) Label() string { return s.study.Name }
+
+// Collect implements aid.TraceSource, mirroring TraceFileSource.Collect
+// over the already-decoded set: the spec quotas are ignored (the corpus
+// is the corpus) and FailSeeds are recovered in storage order, so the
+// intervention phase replays exactly the seeds a live collection would
+// have.
+func (s *setSource) Collect(ctx context.Context, spec aid.CollectSpec) (*aid.Traces, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var failSeeds []int64
+	for i := range s.set.Executions {
+		e := &s.set.Executions[i]
+		if e.Failed() && (s.study.FailureSig == "" || e.FailureSig == s.study.FailureSig) {
+			failSeeds = append(failSeeds, e.Seed)
+		}
+	}
+	tr := &aid.Traces{
+		Set:         s.set,
+		FailSeeds:   failSeeds,
+		Program:     s.study.Program,
+		Config:      s.study.Config(),
+		FailureSig:  s.study.FailureSig,
+		MaxSteps:    s.study.MaxSteps,
+		Source:      s.study.Name,
+		Issue:       s.study.Issue,
+		Description: s.study.Description,
+	}
+	if spec.Observer != nil {
+		succ, fail := s.set.Counts()
+		spec.Observer.OnEvent(aid.CollectProgress{Successes: succ, Failures: fail})
+	}
+	return tr, nil
+}

@@ -1,0 +1,311 @@
+// Package service is the multi-tenant debugging daemon behind `aid
+// serve`: a session manager that runs many concurrent discovery
+// sessions against shared per-tenant trace corpora, an HTTP/JSON-lines
+// API over it, and admission control so a heavy tenant cannot starve
+// others.
+//
+// The layering mirrors the facade it serves: corpora live behind the
+// pluggable CorpusStore interface (in-memory and JSON-lines-file
+// backends ship; anything that can round-trip a trace.Set can back the
+// daemon), sessions are aid.Pipeline runs with their Observer events
+// captured for streaming, and per-tenant SharedSchedulers carry
+// intervention outcomes across sessions debugging the same target.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"aid/internal/trace"
+)
+
+// CorpusInfo describes one stored trace corpus.
+type CorpusInfo struct {
+	// Tenant and Name identify the corpus; names are unique per tenant.
+	Tenant string `json:"tenant"`
+	Name   string `json:"name"`
+	// Executions, Successes and Failures are the corpus counts.
+	Executions int `json:"executions"`
+	Successes  int `json:"successes"`
+	Failures   int `json:"failures"`
+}
+
+// CorpusStore is the pluggable storage behind the daemon's per-tenant
+// corpora — the seam that decouples corpus persistence from the
+// session engine, so corpora can live in memory, on disk, or behind a
+// future remote backend without the manager changing.
+//
+// Implementations must be safe for concurrent use. Get returns the set
+// for shared read-only use: callers (pipeline stages) never mutate a
+// collected corpus, so implementations may return a shared instance.
+type CorpusStore interface {
+	// Put stores (or replaces) a tenant's corpus under name.
+	Put(tenant, name string, set *trace.Set) error
+	// Get returns the named corpus or a NotFoundError.
+	Get(tenant, name string) (*trace.Set, error)
+	// List returns the tenant's corpora sorted by name.
+	List(tenant string) ([]CorpusInfo, error)
+	// Delete removes the named corpus (a no-op when absent).
+	Delete(tenant, name string) error
+}
+
+// NotFoundError reports a missing corpus (or, from the HTTP layer, a
+// missing session). It maps to HTTP 404.
+type NotFoundError struct {
+	Tenant, Name string
+	kind         string // "" = corpus
+}
+
+func (e *NotFoundError) Error() string {
+	if e.kind != "" {
+		return fmt.Sprintf("service: no %s %q", e.kind, e.Name)
+	}
+	return fmt.Sprintf("service: tenant %q has no corpus %q", e.Tenant, e.Name)
+}
+
+// ValidateName checks a tenant or corpus name for use as a store key
+// (and, in the file store, a path element): non-empty, at most 128
+// bytes, letters/digits/dot/dash/underscore only, not "." or "..".
+func ValidateName(kind, name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("service: invalid %s name %q: must be 1-128 characters", kind, name)
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("service: invalid %s name %q", kind, name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+		default:
+			return fmt.Errorf("service: invalid %s name %q: only [A-Za-z0-9._-] allowed", kind, name)
+		}
+	}
+	return nil
+}
+
+func corpusInfo(tenant, name string, set *trace.Set) CorpusInfo {
+	succ, fail := set.Counts()
+	return CorpusInfo{
+		Tenant:     tenant,
+		Name:       name,
+		Executions: len(set.Executions),
+		Successes:  succ,
+		Failures:   fail,
+	}
+}
+
+// ---- In-memory store ----
+
+// MemStore is the in-memory CorpusStore: corpora live for the daemon's
+// lifetime and are shared across sessions without copies.
+type MemStore struct {
+	mu      sync.RWMutex
+	tenants map[string]map[string]*trace.Set
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{tenants: map[string]map[string]*trace.Set{}}
+}
+
+// Put implements CorpusStore.
+func (s *MemStore) Put(tenant, name string, set *trace.Set) error {
+	if err := validateKey(tenant, name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[tenant]
+	if t == nil {
+		t = map[string]*trace.Set{}
+		s.tenants[tenant] = t
+	}
+	t[name] = set
+	return nil
+}
+
+// Get implements CorpusStore.
+func (s *MemStore) Get(tenant, name string) (*trace.Set, error) {
+	if err := validateKey(tenant, name); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := s.tenants[tenant][name]
+	if set == nil {
+		return nil, &NotFoundError{Tenant: tenant, Name: name}
+	}
+	return set, nil
+}
+
+// List implements CorpusStore.
+func (s *MemStore) List(tenant string) ([]CorpusInfo, error) {
+	if err := ValidateName("tenant", tenant); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []CorpusInfo
+	for name, set := range s.tenants[tenant] {
+		out = append(out, corpusInfo(tenant, name, set))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Delete implements CorpusStore.
+func (s *MemStore) Delete(tenant, name string) error {
+	if err := validateKey(tenant, name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tenants[tenant], name)
+	return nil
+}
+
+// ---- JSON-lines file store ----
+
+// FileStore persists corpora as JSON-lines files under
+// <root>/<tenant>/<name>.jsonl — the same on-disk format as
+// aid.WriteTraces / cmd/aid -save-traces, so a corpus saved by the CLI
+// can be dropped into a daemon's data directory (and vice versa) and
+// the pipeline over either is byte-identical. Reads are cached: the
+// decoded set is retained until the corpus is replaced or deleted, so
+// repeated sessions over one corpus decode it once.
+type FileStore struct {
+	root string
+
+	mu    sync.Mutex
+	cache map[string]*trace.Set // key: tenant + "/" + name
+}
+
+// NewFileStore opens (creating if needed) a file store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: file store root: %w", err)
+	}
+	return &FileStore{root: dir, cache: map[string]*trace.Set{}}, nil
+}
+
+func (s *FileStore) path(tenant, name string) string {
+	return filepath.Join(s.root, tenant, name+".jsonl")
+}
+
+// Put implements CorpusStore.
+func (s *FileStore) Put(tenant, name string, set *trace.Set) error {
+	if err := validateKey(tenant, name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(filepath.Join(s.root, tenant), 0o755); err != nil {
+		return fmt.Errorf("service: file store tenant dir: %w", err)
+	}
+	// Write-then-rename so a crashed Put never leaves a truncated
+	// corpus where a complete one was expected.
+	dst := s.path(tenant, name)
+	tmp := dst + ".tmp"
+	if err := trace.WriteFile(tmp, set); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: file store commit: %w", err)
+	}
+	s.cache[tenant+"/"+name] = set
+	return nil
+}
+
+// Get implements CorpusStore.
+func (s *FileStore) Get(tenant, name string) (*trace.Set, error) {
+	if err := validateKey(tenant, name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if set := s.cache[tenant+"/"+name]; set != nil {
+		return set, nil
+	}
+	set, err := trace.ReadFile(s.path(tenant, name))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, &NotFoundError{Tenant: tenant, Name: name}
+		}
+		return nil, err
+	}
+	s.cache[tenant+"/"+name] = set
+	return set, nil
+}
+
+// List implements CorpusStore.
+func (s *FileStore) List(tenant string) ([]CorpusInfo, error) {
+	if err := ValidateName("tenant", tenant); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(s.root, tenant))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: file store list: %w", err)
+	}
+	var out []CorpusInfo
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".jsonl")
+		set, err := s.Get(tenant, name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, corpusInfo(tenant, name, set))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Delete implements CorpusStore.
+func (s *FileStore) Delete(tenant, name string) error {
+	if err := validateKey(tenant, name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cache, tenant+"/"+name)
+	if err := os.Remove(s.path(tenant, name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("service: file store delete: %w", err)
+	}
+	return nil
+}
+
+// validateKey validates a (tenant, corpus) pair.
+func validateKey(tenant, name string) error {
+	if err := ValidateName("tenant", tenant); err != nil {
+		return err
+	}
+	return ValidateName("corpus", name)
+}
+
+// DecodeCorpus decodes a JSON-lines corpus from r (the HTTP ingest
+// body), rejecting empty corpora with a diagnostic naming the tenant
+// and corpus rather than letting a later session fail obscurely.
+func DecodeCorpus(tenant, name string, r io.Reader) (*trace.Set, error) {
+	set, err := trace.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(set.Executions) == 0 {
+		return nil, fmt.Errorf("service: corpus %s/%s contains no executions (empty or whitespace-only body)", tenant, name)
+	}
+	return set, nil
+}

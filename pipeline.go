@@ -3,6 +3,7 @@ package aid
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"aid/internal/acdag"
@@ -47,6 +48,7 @@ type Pipeline struct {
 	observer  Observer
 	streaming bool
 	noise     *NoiseTolerance
+	shared    *SharedScheduler
 }
 
 // NoiseTolerance configures the robustness layer: an adaptive trial
@@ -93,6 +95,82 @@ type NoiseTolerance struct {
 // RobustnessReport to the Report.
 func WithNoiseTolerance(nt NoiseTolerance) Option {
 	return func(p *Pipeline) { p.noise = &nt }
+}
+
+// SharedScheduler is a cross-run intervention memo: runs that attach
+// the same SharedScheduler (WithSharedScheduler) reuse each other's
+// intervention outcomes, so repeated debugging of the same program
+// skips replay bundles already executed. It is the facade's face of the
+// core scheduler-sharing contract (previously only the ablation
+// variants inside one process used it) and the first step of
+// cross-session scheduler reuse: the daemon keys SharedSchedulers by
+// tenant and session fingerprint and threads one through every session
+// debugging the same target.
+//
+// Sharing is sound only between runs whose interventions are
+// outcome-equivalent — same program, trace corpus, replay seeds, and
+// extraction config. The caller owns that keying; the scheduler cannot
+// detect a mismatch. Runs sharing a SharedScheduler serialize their
+// discovery phases (collection and extraction still overlap): the
+// scheduler has a single decision thread by contract, and the memo
+// makes the serialized replays cheap. Reports stay byte-identical with
+// or without sharing — only RoundMeta provenance (cache hits) differs.
+type SharedScheduler struct {
+	// sem serializes discovery phases across runs; acquire is
+	// ctx-aware so a cancelled run never blocks on a sibling's rounds.
+	sem chan struct{}
+
+	mu    sync.Mutex
+	sched *core.Scheduler
+}
+
+// NewSharedScheduler returns an empty cross-run memo.
+func NewSharedScheduler() *SharedScheduler {
+	return &SharedScheduler{sem: make(chan struct{}, 1)}
+}
+
+// acquire claims the single discovery slot, honoring ctx while waiting.
+func (s *SharedScheduler) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// bind attaches the run's executor, building the scheduler on first
+// use and rebinding it afterwards. The caller holds the discovery slot.
+func (s *SharedScheduler) bind(iv core.Intervener, workers int) *core.Scheduler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sched == nil {
+		s.sched = core.NewScheduler(iv, core.SchedulerConfig{Workers: workers})
+	} else {
+		s.sched.Rebind(iv)
+	}
+	return s.sched
+}
+
+// Stats snapshots the accumulated scheduler accounting (zero before the
+// first run). The daemon's session status endpoint reports the
+// per-session delta of CacheHits/Requests from here.
+func (s *SharedScheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	sched := s.sched
+	s.mu.Unlock()
+	if sched == nil {
+		return SchedulerStats{}
+	}
+	return sched.Stats()
+}
+
+// WithSharedScheduler attaches a cross-run intervention memo; see
+// SharedScheduler for the sharing contract. Noise-tolerant runs ignore
+// it: their robust scheduler carries per-run verdict state that must
+// not leak across sessions.
+func WithSharedScheduler(s *SharedScheduler) Option {
+	return func(p *Pipeline) { p.shared = s }
 }
 
 // Option configures a Pipeline.
@@ -355,6 +433,18 @@ func (p *Pipeline) discover(ctx context.Context, tr *Traces, corpus *Corpus, dag
 	var robust *core.RobustIntervener
 	var sched *core.Scheduler
 	minConf := 0.0
+	if p.noise == nil && p.shared != nil {
+		// Cross-run memo sharing: claim the shared scheduler's single
+		// discovery slot (ctx-aware, so cancellation never blocks on a
+		// sibling run's rounds), rebind it to this run's executor, and
+		// route all interventions through the carried-over cache.
+		release, err := p.shared.acquire(ctx)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer release()
+		opts.Scheduler = p.shared.bind(exec, p.workers)
+	}
 	if p.noise != nil {
 		exec.WallBudget = p.noise.WallBudget
 		robust = core.NewRobustIntervener(exec, core.RobustConfig{

@@ -184,6 +184,25 @@ func (r *Report) Format() string {
 	return b.String()
 }
 
+// FormatFull renders the complete human-readable report: the summary
+// block, the narrative, the intervention round log, and — for
+// noise-tolerant runs — the robustness accounting. It is the one text
+// rendering shared by the CLI's verbose output and the daemon's
+// ?format=text report endpoint.
+func (r *Report) FormatFull() string {
+	var b strings.Builder
+	b.WriteString(r.Format())
+	b.WriteString("\n")
+	b.WriteString(r.Narrative)
+	b.WriteString("\n\nintervention rounds:\n")
+	b.WriteString(r.FormatRounds())
+	if rb := r.FormatRobustness(); rb != "" {
+		b.WriteString("\nrobustness:\n")
+		b.WriteString(rb)
+	}
+	return b.String()
+}
+
 // FormatRounds renders the intervention round log, one line per round.
 func (r *Report) FormatRounds() string {
 	var b strings.Builder
