@@ -30,6 +30,9 @@ func runServe(args []string) {
 		timeout      = fs.Duration("session-timeout", 5*time.Minute, "default per-session lifetime cap")
 		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight sessions on shutdown")
+		retain       = fs.Int("retain-sessions", 256, "terminal sessions retained for status/report queries")
+		memoCap      = fs.Int("memo-cap", 32, "cross-session scheduler memos retained per tenant (LRU)")
+		maxCorpus    = fs.Int64("max-corpus-bytes", 64<<20, "corpus ingest body cap in bytes (413 beyond it)")
 	)
 	fs.Parse(args)
 
@@ -38,6 +41,9 @@ func runServe(args []string) {
 		TenantCap:      *tenantCap,
 		SessionTimeout: *timeout,
 		RetryAfter:     *retryAfter,
+		RetainSessions: *retain,
+		TenantMemoCap:  *memoCap,
+		MaxCorpusBytes: *maxCorpus,
 	}
 	if *data != "" {
 		store, err := service.NewFileStore(*data)

@@ -23,6 +23,7 @@ const (
 	EventDAGBuilt              = "dag-built"
 	EventRoundDone             = "round-done"
 	EventContradictionDetected = "contradiction-detected"
+	EventSchedulerUsage        = "scheduler-usage"
 	EventCauseConfirmed        = "cause-confirmed"
 	EventDiscoveryDone         = "discovery-done"
 )
@@ -44,6 +45,8 @@ func EventType(e Event) string {
 		return EventRoundDone
 	case ContradictionDetected:
 		return EventContradictionDetected
+	case SchedulerUsage:
+		return EventSchedulerUsage
 	case CauseConfirmed:
 		return EventCauseConfirmed
 	case DiscoveryDone:
@@ -95,6 +98,8 @@ func UnmarshalEvent(data []byte) (Event, error) {
 		e = &RoundDone{}
 	case EventContradictionDetected:
 		e = &ContradictionDetected{}
+	case EventSchedulerUsage:
+		e = &SchedulerUsage{}
 	case EventCauseConfirmed:
 		e = &CauseConfirmed{}
 	case EventDiscoveryDone:
@@ -121,6 +126,8 @@ func UnmarshalEvent(data []byte) (Event, error) {
 	case *RoundDone:
 		return *v, nil
 	case *ContradictionDetected:
+		return *v, nil
+	case *SchedulerUsage:
 		return *v, nil
 	case *CauseConfirmed:
 		return *v, nil

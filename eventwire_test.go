@@ -21,6 +21,7 @@ func TestEventWireRoundTrip(t *testing.T) {
 		aid.DAGBuilt{Nodes: 9, Unsafe: 2},
 		aid.RoundDone{Index: 4, Round: aid.Round{Phase: "branch", Intervened: []aid.PredicateID{"p1", "p2"}, Stopped: true, Confirmed: "p1"}, Batch: 2, CacheHit: true, Trials: 6, Confidence: 0.97},
 		aid.ContradictionDetected{Stopped: []aid.PredicateID{"a"}, Persisted: []aid.PredicateID{"a", "b"}, Resolved: true},
+		aid.SchedulerUsage{Requests: 12, CacheHits: 5, Executions: 7},
 		aid.CauseConfirmed{ID: "p1"},
 		aid.DiscoveryDone{RootCause: "p1", PathLen: 3, Interventions: 11},
 	}

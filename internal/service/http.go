@@ -29,7 +29,8 @@ import (
 // Admission failures map to HTTP statuses at this layer only — the
 // manager speaks typed errors: SaturatedError → 429 with Retry-After,
 // DrainingError → 503, NotFoundError/unknown session → 404,
-// UnknownStudyError and validation errors → 400.
+// UnknownStudyError and ValidationError → 400, an ingest body over the
+// configured cap → 413. Untyped errors are server faults → 500.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -41,7 +42,11 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("PUT /v1/tenants/{tenant}/corpora/{name}", func(w http.ResponseWriter, r *http.Request) {
-		info, err := m.Ingest(r.PathValue("tenant"), r.PathValue("name"), r.Body)
+		// Cap the ingest body so one tenant cannot OOM the daemon with
+		// a single PUT; overflow surfaces as http.MaxBytesError inside
+		// the decode failure and maps to 413 below.
+		body := http.MaxBytesReader(w, r.Body, m.MaxCorpusBytes())
+		info, err := m.Ingest(r.PathValue("tenant"), r.PathValue("name"), body)
 		if err != nil {
 			writeError(w, m, err)
 			return
@@ -60,7 +65,9 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, infos)
 	})
 	mux.HandleFunc("DELETE /v1/tenants/{tenant}/corpora/{name}", func(w http.ResponseWriter, r *http.Request) {
-		if err := m.Store().Delete(r.PathValue("tenant"), r.PathValue("name")); err != nil {
+		// Through the manager, not the store, so the tenant's scheduler
+		// memos over the corpus are invalidated with it.
+		if err := m.DeleteCorpus(r.PathValue("tenant"), r.PathValue("name")); err != nil {
 			writeError(w, m, err)
 			return
 		}
@@ -72,7 +79,7 @@ func NewHandler(m *Manager) http.Handler {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
-			writeError(w, m, fmt.Errorf("service: bad session spec: %w", err))
+			writeError(w, m, validationf("service: bad session spec: %w", err))
 			return
 		}
 		s, err := m.Start(r.PathValue("tenant"), spec)
@@ -210,12 +217,18 @@ func writeJSONError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// writeError maps the manager's typed errors to HTTP statuses.
+// writeError maps the manager's typed errors to HTTP statuses. Client
+// faults all carry a type (saturation, not-found, unknown study,
+// draining, oversized body, validation); anything untyped is a server
+// fault — a store I/O failure, a pipeline error — and maps to 500, not
+// 400.
 func writeError(w http.ResponseWriter, m *Manager, err error) {
 	var sat *SaturatedError
 	var nf *NotFoundError
 	var study *UnknownStudyError
 	var drain *DrainingError
+	var tooBig *http.MaxBytesError
+	var invalid *ValidationError
 	switch {
 	case errors.As(err, &sat):
 		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(sat.RetryAfter.Seconds()))))
@@ -226,7 +239,13 @@ func writeError(w http.ResponseWriter, m *Manager, err error) {
 		writeJSONError(w, http.StatusBadRequest, err)
 	case errors.As(err, &drain):
 		writeJSONError(w, http.StatusServiceUnavailable, err)
-	default:
+	case errors.As(err, &tooBig):
+		// Checked before ValidationError: the overflow surfaces inside
+		// a corpus decode failure, which wraps it.
+		writeJSONError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.As(err, &invalid):
 		writeJSONError(w, http.StatusBadRequest, err)
+	default:
+		writeJSONError(w, http.StatusInternalServerError, err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -337,6 +338,78 @@ func TestHTTPErrors(t *testing.T) {
 	status := decodeBody[SessionStatus](t, mustGet(t, srv.URL+"/v1/sessions/"+s.ID()))
 	if status.State != StateCancelled {
 		t.Errorf("state %s, want cancelled", status.State)
+	}
+}
+
+// TestHTTPCorpusTooLarge: an ingest body over MaxCorpusBytes is refused
+// with 413, not read into memory (a malformed-but-small body stays 400,
+// so the two failure modes are distinguishable).
+func TestHTTPCorpusTooLarge(t *testing.T) {
+	_, srv := newTestServer(t, Config{MaxCorpusBytes: 512})
+
+	put := func(body []byte) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/tenants/acme/corpora/big", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := put(bytes.Repeat([]byte("x"), 4096)); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized ingest: HTTP %d, want 413", code)
+	}
+	if code := put([]byte("not json\n")); code != http.StatusBadRequest {
+		t.Errorf("malformed small ingest: HTTP %d, want 400", code)
+	}
+}
+
+// failStore simulates a broken storage backend: every operation returns
+// an untyped I/O-ish error.
+type failStore struct{}
+
+func (failStore) Put(tenant, name string, set *trace.Set) error {
+	return fmt.Errorf("failStore: disk on fire")
+}
+func (failStore) Get(tenant, name string) (*trace.Set, error) {
+	return nil, fmt.Errorf("failStore: disk on fire")
+}
+func (failStore) List(tenant string) ([]CorpusInfo, error) {
+	return nil, fmt.Errorf("failStore: disk on fire")
+}
+func (failStore) Delete(tenant, name string) error {
+	return fmt.Errorf("failStore: disk on fire")
+}
+
+// TestHTTPServerFault500: store failures are server faults — they map
+// to 500, not 400 (the client did nothing wrong).
+func TestHTTPServerFault500(t *testing.T) {
+	_, srv := newTestServer(t, Config{Store: failStore{}})
+
+	resp, err := http.Get(srv.URL + "/v1/tenants/acme/corpora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("list over broken store: HTTP %d, want 500", resp.StatusCode)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/tenants/acme/corpora/c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("delete over broken store: HTTP %d, want 500", dresp.StatusCode)
 	}
 }
 

@@ -34,6 +34,21 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to SaturatedError and the
 	// HTTP Retry-After header (default 1s).
 	RetryAfter time.Duration
+	// RetainSessions bounds how many terminal sessions the manager
+	// retains for status/report queries (default 256). Beyond it the
+	// oldest terminal sessions are evicted — their status and report
+	// endpoints then 404 — so a long-running daemon's memory stays
+	// bounded by its retention window, not its uptime. Live sessions
+	// are never evicted.
+	RetainSessions int
+	// TenantMemoCap bounds each tenant's cross-session scheduler memos
+	// (default 32). Beyond it the least-recently-used memo is dropped;
+	// a session over the dropped fingerprint simply starts a fresh memo.
+	TenantMemoCap int
+	// MaxCorpusBytes caps an HTTP corpus ingest body (default 64 MiB);
+	// larger bodies are refused with 413. It guards the daemon, not the
+	// library: Manager.Ingest itself reads whatever it is handed.
+	MaxCorpusBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +66,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.RetainSessions < 1 {
+		c.RetainSessions = 256
+	}
+	if c.TenantMemoCap < 1 {
+		c.TenantMemoCap = 32
+	}
+	if c.MaxCorpusBytes < 1 {
+		c.MaxCorpusBytes = 64 << 20
 	}
 	return c
 }
@@ -88,7 +112,9 @@ func (e *SessionPanicError) Error() string {
 
 // ManagerStats is a daemon-wide accounting snapshot.
 type ManagerStats struct {
-	// Sessions counts every session ever admitted, by current state.
+	// Sessions counts the retained sessions by current state: every
+	// live session, plus terminal ones inside the Config.RetainSessions
+	// window.
 	Sessions map[SessionState]int `json:"sessions"`
 	// Saturations counts admissions refused with SaturatedError.
 	Saturations int `json:"saturations"`
@@ -96,12 +122,24 @@ type ManagerStats struct {
 	Tenants int `json:"tenants"`
 }
 
+// tenantMemo is one cross-session scheduler memo: the shared scheduler
+// plus the bookkeeping that bounds and invalidates it — the corpus the
+// fingerprint was computed over (so a corpus Put/Delete drops exactly
+// the memos whose outcomes it could poison; "" for live-collection
+// sessions, which no corpus change can invalidate) and a recency tick
+// for LRU eviction under Config.TenantMemoCap.
+type tenantMemo struct {
+	corpus  string
+	lastUse int64
+	sched   *aid.SharedScheduler
+}
+
 // tenantState is the manager's per-tenant state: the live-session count
 // backing the admission cap, and the cross-session scheduler memos
 // keyed by session fingerprint.
 type tenantState struct {
 	active int
-	shared map[string]*aid.SharedScheduler
+	shared map[string]*tenantMemo
 }
 
 // Manager owns the daemon's sessions: admission, execution, streaming
@@ -119,6 +157,8 @@ type Manager struct {
 	sessions    map[string]*Session
 	order       []string
 	seq         int
+	memoTick    int64
+	terminal    int // terminal sessions currently retained
 	tenants     map[string]*tenantState
 	draining    bool
 	saturations int
@@ -147,8 +187,15 @@ func (m *Manager) Store() CorpusStore { return m.store }
 // RetryAfter returns the saturation backoff hint.
 func (m *Manager) RetryAfter() time.Duration { return m.cfg.RetryAfter }
 
+// MaxCorpusBytes returns the HTTP ingest body cap.
+func (m *Manager) MaxCorpusBytes() int64 { return m.cfg.MaxCorpusBytes }
+
 // Ingest decodes a JSON-lines corpus from r and stores it for the
-// tenant.
+// tenant. Replacing a corpus invalidates the tenant's scheduler memos
+// over the old contents: a memoized intervention outcome is only valid
+// for the exact corpus it was replayed against (the Rebind
+// outcome-equivalence contract), so sessions after a re-ingest start
+// from a fresh memo rather than being served stale outcomes.
 func (m *Manager) Ingest(tenant, name string, r io.Reader) (CorpusInfo, error) {
 	if err := validateKey(tenant, name); err != nil {
 		return CorpusInfo{}, err
@@ -160,7 +207,40 @@ func (m *Manager) Ingest(tenant, name string, r io.Reader) (CorpusInfo, error) {
 	if err := m.store.Put(tenant, name, set); err != nil {
 		return CorpusInfo{}, err
 	}
+	m.invalidateMemos(tenant, name)
 	return corpusInfo(tenant, name, set), nil
+}
+
+// DeleteCorpus removes a tenant's corpus and, like Ingest, drops the
+// scheduler memos keyed over it.
+func (m *Manager) DeleteCorpus(tenant, name string) error {
+	if err := validateKey(tenant, name); err != nil {
+		return err
+	}
+	if err := m.store.Delete(tenant, name); err != nil {
+		return err
+	}
+	m.invalidateMemos(tenant, name)
+	return nil
+}
+
+// invalidateMemos drops the tenant's scheduler memos fingerprinted over
+// the named corpus. Sessions already running keep the memo they bound
+// at admission — they also hold the corpus instance it was built over,
+// so their outcomes stay consistent; only sessions admitted after the
+// change see (and repopulate) a fresh memo.
+func (m *Manager) invalidateMemos(tenant, corpus string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.tenants[tenant]
+	if ts == nil {
+		return
+	}
+	for key, memo := range ts.shared {
+		if memo.corpus == corpus {
+			delete(ts.shared, key)
+		}
+	}
 }
 
 // Corpora lists the tenant's stored corpora.
@@ -189,7 +269,7 @@ func (m *Manager) Start(tenant string, spec SessionSpec) (*Session, error) {
 	}
 	ts := m.tenants[tenant]
 	if ts == nil {
-		ts = &tenantState{shared: map[string]*aid.SharedScheduler{}}
+		ts = &tenantState{shared: map[string]*tenantMemo{}}
 		m.tenants[tenant] = ts
 	}
 	if ts.active >= m.cfg.TenantCap {
@@ -217,10 +297,26 @@ func (m *Manager) Start(tenant string, spec SessionSpec) (*Session, error) {
 	}
 	var shared *aid.SharedScheduler
 	if key := spec.shareKey(); key != "" {
-		shared = ts.shared[key]
-		if shared == nil {
-			shared = aid.NewSharedScheduler()
-			ts.shared[key] = shared
+		m.memoTick++
+		memo := ts.shared[key]
+		if memo == nil {
+			memo = &tenantMemo{corpus: spec.Corpus, sched: aid.NewSharedScheduler()}
+			ts.shared[key] = memo
+		}
+		memo.lastUse = m.memoTick
+		shared = memo.sched
+		// LRU-bound the memo map: beyond the cap, the stalest
+		// fingerprint's memo is dropped (a later session over it just
+		// rebuilds from scratch).
+		for len(ts.shared) > m.cfg.TenantMemoCap {
+			var lruKey string
+			var lruTick int64
+			for k, cand := range ts.shared {
+				if lruKey == "" || cand.lastUse < lruTick {
+					lruKey, lruTick = k, cand.lastUse
+				}
+			}
+			delete(ts.shared, lruKey)
 		}
 	}
 	m.sessions[id] = s
@@ -254,18 +350,12 @@ func (m *Manager) run(ctx context.Context, s *Session, source aid.TraceSource, s
 	s.started = time.Now()
 	s.mu.Unlock()
 
-	var pre aid.SchedulerStats
-	if shared != nil {
-		pre = shared.Stats()
-	}
+	// The session's scheduler request/cache-hit stats arrive through the
+	// pipeline's SchedulerUsage event (captured in Session.observe): the
+	// pipeline measures the delta while holding the shared scheduler's
+	// discovery slot, so a sibling session's concurrent rounds are never
+	// folded in.
 	rep, err := m.runPipeline(ctx, s, source, shared)
-	if shared != nil {
-		post := shared.Stats()
-		s.mu.Lock()
-		s.schedReq = post.Requests - pre.Requests
-		s.schedHit = post.CacheHits - pre.CacheHits
-		s.mu.Unlock()
-	}
 	m.finish(s, rep, err)
 }
 
@@ -339,7 +429,32 @@ func (m *Manager) finish(s *Session, rep *aid.Report, err error) {
 	if ts := m.tenants[s.tenant]; ts != nil {
 		ts.active--
 	}
+	m.terminal++
+	m.pruneLocked()
 	m.mu.Unlock()
+}
+
+// pruneLocked evicts the oldest terminal sessions beyond the retention
+// cap (m.mu held). Live sessions are skipped — only finished ones are
+// evictable — so the daemon's session table is bounded by the retention
+// window plus whatever is actually running. A client holding an evicted
+// *Session (e.g. an attached event stream) keeps working against it;
+// only manager lookups stop resolving the id.
+func (m *Manager) pruneLocked() {
+	if m.terminal <= m.cfg.RetainSessions {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		s := m.sessions[id]
+		if m.terminal > m.cfg.RetainSessions && s.State().Terminal() {
+			delete(m.sessions, id)
+			m.terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
 }
 
 // resolveSource validates the spec and builds its trace source.

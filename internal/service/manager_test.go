@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -366,6 +367,202 @@ func TestManagerCleanDrain(t *testing.T) {
 	}
 	if s.State() != StateDone {
 		t.Errorf("session %s after clean drain, want done (err %v)", s.State(), s.Err())
+	}
+}
+
+// TestManagerMemoInvalidation: replacing or deleting a corpus drops the
+// tenant's scheduler memos over it — a session started after a
+// re-ingest must not be served intervention outcomes cached against the
+// old contents (the Rebind outcome-equivalence contract). The witness
+// is the cache accounting: a stale memo serves the whole run from
+// cache (the deterministic simulator makes the poisoned reports
+// indistinguishable, which is exactly why the contract must be enforced
+// structurally), while a fresh memo must execute at least one group.
+func TestManagerMemoInvalidation(t *testing.T) {
+	study := aid.CaseStudyByName("npgsql")
+	collect := func(succ, fail int) []byte {
+		t.Helper()
+		tr, err := aid.New(aid.WithCorpusSize(succ, fail)).Collect(t.Context(), aid.FromStudy(study))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.Encode(&buf, tr.Set); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	baseline := func(corpus []byte) []byte {
+		t.Helper()
+		path := t.TempDir() + "/c.jsonl"
+		if err := os.WriteFile(path, corpus, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := aid.New().Run(t.Context(), aid.FromTraceFile(path).ForStudy(study))
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	c1 := collect(10, 10)
+	c2 := collect(20, 20)
+	b1, b2 := baseline(c1), baseline(c2)
+
+	m := NewManager(Config{SessionBudget: 2, TenantCap: 8})
+	defer m.Close()
+	ingest := func(body []byte) {
+		t.Helper()
+		if _, err := m.Ingest("acme", "c", bytes.NewReader(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func() (*Session, SessionStatus, []byte) {
+		t.Helper()
+		s, err := m.Start("acme", SessionSpec{Study: "npgsql", Corpus: "c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, StateDone)
+		_, js, err := s.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, s.Status(), js
+	}
+
+	ingest(c1)
+	_, st1, js := run()
+	if st1.SchedulerRequests == 0 {
+		t.Fatalf("first session made no scheduler requests: %+v", st1)
+	}
+	if !bytes.Equal(js, b1) {
+		t.Error("first session differs from embedded run over corpus 1")
+	}
+	// Same spec again: fully served from the memo.
+	_, st2, _ := run()
+	if st2.SchedulerCacheHits != st2.SchedulerRequests || st2.SchedulerRequests == 0 {
+		t.Fatalf("memo sharing broken: repeat session %d/%d hits", st2.SchedulerCacheHits, st2.SchedulerRequests)
+	}
+
+	// Replace the corpus contents under the same name: the memo must go
+	// with it — a fully-cached replay here would reproduce corpus 1's
+	// trajectory (and report) against corpus 2's data.
+	ingest(c2)
+	_, st3, js := run()
+	if !bytes.Equal(js, b2) {
+		t.Error("post-re-ingest session was served stale scheduler outcomes (report matches the old corpus)")
+	}
+	if st3.SchedulerCacheHits >= st3.SchedulerRequests {
+		t.Errorf("post-re-ingest session fully cache-served (%d/%d): memo not invalidated",
+			st3.SchedulerCacheHits, st3.SchedulerRequests)
+	}
+
+	// Delete + re-ingest the original contents: again a fresh memo.
+	if err := m.DeleteCorpus("acme", "c"); err != nil {
+		t.Fatal(err)
+	}
+	ingest(c1)
+	_, st4, js := run()
+	if !bytes.Equal(js, b1) {
+		t.Error("post-delete session was served stale scheduler outcomes")
+	}
+	if st4.SchedulerCacheHits >= st4.SchedulerRequests {
+		t.Errorf("post-delete session fully cache-served (%d/%d): memo not invalidated",
+			st4.SchedulerCacheHits, st4.SchedulerRequests)
+	}
+}
+
+// TestManagerSessionRetention: terminal sessions beyond RetainSessions
+// are evicted oldest-first (their ids stop resolving), live sessions
+// never are, and the daemon's session table stays bounded.
+func TestManagerSessionRetention(t *testing.T) {
+	m := NewManager(Config{SessionBudget: 2, TenantCap: 16, RetainSessions: 2})
+	defer m.Close()
+
+	var done []*Session
+	for i := 0; i < 5; i++ {
+		s, err := m.Start("acme", SessionSpec{Source: panicSource{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, StateFailed)
+		done = append(done, s)
+	}
+
+	// finish() prunes after closing Done; give the bookkeeping a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(m.Sessions("")) == 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	retained := m.Sessions("")
+	if len(retained) != 2 {
+		t.Fatalf("retained %d terminal sessions, want 2", len(retained))
+	}
+	if retained[0] != done[3] || retained[1] != done[4] {
+		t.Errorf("retention kept the wrong sessions: %s %s", retained[0].ID(), retained[1].ID())
+	}
+	if _, ok := m.Session(done[0].ID()); ok {
+		t.Error("evicted session still resolves")
+	}
+	if st := m.Stats(); st.Sessions[StateFailed] != 2 {
+		t.Errorf("stats count evicted sessions: %+v", st)
+	}
+
+	// A live session is never evicted, no matter how many terminals pass.
+	src := newBlockingSource()
+	live, err := m.Start("acme", SessionSpec{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-src.entered
+	for i := 0; i < 3; i++ {
+		s, err := m.Start("acme", SessionSpec{Source: panicSource{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, StateFailed)
+	}
+	if _, ok := m.Session(live.ID()); !ok {
+		t.Error("live session was evicted by terminal churn")
+	}
+	m.Cancel(live.ID())
+	waitState(t, live, StateCancelled)
+}
+
+// TestManagerMemoCap: the per-tenant scheduler memo map is LRU-bounded
+// by TenantMemoCap.
+func TestManagerMemoCap(t *testing.T) {
+	m := NewManager(Config{SessionBudget: 2, TenantCap: 8, TenantMemoCap: 2})
+	defer m.Close()
+	for seed := int64(1); seed <= 4; seed++ {
+		s, err := m.Start("acme", SessionSpec{Study: "npgsql", Successes: 5, Failures: 5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, s, StateDone)
+	}
+	m.mu.Lock()
+	n := len(m.tenants["acme"].shared)
+	var ticks []int64
+	for _, memo := range m.tenants["acme"].shared {
+		ticks = append(ticks, memo.lastUse)
+	}
+	m.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("tenant holds %d memos, want 2 (cap)", n)
+	}
+	// The survivors are the most recently used (ticks 3 and 4).
+	for _, tick := range ticks {
+		if tick < 3 {
+			t.Errorf("LRU kept a stale memo (tick %d)", tick)
+		}
 	}
 }
 

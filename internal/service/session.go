@@ -85,11 +85,13 @@ type SessionStatus struct {
 	Error string `json:"error,omitempty"`
 	// Events counts captured observer events so far.
 	Events int `json:"events"`
-	// SchedulerRequests and SchedulerCacheHits are the session's delta
-	// against its tenant's shared scheduler memo: how many intervention
+	// SchedulerRequests and SchedulerCacheHits are the session's own
+	// usage of its tenant's shared scheduler memo: how many intervention
 	// outcomes it requested and how many were served from prior
-	// sessions' (or its own) cached replays. Zero for non-shared
-	// sessions.
+	// sessions' (or its own) cached replays. Measured inside the shared
+	// scheduler's discovery slot (the pipeline's SchedulerUsage event),
+	// so sibling sessions' rounds are never folded in. Zero for
+	// non-shared sessions.
 	SchedulerRequests  int `json:"schedulerRequests"`
 	SchedulerCacheHits int `json:"schedulerCacheHits"`
 	// Created/Started/Finished are RFC3339Nano wall-clock marks; empty
@@ -214,7 +216,16 @@ func (s *Session) WaitEvents(from int, stop <-chan struct{}) {
 // observe captures one pipeline event into the session log. Events that
 // fail to serialize are dropped (none of the facade's event types can,
 // but a custom Source could emit its own Event implementation).
+// SchedulerUsage doubles as the session's scheduler stats: the pipeline
+// measures the delta while holding the shared scheduler's discovery
+// slot, so the counts are exactly this session's.
 func (s *Session) observe(e aid.Event) {
+	if su, ok := e.(aid.SchedulerUsage); ok {
+		s.mu.Lock()
+		s.schedReq = su.Requests
+		s.schedHit = su.CacheHits
+		s.mu.Unlock()
+	}
 	line, err := aid.MarshalEvent(e)
 	if err != nil {
 		return

@@ -69,22 +69,38 @@ func (e *NotFoundError) Error() string {
 	return fmt.Sprintf("service: tenant %q has no corpus %q", e.Tenant, e.Name)
 }
 
+// ValidationError marks a client-input fault — a malformed name, spec,
+// or corpus body. The HTTP layer maps it to 400; errors without a
+// client-fault type are server faults and map to 500.
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause (so e.g. an http.MaxBytesError inside a
+// decode failure stays matchable).
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// validationf builds a ValidationError from a format string.
+func validationf(format string, args ...any) error {
+	return &ValidationError{Err: fmt.Errorf(format, args...)}
+}
+
 // ValidateName checks a tenant or corpus name for use as a store key
 // (and, in the file store, a path element): non-empty, at most 128
 // bytes, letters/digits/dot/dash/underscore only, not "." or "..".
 func ValidateName(kind, name string) error {
 	if name == "" || len(name) > 128 {
-		return fmt.Errorf("service: invalid %s name %q: must be 1-128 characters", kind, name)
+		return validationf("service: invalid %s name %q: must be 1-128 characters", kind, name)
 	}
 	if name == "." || name == ".." {
-		return fmt.Errorf("service: invalid %s name %q", kind, name)
+		return validationf("service: invalid %s name %q", kind, name)
 	}
 	for _, r := range name {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '.', r == '-', r == '_':
 		default:
-			return fmt.Errorf("service: invalid %s name %q: only [A-Za-z0-9._-] allowed", kind, name)
+			return validationf("service: invalid %s name %q: only [A-Za-z0-9._-] allowed", kind, name)
 		}
 	}
 	return nil
@@ -302,10 +318,13 @@ func validateKey(tenant, name string) error {
 func DecodeCorpus(tenant, name string, r io.Reader) (*trace.Set, error) {
 	set, err := trace.Decode(r)
 	if err != nil {
-		return nil, err
+		// The body is client input: decode failures are validation
+		// errors (the chain keeps the cause, so an http.MaxBytesError
+		// from a capped ingest body stays matchable for the 413 path).
+		return nil, &ValidationError{Err: err}
 	}
 	if len(set.Executions) == 0 {
-		return nil, fmt.Errorf("service: corpus %s/%s contains no executions (empty or whitespace-only body)", tenant, name)
+		return nil, validationf("service: corpus %s/%s contains no executions (empty or whitespace-only body)", tenant, name)
 	}
 	return set, nil
 }

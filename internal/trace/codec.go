@@ -58,6 +58,14 @@ func decodeNamed(r io.Reader, name string) (*Set, error) {
 		}
 		var e Execution
 		if err := json.Unmarshal(raw, &e); err != nil {
+			// A read error makes the scanner emit whatever it buffered as
+			// a final (possibly truncated) token; the root cause is the
+			// reader's failure, not the record — surface that (it lets a
+			// size-capped HTTP ingest distinguish "too large" from
+			// "malformed").
+			if rerr := sc.Err(); rerr != nil {
+				return nil, fmt.Errorf("trace: %s: %w", at(line), rerr)
+			}
 			return nil, fmt.Errorf("trace: %s: malformed execution record: %w", at(line), err)
 		}
 		s.Executions = append(s.Executions, e)

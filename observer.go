@@ -22,7 +22,8 @@ func (f ObserverFunc) OnEvent(e Event) { f(e) }
 
 // Event is a typed pipeline progress event. The concrete types are
 // CollectProgress, TracesCollected, PredicatesExtracted, Ranked,
-// DAGBuilt, RoundDone, CauseConfirmed, and DiscoveryDone.
+// DAGBuilt, RoundDone, ContradictionDetected, SchedulerUsage,
+// CauseConfirmed, and DiscoveryDone.
 type Event interface {
 	// String renders the event as a one-line log message.
 	String() string
@@ -178,6 +179,24 @@ func (e ContradictionDetected) String() string {
 		len(e.Stopped), len(e.Persisted), state)
 }
 
+// SchedulerUsage reports how much of a run's intervention work the
+// attached SharedScheduler served from its cross-run memo. Emitted once
+// per run that uses WithSharedScheduler, after the last round and
+// before DiscoveryDone, while the run still holds the scheduler's
+// discovery slot — so the counts are exactly this run's, never folded
+// with a sibling run sharing the same memo.
+type SchedulerUsage struct {
+	// Requests counts the run's outcome requests; CacheHits how many
+	// were served from the shared memo without new replays; Executions
+	// how many replay bundles the run actually started.
+	Requests, CacheHits, Executions int
+}
+
+func (e SchedulerUsage) String() string {
+	return fmt.Sprintf("shared scheduler: %d/%d requests served from memo (%d executed)",
+		e.CacheHits, e.Requests, e.Executions)
+}
+
 // CauseConfirmed reports a predicate confirmed causal.
 type CauseConfirmed struct {
 	// ID is the confirmed predicate.
@@ -210,5 +229,6 @@ func (Ranked) event()                {}
 func (DAGBuilt) event()              {}
 func (RoundDone) event()             {}
 func (ContradictionDetected) event() {}
+func (SchedulerUsage) event()        {}
 func (CauseConfirmed) event()        {}
 func (DiscoveryDone) event()         {}

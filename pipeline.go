@@ -433,6 +433,8 @@ func (p *Pipeline) discover(ctx context.Context, tr *Traces, corpus *Corpus, dag
 	var robust *core.RobustIntervener
 	var sched *core.Scheduler
 	minConf := 0.0
+	var sharedSched *core.Scheduler
+	var sharedPre SchedulerStats
 	if p.noise == nil && p.shared != nil {
 		// Cross-run memo sharing: claim the shared scheduler's single
 		// discovery slot (ctx-aware, so cancellation never blocks on a
@@ -443,7 +445,12 @@ func (p *Pipeline) discover(ctx context.Context, tr *Traces, corpus *Corpus, dag
 			return nil, nil, nil, err
 		}
 		defer release()
-		opts.Scheduler = p.shared.bind(exec, p.workers)
+		sharedSched = p.shared.bind(exec, p.workers)
+		// Snapshot the memo accounting while holding the slot: sibling
+		// runs are excluded, so the SchedulerUsage delta emitted below is
+		// exactly this run's.
+		sharedPre = sharedSched.Stats()
+		opts.Scheduler = sharedSched
 	}
 	if p.noise != nil {
 		exec.WallBudget = p.noise.WallBudget
@@ -510,6 +517,16 @@ func (p *Pipeline) discover(ctx context.Context, tr *Traces, corpus *Corpus, dag
 			}
 			robustness.Quarantined = append(robustness.Quarantined, rq)
 		}
+	}
+	if sharedSched != nil {
+		// Still inside the discovery slot (released when this function
+		// returns), so the delta cannot fold in a sibling run's rounds.
+		post := sharedSched.Stats()
+		p.emit(SchedulerUsage{
+			Requests:   post.Requests - sharedPre.Requests,
+			CacheHits:  post.CacheHits - sharedPre.CacheHits,
+			Executions: post.Executions - sharedPre.Executions,
+		})
 	}
 	p.emit(DiscoveryDone{
 		RootCause:     res.RootCause(),
