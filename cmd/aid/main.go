@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	aid -case npgsql [-successes 50] [-failures 50] [-seed 1] [-rounds] [-dot] [-json]
+//	aid -case npgsql [-successes 50] [-failures 50] [-seed 1] [-rounds] [-effects] [-dot] [-json]
 //	aid -case npgsql -stream            # rank as the corpus ingests (live Ranked progress)
 //	aid -case npgsql -sd -top 20        # SD ranking table, top 20 rows
 //	aid -case npgsql -save-traces corpus.jsonl
@@ -50,6 +50,7 @@ func main() {
 		compounds  = flag.Int("compounds", 0, "max compound (conjunction) predicates to materialize")
 		rounds     = flag.Bool("rounds", false, "stream the intervention round log as it happens")
 		stream     = flag.Bool("stream", false, "rank as the corpus ingests: stream extraction row by row with live Ranked progress")
+		effects    = flag.Bool("effects", false, "static effect analysis: derive side-effect-free methods and prune predicates from provably-pure regions")
 		top        = flag.Int("top", 40, "rows of the -sd ranking table to print (0 = all)")
 		dot        = flag.Bool("dot", false, "print the AC-DAG in Graphviz format and exit")
 		sd         = flag.Bool("sd", false, "print the statistical-debugging ranking and exit (the SD baseline)")
@@ -79,10 +80,13 @@ func main() {
 		aid.WithCompounds(*compounds),
 		aid.WithWorkers(*workers),
 	}
-	// The -rounds and -stream logs are observers over the pipeline's
-	// event stream.
-	if *rounds || *stream {
-		wantRounds, wantStream := *rounds, *stream
+	if *effects {
+		opts = append(opts, aid.WithEffectAnalysis(true))
+	}
+	// The -rounds, -stream and -effects logs are observers over the
+	// pipeline's event stream.
+	if *rounds || *stream || *effects {
+		wantRounds, wantStream, wantEffects := *rounds, *stream, *effects
 		opts = append(opts, aid.WithObserver(aid.ObserverFunc(func(e aid.Event) {
 			switch ev := e.(type) {
 			case aid.RoundDone, aid.CauseConfirmed:
@@ -91,6 +95,10 @@ func main() {
 				}
 			case aid.Ranked:
 				if wantStream && ev.RowsTotal > 0 {
+					fmt.Fprintln(os.Stderr, e)
+				}
+			case aid.EffectsAnalyzed:
+				if wantEffects {
 					fmt.Fprintln(os.Stderr, e)
 				}
 			}

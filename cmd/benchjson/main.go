@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"aid"
+	"aid/internal/effects"
 	"aid/internal/service"
 )
 
@@ -177,6 +178,52 @@ func main() {
 				c := st.Cells[ap]
 				m[string(ap)+"-avg"] = c.Average
 				m[string(ap)+"-worst"] = float64(c.WorstCase)
+			}
+			checkMetrics(name, metrics, m)
+			metrics = m
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fig.Name = name
+		fig.Metrics = metrics
+		run.Figures = append(run.Figures, fig)
+	}
+
+	// Effect-analysis record: the pruning demo workload (a lost-update
+	// race surrounded by provably-pure checksum/relay helpers) with the
+	// static effect analysis off and on. The paired cells record the
+	// intervention-round and predicate-count deltas pruning buys; the
+	// wall-clock delta is the NsPerOp difference between them.
+	for _, on := range []bool{false, true} {
+		state := "off"
+		if on {
+			state = "on"
+		}
+		name := "Figure8/effects=" + state
+		fmt.Fprintf(os.Stderr, "benchjson: %s...\n", name)
+		var metrics map[string]float64
+		fig, err := measure(*repeat, func() error {
+			var pruned float64
+			epipe := aid.New(
+				aid.WithCorpusSize(*successes, *failures),
+				aid.WithWorkers(*workers),
+				aid.WithEffectAnalysis(on),
+				aid.WithObserver(aid.ObserverFunc(func(e aid.Event) {
+					if ev, ok := e.(aid.EffectsAnalyzed); ok {
+						pruned = float64(ev.Pruned)
+					}
+				})),
+			)
+			rep, err := epipe.Run(context.Background(), aid.FromProgram(effects.PruningDemo(4, 6)))
+			if err != nil {
+				return err
+			}
+			m := map[string]float64{
+				"total-preds":       float64(rep.TotalPredicates),
+				"preds-pruned":      pruned,
+				"AID-interventions": float64(rep.AIDInterventions),
 			}
 			checkMetrics(name, metrics, m)
 			metrics = m

@@ -18,6 +18,7 @@ import (
 const (
 	EventCollectProgress       = "collect-progress"
 	EventTracesCollected       = "traces-collected"
+	EventEffectsAnalyzed       = "effects-analyzed"
 	EventPredicatesExtracted   = "predicates-extracted"
 	EventRanked                = "ranked"
 	EventDAGBuilt              = "dag-built"
@@ -35,6 +36,8 @@ func EventType(e Event) string {
 		return EventCollectProgress
 	case TracesCollected:
 		return EventTracesCollected
+	case EffectsAnalyzed:
+		return EventEffectsAnalyzed
 	case PredicatesExtracted:
 		return EventPredicatesExtracted
 	case Ranked:
@@ -88,6 +91,8 @@ func UnmarshalEvent(data []byte) (Event, error) {
 		e = &CollectProgress{}
 	case EventTracesCollected:
 		e = &TracesCollected{}
+	case EventEffectsAnalyzed:
+		e = &EffectsAnalyzed{}
 	case EventPredicatesExtracted:
 		e = &PredicatesExtracted{}
 	case EventRanked:
@@ -116,6 +121,8 @@ func UnmarshalEvent(data []byte) (Event, error) {
 	case *CollectProgress:
 		return *v, nil
 	case *TracesCollected:
+		return *v, nil
+	case *EffectsAnalyzed:
 		return *v, nil
 	case *PredicatesExtracted:
 		return *v, nil

@@ -16,6 +16,7 @@ func TestEventWireRoundTrip(t *testing.T) {
 	events := []aid.Event{
 		aid.CollectProgress{Successes: 3, Failures: 2, SeedsSwept: 4096},
 		aid.TracesCollected{Source: "npgsql", Successes: 50, Failures: 50},
+		aid.EffectsAnalyzed{Functions: 13, SideEffectFree: 10, Prunable: 8, Pruned: 6, Contradicted: 1},
 		aid.PredicatesExtracted{Total: 123},
 		aid.Ranked{FullyDiscriminative: 7, RowsIngested: 40, RowsTotal: 100},
 		aid.DAGBuilt{Nodes: 9, Unsafe: 2},

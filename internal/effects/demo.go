@@ -1,0 +1,91 @@
+package effects
+
+import (
+	"fmt"
+
+	"aid/internal/sim"
+)
+
+// PruningDemo builds the effect-pruning demonstration workload: a
+// lost-update race whose failure path flows through a chain of
+// param-pure relay functions, padded with pure checksum helpers.
+//
+// Two writers race an unprotected read-modify-write on "counter"; the
+// main thread then reads the (possibly corrupted) total into a local
+// and pipes it through `relays` deterministic relay functions before
+// checking it. In failing runs every relay returns a wrong value, so
+// each contributes a fully-discriminative wrong-return predicate that
+// statistical debugging keeps and the AC-DAG places on the path to F —
+// noise the intervention phase must spend rounds refuting. The
+// checksum helpers compute from nothing and vary only in duration
+// (scheduling noise), padding the corpus with prunable timing
+// predicates.
+//
+// Effect analysis classifies the relays LevelParamPure and the
+// checksums LevelPure, so effect-guided pruning drops their predicates
+// before ranking, shrinking the corpus and the AC-DAG while the root
+// cause — the race on "counter" — keeps its own predicates. The
+// workload backs the pruning tests, the EXPERIMENTS.md PR 8 record,
+// and cmd/benchjson's effects cells.
+func PruningDemo(checksums, relays int) *sim.Program {
+	p := sim.NewProgram("effects-demo", "Main")
+	p.Globals["counter"] = 0
+
+	// The race window: unprotected read-modify-write, widened with Nops
+	// so schedules interleave it often enough to collect failures fast.
+	p.AddFunc("WriterA",
+		sim.ReadGlobal{Var: "counter", Dst: "a"},
+		sim.Nop{}, sim.Nop{},
+		sim.Arith{Dst: "a", A: sim.V("a"), Op: sim.OpAdd, B: sim.Lit(1)},
+		sim.WriteGlobal{Var: "counter", Src: sim.V("a")},
+	)
+	p.AddFunc("WriterB",
+		sim.ReadGlobal{Var: "counter", Dst: "b"},
+		sim.Nop{}, sim.Nop{},
+		sim.Arith{Dst: "b", A: sim.V("b"), Op: sim.OpAdd, B: sim.Lit(1)},
+		sim.WriteGlobal{Var: "counter", Src: sim.V("b")},
+	)
+
+	main := []sim.Op{
+		sim.Spawn{Fn: "WriterA", Dst: "ta"},
+		sim.Spawn{Fn: "WriterB", Dst: "tb"},
+	}
+	// Pure checksum helpers run while the writers race: their durations
+	// vary with preemption, seeding the corpus with timing predicates
+	// that carry no causal information.
+	for i := 0; i < checksums; i++ {
+		name := fmt.Sprintf("Checksum%d", i)
+		p.AddFunc(name,
+			sim.Assign{Dst: "acc", Src: sim.Lit(int64(i))},
+			sim.Assign{Dst: "i", Src: sim.Lit(0)},
+			sim.While{Cond: sim.Cond{A: sim.V("i"), Op: sim.LT, B: sim.Lit(6)}, Body: []sim.Op{
+				sim.Arith{Dst: "acc", A: sim.V("acc"), Op: sim.OpAdd, B: sim.V("i")},
+				sim.Arith{Dst: "i", A: sim.V("i"), Op: sim.OpAdd, B: sim.Lit(1)},
+			}},
+			sim.Return{Val: sim.V("acc")},
+		).SideEffectFree = true
+		main = append(main, sim.Call{Fn: name, Dst: "ck"})
+	}
+	main = append(main,
+		sim.Join{Thread: sim.V("ta")},
+		sim.Join{Thread: sim.V("tb")},
+		sim.ReadGlobal{Var: "counter", Dst: "c"},
+	)
+	// Param-pure relays of the (possibly corrupted) total: in failing
+	// runs each returns a wrong value, a fully-discriminative
+	// wrong-return predicate on the path to F.
+	for i := 0; i < relays; i++ {
+		name := fmt.Sprintf("Relay%d", i)
+		p.AddFunc(name,
+			sim.Arith{Dst: "r", A: sim.V("c"), Op: sim.OpMul, B: sim.Lit(int64(i + 2))},
+			sim.Return{Val: sim.V("r")},
+		).SideEffectFree = true
+		main = append(main, sim.Call{Fn: name, Dst: fmt.Sprintf("r%d", i)})
+	}
+	main = append(main,
+		sim.If{Cond: sim.Cond{A: sim.V("c"), Op: sim.NE, B: sim.Lit(2)},
+			Then: []sim.Op{sim.Fail{Sig: "lost-update"}}},
+	)
+	p.AddFunc("Main", main...)
+	return p
+}

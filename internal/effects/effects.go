@@ -1,0 +1,522 @@
+// Package effects implements a static side-effect analysis over
+// simulated programs (internal/sim): per-function effect bitfields,
+// transitive purity levels, derived SideEffectFree annotations, and an
+// annotation-contradiction checker.
+//
+// The analysis has two phases. Phase 1 walks each function's Op tree
+// into an intraprocedural effect bitfield (Effect): shared-state
+// writes, lock traffic, thread management, environment reads, control
+// effects. Phase 2 runs a fixed-point propagation over the Call/Spawn
+// graph — monotone ORs over a finite lattice, so recursion (including
+// mutual recursion) converges — resolving each function's transitive
+// effect set and collapsing it into one of five purity levels.
+//
+// Two questions drive the design, both from the paper's §3.3 validity
+// rules and the pipeline's pruning needs:
+//
+//   - SideEffectFree: may this function's return value be altered or
+//     its exceptions absorbed without corrupting shared program state?
+//     True when the transitive effects contain no shared-state write
+//     (level <= LevelControl). This derives the hand annotation
+//     sim.Func.SideEffectFree and lets the checker flag hand
+//     annotations the analysis contradicts.
+//
+//   - Prunable: can a predicate anchored entirely in this function
+//     host a root cause? Functions at or below LevelParamPure perform
+//     no traced accesses, acquire no locks, and raise no exceptions —
+//     their per-call predicates are pure scheduling noise (or, at
+//     LevelParamPure, deterministic relays of caller-local state whose
+//     upstream traced accesses keep their own predicates), so
+//     extraction can drop them before ranking without losing the
+//     causal path. See DESIGN.md "Effect analysis" for the soundness
+//     argument.
+//
+// The simulator's calling convention shapes two conventions here.
+// Locals are per-thread and shared across call frames, so a read of a
+// local the function did not first define is a read of caller state
+// (ParamRead), and every local write lands in the caller's namespace —
+// the return-value channel — which is why LocalWrite never disqualifies
+// purity. And Random/ReadClock consume scheduler environment without
+// touching program state, so they read like environment observations
+// rather than effects: altering the return of a function that rolled
+// dice cannot corrupt anything the dice did not already vary.
+package effects
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aid/internal/sim"
+)
+
+// Effect is a bitfield of a function's side effects. The zero value
+// means "provably effect-free".
+type Effect uint32
+
+const (
+	// GlobalRead reads a shared variable (a traced access).
+	GlobalRead Effect = 1 << iota
+	// GlobalWrite writes a shared variable (a traced access).
+	GlobalWrite
+	// ArrayRead reads a shared array element or length (traced).
+	ArrayRead
+	// ArrayWrite writes or resizes a shared array (traced).
+	ArrayWrite
+	// LocalWrite writes a thread-local. Locals are thread-shared across
+	// call frames, so this is the calling convention's parameter/return
+	// channel; it never disqualifies purity.
+	LocalWrite
+	// ParamRead reads a thread-local the function did not first define:
+	// an inherited caller value, the convention's parameter read.
+	ParamRead
+	// RaiseThrow may raise an exception observable by the caller
+	// (explicit Throw, array bounds, division by a non-literal divisor,
+	// unlocking an unheld mutex).
+	RaiseThrow
+	// LockAcquire acquires a mutex.
+	LockAcquire
+	// LockRelease releases a mutex.
+	LockRelease
+	// SleepTick blocks for scheduler ticks.
+	SleepTick
+	// WaitGlobal blocks until a shared variable takes a value.
+	WaitGlobal
+	// SpawnThread starts a thread.
+	SpawnThread
+	// JoinThread joins a thread.
+	JoinThread
+	// ReadRandom consumes the seeded random stream (an environment
+	// read: it varies the result, not shared state).
+	ReadRandom
+	// ReadClock reads the scheduler clock (an environment read).
+	ReadClock
+	// FailStop terminates the run with a failure signature.
+	FailStop
+	// UnknownCall calls a function the program does not define; all
+	// bets are off.
+	UnknownCall
+)
+
+// Effect-class masks, the three questions Level asks in order.
+const (
+	// WriteEffects are shared-state mutations: any of these makes a
+	// function impure (never SideEffectFree). Lock traffic and thread
+	// management count — forcing a return can skip an Unlock or a Join
+	// another thread observes — as does FailStop and the unanalyzable
+	// UnknownCall.
+	WriteEffects = GlobalWrite | ArrayWrite | LockAcquire | LockRelease |
+		SpawnThread | JoinThread | FailStop | UnknownCall
+	// ControlEffects raise exceptions or alter timing without touching
+	// shared state; they cap a function at LevelControl.
+	ControlEffects = RaiseThrow | SleepTick | WaitGlobal
+	// EnvReads observe state the function does not own — shared
+	// variables, arrays, the random stream, the clock — capping a
+	// function at LevelObserver.
+	EnvReads = GlobalRead | ArrayRead | ReadRandom | ReadClock
+)
+
+var effectNames = []struct {
+	bit  Effect
+	name string
+}{
+	{GlobalRead, "global-read"},
+	{GlobalWrite, "global-write"},
+	{ArrayRead, "array-read"},
+	{ArrayWrite, "array-write"},
+	{LocalWrite, "local-write"},
+	{ParamRead, "param-read"},
+	{RaiseThrow, "throw"},
+	{LockAcquire, "lock"},
+	{LockRelease, "unlock"},
+	{SleepTick, "sleep"},
+	{WaitGlobal, "wait"},
+	{SpawnThread, "spawn"},
+	{JoinThread, "join"},
+	{ReadRandom, "random"},
+	{ReadClock, "clock"},
+	{FailStop, "fail"},
+	{UnknownCall, "unknown-call"},
+}
+
+// String renders the set as "|"-joined bit names ("none" when empty).
+func (e Effect) String() string {
+	if e == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, n := range effectNames {
+		if e&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Level is a function's purity level: the transitive effect bitfield
+// collapsed into the five-step scale the pipeline consumes. Lower is
+// purer.
+type Level int
+
+const (
+	// LevelPure functions compute a deterministic value from nothing:
+	// no reads of caller or shared state, no effects.
+	LevelPure Level = 1 + iota
+	// LevelParamPure functions are deterministic functions of caller
+	// thread-local state (ParamRead), still effect-free.
+	LevelParamPure
+	// LevelObserver functions additionally observe environment state
+	// (shared reads, random, clock) but mutate nothing.
+	LevelObserver
+	// LevelControl functions additionally raise exceptions or alter
+	// timing (throw, sleep, wait) — the side-effect-free boundary.
+	LevelControl
+	// LevelImpure functions mutate shared state (or are unanalyzable).
+	LevelImpure
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelPure:
+		return "pure"
+	case LevelParamPure:
+		return "param-pure"
+	case LevelObserver:
+		return "observer"
+	case LevelControl:
+		return "control"
+	case LevelImpure:
+		return "impure"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// LevelOf collapses a transitive effect set into its purity level.
+func LevelOf(e Effect) Level {
+	switch {
+	case e&WriteEffects != 0:
+		return LevelImpure
+	case e&ControlEffects != 0:
+		return LevelControl
+	case e&EnvReads != 0:
+		return LevelObserver
+	case e&ParamRead != 0:
+		return LevelParamPure
+	default:
+		return LevelPure
+	}
+}
+
+// FuncEffects is one function's analysis result.
+type FuncEffects struct {
+	// Local is the Phase-1 intraprocedural effect set.
+	Local Effect
+	// Total is the Phase-2 transitive effect set: Local OR'd with every
+	// (transitively) called or spawned function's Total.
+	Total Effect
+	// Level is LevelOf(Total).
+	Level Level
+	// Calls lists the function's direct Call/Spawn targets, sorted.
+	Calls []string
+}
+
+// Analysis is the result of analyzing one program.
+type Analysis struct {
+	prog *sim.Program
+	// Funcs maps every defined function to its effects.
+	Funcs map[string]FuncEffects
+}
+
+// Analyze runs both phases over every function of p. It never fails:
+// calls to undefined functions surface as UnknownCall (impure) rather
+// than errors, so the analysis is usable on programs that have not
+// been validated.
+func Analyze(p *sim.Program) *Analysis {
+	a := &Analysis{prog: p, Funcs: make(map[string]FuncEffects)}
+	if p == nil {
+		return a
+	}
+	// Phase 1: intraprocedural walk.
+	for name, f := range p.Funcs {
+		if f == nil {
+			a.Funcs[name] = FuncEffects{Local: UnknownCall, Total: UnknownCall}
+			continue
+		}
+		w := &walker{prog: p, calls: map[string]bool{}}
+		w.block(f.Body, newDefSet())
+		calls := make([]string, 0, len(w.calls))
+		for c := range w.calls {
+			calls = append(calls, c)
+		}
+		sort.Strings(calls)
+		a.Funcs[name] = FuncEffects{Local: w.eff, Calls: calls}
+	}
+	// Phase 2: fixed-point propagation over the call graph. The
+	// lattice (Effect bitsets under OR) is finite and the transfer
+	// function monotone, so iterating to stability terminates even on
+	// (mutually) recursive call graphs.
+	total := make(map[string]Effect, len(a.Funcs))
+	for name, fe := range a.Funcs {
+		total[name] = fe.Local
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, fe := range a.Funcs {
+			t := total[name]
+			for _, callee := range fe.Calls {
+				ct, ok := total[callee]
+				if !ok {
+					ct = UnknownCall
+				}
+				t |= ct
+			}
+			if t != total[name] {
+				total[name] = t
+				changed = true
+			}
+		}
+	}
+	for name, fe := range a.Funcs {
+		fe.Total = total[name]
+		fe.Level = LevelOf(fe.Total)
+		a.Funcs[name] = fe
+	}
+	return a
+}
+
+// Level returns fn's purity level (LevelImpure for unknown functions).
+func (a *Analysis) Level(fn string) Level {
+	if fe, ok := a.Funcs[fn]; ok {
+		return fe.Level
+	}
+	return LevelImpure
+}
+
+// SideEffectFree reports whether fn's return value may be altered or
+// its exceptions absorbed without corrupting shared program state: its
+// transitive effects contain no shared-state write.
+func (a *Analysis) SideEffectFree(fn string) bool {
+	return a.Level(fn) <= LevelControl
+}
+
+// Prunable reports whether predicates anchored entirely in fn can be
+// dropped before ranking: fn performs no traced accesses, raises no
+// exceptions, and computes deterministically from at most caller
+// thread-local state, so its per-call predicates cannot host a root
+// cause (DESIGN.md "Effect analysis" gives the argument).
+func (a *Analysis) Prunable(fn string) bool {
+	return a.Level(fn) <= LevelParamPure
+}
+
+// Contradiction records a hand annotation the analysis refutes: the
+// function is marked SideEffectFree but its transitive effects include
+// a shared-state write.
+type Contradiction struct {
+	// Func is the annotated function.
+	Func string
+	// Level is the derived purity level (always LevelImpure).
+	Level Level
+	// Effects are the disqualifying transitive write effects.
+	Effects Effect
+}
+
+func (c Contradiction) String() string {
+	return fmt.Sprintf("%s: annotated side-effect-free but derived %s (%s)",
+		c.Func, c.Level, c.Effects)
+}
+
+// Contradictions checks every hand SideEffectFree annotation against
+// the derived result and returns the refuted ones, sorted by function
+// name. The opposite direction — annotated false, derived free — is
+// not flagged: an unannotated or conservatively-annotated function may
+// model real-world effects the simulator abstracts away.
+func (a *Analysis) Contradictions() []Contradiction {
+	if a.prog == nil {
+		return nil
+	}
+	var out []Contradiction
+	for name, f := range a.prog.Funcs {
+		if f == nil || !f.SideEffectFree {
+			continue
+		}
+		if fe, ok := a.Funcs[name]; ok && fe.Level > LevelControl {
+			out = append(out, Contradiction{
+				Func:    name,
+				Level:   fe.Level,
+				Effects: fe.Total & WriteEffects,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	return out
+}
+
+// ---- Phase 1: the intraprocedural walker ----
+
+// defSet tracks the thread-locals a function has defined on the walked
+// path; reading a name outside it is a ParamRead.
+type defSet map[string]bool
+
+func newDefSet() defSet { return make(defSet) }
+
+func (d defSet) clone() defSet {
+	c := make(defSet, len(d))
+	for k := range d {
+		c[k] = true
+	}
+	return c
+}
+
+// intersect removes names not defined in o — the merge after a branch:
+// only names defined on both paths are defined after it.
+func (d defSet) intersect(o defSet) {
+	for k := range d {
+		if !o[k] {
+			delete(d, k)
+		}
+	}
+}
+
+type walker struct {
+	prog  *sim.Program
+	eff   Effect
+	calls map[string]bool
+}
+
+// read records an expression read against the defined set.
+func (w *walker) read(e sim.Expr, defs defSet) {
+	if e.IsVar && !defs[e.Name] {
+		w.eff |= ParamRead
+	}
+}
+
+func (w *walker) cond(c sim.Cond, defs defSet) {
+	w.read(c.A, defs)
+	w.read(c.B, defs)
+}
+
+// define records a local write.
+func (w *walker) define(name string, defs defSet) {
+	if name == "" {
+		return
+	}
+	w.eff |= LocalWrite
+	defs[name] = true
+}
+
+// block walks ops in order, threading the defined set flow-sensitively,
+// and returns the set as left by the sequence.
+func (w *walker) block(ops []sim.Op, defs defSet) defSet {
+	for _, op := range ops {
+		switch o := op.(type) {
+		case sim.Assign:
+			w.read(o.Src, defs)
+			w.define(o.Dst, defs)
+		case sim.Arith:
+			w.read(o.A, defs)
+			w.read(o.B, defs)
+			if (o.Op == sim.OpDiv || o.Op == sim.OpMod) && (o.B.IsVar || o.B.Value == 0) {
+				// The runtime throws DivideByZero; a nonzero literal
+				// divisor provably cannot.
+				w.eff |= RaiseThrow
+			}
+			w.define(o.Dst, defs)
+		case sim.ReadGlobal:
+			w.eff |= GlobalRead
+			w.define(o.Dst, defs)
+		case sim.WriteGlobal:
+			w.read(o.Src, defs)
+			w.eff |= GlobalWrite
+		case sim.ArrayRead:
+			w.read(o.Index, defs)
+			// Out-of-range indices throw.
+			w.eff |= ArrayRead | RaiseThrow
+			w.define(o.Dst, defs)
+		case sim.ArrayWrite:
+			w.read(o.Index, defs)
+			w.read(o.Src, defs)
+			w.eff |= ArrayWrite | RaiseThrow
+		case sim.ArrayLen:
+			w.eff |= ArrayRead
+			w.define(o.Dst, defs)
+		case sim.ArrayResize:
+			w.read(o.Len, defs)
+			w.eff |= ArrayWrite | RaiseThrow
+		case sim.Lock:
+			w.eff |= LockAcquire
+		case sim.Unlock:
+			// Unlocking an unheld mutex throws SyncError.
+			w.eff |= LockRelease | RaiseThrow
+		case sim.Sleep:
+			w.read(o.Ticks, defs)
+			w.eff |= SleepTick
+		case sim.WaitUntil:
+			w.read(o.Val, defs)
+			w.eff |= WaitGlobal | GlobalRead
+		case sim.Call:
+			w.edge(o.Fn)
+			w.define(o.Dst, defs)
+		case sim.Return:
+			w.read(o.Val, defs)
+		case sim.ReturnVoid:
+		case sim.Throw:
+			w.eff |= RaiseThrow
+		case sim.Try:
+			// Conservative: the body's defs are discarded (it may stop
+			// anywhere), the handler's too (it may never run), and the
+			// body's RaiseThrow is kept even under a catch-all handler —
+			// over-approximating only pushes a function toward
+			// LevelControl, never below its true level.
+			w.block(o.Body, defs.clone())
+			w.block(o.Handler, defs.clone())
+		case sim.If:
+			w.cond(o.Cond, defs)
+			thenDefs := w.block(o.Then, defs.clone())
+			elseDefs := w.block(o.Else, defs.clone())
+			thenDefs.intersect(elseDefs)
+			for k := range thenDefs {
+				defs[k] = true
+			}
+		case sim.While:
+			w.cond(o.Cond, defs)
+			// The body's defs are discarded after the loop (it may run
+			// zero times); within the body they accumulate normally. A
+			// read of a name defined only later in the body (visible on
+			// the second iteration) over-approximates to ParamRead.
+			w.block(o.Body, defs.clone())
+		case sim.Spawn:
+			w.eff |= SpawnThread
+			w.edge(o.Fn)
+			w.define(o.Dst, defs)
+		case sim.Join:
+			w.read(o.Thread, defs)
+			w.eff |= JoinThread
+		case sim.Random:
+			w.read(o.N, defs)
+			w.eff |= ReadRandom
+			w.define(o.Dst, defs)
+		case sim.ReadClock:
+			w.eff |= ReadClock
+			w.define(o.Dst, defs)
+		case sim.Fail:
+			w.eff |= FailStop
+		case sim.Nop:
+		default:
+			// An op kind this walker does not know cannot be reasoned
+			// about; treat it like an unanalyzable call.
+			w.eff |= UnknownCall
+		}
+	}
+	return defs
+}
+
+// edge records a call-graph edge (Phase 2 input); a target the program
+// does not define is an UnknownCall.
+func (w *walker) edge(fn string) {
+	if _, ok := w.prog.Funcs[fn]; !ok {
+		w.eff |= UnknownCall
+		return
+	}
+	w.calls[fn] = true
+}

@@ -1,0 +1,437 @@
+package effects
+
+import (
+	"testing"
+
+	"aid/internal/casestudy"
+	"aid/internal/sim"
+)
+
+// analyzeOne runs the analysis over a single function body (plus any
+// extra functions) and returns its result.
+func analyzeOne(t *testing.T, body []sim.Op, extra map[string][]sim.Op) FuncEffects {
+	t.Helper()
+	p := sim.NewProgram("t", "F")
+	p.AddFunc("F", body...)
+	for name, ops := range extra {
+		p.AddFunc(name, ops...)
+	}
+	a := Analyze(p)
+	fe, ok := a.Funcs["F"]
+	if !ok {
+		t.Fatalf("no analysis result for F")
+	}
+	return fe
+}
+
+// TestPhase1OpTable pins the Phase-1 bitfield of every Op kind.
+func TestPhase1OpTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		body  []sim.Op
+		extra map[string][]sim.Op
+		want  Effect
+	}{
+		{name: "Nop", body: []sim.Op{sim.Nop{}}, want: 0},
+		{name: "Assign", body: []sim.Op{sim.Assign{Dst: "x", Src: sim.Lit(1)}}, want: LocalWrite},
+		{name: "Assign/param-read", body: []sim.Op{sim.Assign{Dst: "x", Src: sim.V("y")}}, want: LocalWrite | ParamRead},
+		{name: "Arith/add", body: []sim.Op{sim.Arith{Dst: "x", A: sim.Lit(1), Op: sim.OpAdd, B: sim.Lit(2)}}, want: LocalWrite},
+		{name: "Arith/div-literal", body: []sim.Op{sim.Arith{Dst: "x", A: sim.Lit(4), Op: sim.OpDiv, B: sim.Lit(2)}}, want: LocalWrite},
+		{name: "Arith/div-zero-literal", body: []sim.Op{sim.Arith{Dst: "x", A: sim.Lit(4), Op: sim.OpDiv, B: sim.Lit(0)}}, want: LocalWrite | RaiseThrow},
+		{
+			name: "Arith/div-var",
+			body: []sim.Op{
+				sim.Assign{Dst: "d", Src: sim.Lit(2)},
+				sim.Arith{Dst: "x", A: sim.Lit(4), Op: sim.OpDiv, B: sim.V("d")},
+			},
+			want: LocalWrite | RaiseThrow,
+		},
+		{
+			name: "Arith/mod-var",
+			body: []sim.Op{
+				sim.Assign{Dst: "d", Src: sim.Lit(2)},
+				sim.Arith{Dst: "x", A: sim.Lit(4), Op: sim.OpMod, B: sim.V("d")},
+			},
+			want: LocalWrite | RaiseThrow,
+		},
+		{name: "ReadGlobal", body: []sim.Op{sim.ReadGlobal{Var: "g", Dst: "x"}}, want: GlobalRead | LocalWrite},
+		{name: "WriteGlobal", body: []sim.Op{sim.WriteGlobal{Var: "g", Src: sim.Lit(1)}}, want: GlobalWrite},
+		{name: "ArrayRead", body: []sim.Op{sim.ArrayRead{Arr: "a", Index: sim.Lit(0), Dst: "x"}}, want: ArrayRead | RaiseThrow | LocalWrite},
+		{name: "ArrayWrite", body: []sim.Op{sim.ArrayWrite{Arr: "a", Index: sim.Lit(0), Src: sim.Lit(1)}}, want: ArrayWrite | RaiseThrow},
+		{name: "ArrayLen", body: []sim.Op{sim.ArrayLen{Arr: "a", Dst: "x"}}, want: ArrayRead | LocalWrite},
+		{name: "ArrayResize", body: []sim.Op{sim.ArrayResize{Arr: "a", Len: sim.Lit(3)}}, want: ArrayWrite | RaiseThrow},
+		{name: "Lock", body: []sim.Op{sim.Lock{Mu: "m"}}, want: LockAcquire},
+		{name: "Unlock", body: []sim.Op{sim.Unlock{Mu: "m"}}, want: LockRelease | RaiseThrow},
+		{name: "Sleep", body: []sim.Op{sim.Sleep{Ticks: sim.Lit(3)}}, want: SleepTick},
+		{name: "WaitUntil", body: []sim.Op{sim.WaitUntil{Var: "g", Val: sim.Lit(1)}}, want: WaitGlobal | GlobalRead},
+		{
+			name:  "Call",
+			body:  []sim.Op{sim.Call{Fn: "Callee", Dst: "x"}},
+			extra: map[string][]sim.Op{"Callee": {sim.ReturnVoid{}}},
+			want:  LocalWrite,
+		},
+		{name: "Call/unknown", body: []sim.Op{sim.Call{Fn: "Missing", Dst: "x"}}, want: UnknownCall | LocalWrite},
+		{name: "Return", body: []sim.Op{sim.Return{Val: sim.Lit(1)}}, want: 0},
+		{name: "ReturnVoid", body: []sim.Op{sim.ReturnVoid{}}, want: 0},
+		{name: "Throw", body: []sim.Op{sim.Throw{Kind: "Boom"}}, want: RaiseThrow},
+		{
+			name: "Try",
+			body: []sim.Op{sim.Try{
+				Body:      []sim.Op{sim.Throw{Kind: "Boom"}},
+				CatchKind: "*",
+				Handler:   []sim.Op{sim.Nop{}},
+			}},
+			// Conservative: the body's throw is kept even under a
+			// catch-all handler.
+			want: RaiseThrow,
+		},
+		{
+			name: "If",
+			body: []sim.Op{
+				sim.Assign{Dst: "c", Src: sim.Lit(1)},
+				sim.If{Cond: sim.Cond{A: sim.V("c"), Op: sim.EQ, B: sim.Lit(1)},
+					Then: []sim.Op{sim.Nop{}}, Else: []sim.Op{sim.Nop{}}},
+			},
+			want: LocalWrite,
+		},
+		{
+			name: "While",
+			body: []sim.Op{
+				sim.Assign{Dst: "i", Src: sim.Lit(0)},
+				sim.While{Cond: sim.Cond{A: sim.V("i"), Op: sim.LT, B: sim.Lit(3)}, Body: []sim.Op{
+					sim.Arith{Dst: "i", A: sim.V("i"), Op: sim.OpAdd, B: sim.Lit(1)},
+				}},
+			},
+			want: LocalWrite,
+		},
+		{
+			name:  "Spawn",
+			body:  []sim.Op{sim.Spawn{Fn: "Callee", Dst: "x"}},
+			extra: map[string][]sim.Op{"Callee": {sim.ReturnVoid{}}},
+			want:  SpawnThread | LocalWrite,
+		},
+		{
+			name: "Join",
+			body: []sim.Op{
+				sim.Assign{Dst: "x", Src: sim.Lit(0)},
+				sim.Join{Thread: sim.V("x")},
+			},
+			want: JoinThread | LocalWrite,
+		},
+		{name: "Random", body: []sim.Op{sim.Random{Dst: "x", N: sim.Lit(10)}}, want: ReadRandom | LocalWrite},
+		{name: "ReadClock", body: []sim.Op{sim.ReadClock{Dst: "x"}}, want: ReadClock | LocalWrite},
+		{name: "Fail", body: []sim.Op{sim.Fail{Sig: "boom"}}, want: FailStop},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fe := analyzeOne(t, tc.body, tc.extra)
+			if fe.Local != tc.want {
+				t.Errorf("Local effects = %v, want %v", fe.Local, tc.want)
+			}
+		})
+	}
+}
+
+// TestParamReadFlow pins the flow-sensitive defined-locals tracking:
+// reads before definition are ParamRead, reads after are not, branch
+// definitions merge by intersection, and loop/try definitions are
+// discarded conservatively.
+func TestParamReadFlow(t *testing.T) {
+	cases := []struct {
+		name      string
+		body      []sim.Op
+		paramRead bool
+	}{
+		{
+			name: "defined-then-read",
+			body: []sim.Op{
+				sim.Assign{Dst: "x", Src: sim.Lit(1)},
+				sim.Return{Val: sim.V("x")},
+			},
+			paramRead: false,
+		},
+		{
+			name:      "read-before-define",
+			body:      []sim.Op{sim.Return{Val: sim.V("x")}},
+			paramRead: true,
+		},
+		{
+			name: "defined-on-both-branches",
+			body: []sim.Op{
+				sim.Assign{Dst: "c", Src: sim.Lit(0)},
+				sim.If{Cond: sim.Cond{A: sim.V("c"), Op: sim.EQ, B: sim.Lit(0)},
+					Then: []sim.Op{sim.Assign{Dst: "x", Src: sim.Lit(1)}},
+					Else: []sim.Op{sim.Assign{Dst: "x", Src: sim.Lit(2)}}},
+				sim.Return{Val: sim.V("x")},
+			},
+			paramRead: false,
+		},
+		{
+			name: "defined-on-one-branch",
+			body: []sim.Op{
+				sim.Assign{Dst: "c", Src: sim.Lit(0)},
+				sim.If{Cond: sim.Cond{A: sim.V("c"), Op: sim.EQ, B: sim.Lit(0)},
+					Then: []sim.Op{sim.Assign{Dst: "x", Src: sim.Lit(1)}}},
+				sim.Return{Val: sim.V("x")},
+			},
+			paramRead: true,
+		},
+		{
+			name: "defined-in-loop-read-after",
+			body: []sim.Op{
+				sim.Assign{Dst: "c", Src: sim.Lit(0)},
+				sim.While{Cond: sim.Cond{A: sim.V("c"), Op: sim.LT, B: sim.Lit(1)}, Body: []sim.Op{
+					sim.Assign{Dst: "x", Src: sim.Lit(1)},
+					sim.Arith{Dst: "c", A: sim.V("c"), Op: sim.OpAdd, B: sim.Lit(1)},
+				}},
+				sim.Return{Val: sim.V("x")},
+			},
+			paramRead: true, // zero-iteration loops define nothing
+		},
+		{
+			name: "defined-in-try-read-after",
+			body: []sim.Op{
+				sim.Try{Body: []sim.Op{sim.Assign{Dst: "x", Src: sim.Lit(1)}}, CatchKind: "*"},
+				sim.Return{Val: sim.V("x")},
+			},
+			paramRead: true, // the body may stop anywhere
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fe := analyzeOne(t, tc.body, nil)
+			if got := fe.Local&ParamRead != 0; got != tc.paramRead {
+				t.Errorf("ParamRead = %v, want %v (effects %v)", got, tc.paramRead, fe.Local)
+			}
+		})
+	}
+}
+
+// TestFixedPointRecursion: Phase-2 propagation converges on recursive
+// and mutually-recursive call graphs and propagates effects through
+// them.
+func TestFixedPointRecursion(t *testing.T) {
+	p := sim.NewProgram("rec", "Main")
+	// Pure mutual recursion: Even <-> Odd touch only locals.
+	p.AddFunc("Even",
+		sim.Assign{Dst: "n", Src: sim.Lit(2)},
+		sim.Call{Fn: "Odd", Dst: "r"},
+	)
+	p.AddFunc("Odd",
+		sim.Call{Fn: "Even", Dst: "r"},
+	)
+	// Impure mutual recursion: Ping <-> Pong, Pong writes a global.
+	p.AddFunc("Ping", sim.Call{Fn: "Pong", Dst: ""})
+	p.AddFunc("Pong",
+		sim.WriteGlobal{Var: "g", Src: sim.Lit(1)},
+		sim.Call{Fn: "Ping", Dst: ""},
+	)
+	// Self recursion, pure.
+	p.AddFunc("Self", sim.Call{Fn: "Self", Dst: "r"})
+	// A chain reaching the impure cycle.
+	p.AddFunc("Chain", sim.Call{Fn: "Ping", Dst: ""})
+	p.AddFunc("Main", sim.Call{Fn: "Chain", Dst: ""})
+
+	a := Analyze(p)
+	if lvl := a.Level("Even"); lvl > LevelParamPure {
+		t.Errorf("Even level %v, want <= param-pure", lvl)
+	}
+	if lvl := a.Level("Odd"); lvl > LevelParamPure {
+		t.Errorf("Odd level %v, want <= param-pure", lvl)
+	}
+	if lvl := a.Level("Self"); lvl > LevelParamPure {
+		t.Errorf("Self level %v, want <= param-pure", lvl)
+	}
+	for _, fn := range []string{"Ping", "Pong", "Chain", "Main"} {
+		if lvl := a.Level(fn); lvl != LevelImpure {
+			t.Errorf("%s level %v, want impure (global write reaches it transitively)", fn, lvl)
+		}
+		if a.Funcs[fn].Total&GlobalWrite == 0 {
+			t.Errorf("%s total effects %v missing global-write", fn, a.Funcs[fn].Total)
+		}
+	}
+}
+
+// TestLevels pins one representative function per purity level.
+func TestLevels(t *testing.T) {
+	p := sim.NewProgram("levels", "Main")
+	p.AddFunc("Pure",
+		sim.Assign{Dst: "x", Src: sim.Lit(1)},
+		sim.Return{Val: sim.V("x")},
+	)
+	p.AddFunc("ParamPure",
+		sim.Arith{Dst: "y", A: sim.V("arg"), Op: sim.OpMul, B: sim.Lit(2)},
+		sim.Return{Val: sim.V("y")},
+	)
+	p.AddFunc("Observer",
+		sim.ReadGlobal{Var: "g", Dst: "x"},
+		sim.Return{Val: sim.V("x")},
+	)
+	p.AddFunc("ObserverRandom",
+		sim.Random{Dst: "x", N: sim.Lit(10)},
+		sim.Return{Val: sim.V("x")},
+	)
+	p.AddFunc("ObserverClock",
+		sim.ReadClock{Dst: "x"},
+		sim.Return{Val: sim.V("x")},
+	)
+	p.AddFunc("Control",
+		sim.Sleep{Ticks: sim.Lit(2)},
+		sim.Throw{Kind: "Boom"},
+	)
+	p.AddFunc("Impure", sim.WriteGlobal{Var: "g", Src: sim.Lit(1)})
+	p.AddFunc("Main", sim.Nop{})
+
+	a := Analyze(p)
+	want := map[string]Level{
+		"Pure":           LevelPure,
+		"ParamPure":      LevelParamPure,
+		"Observer":       LevelObserver,
+		"ObserverRandom": LevelObserver,
+		"ObserverClock":  LevelObserver,
+		"Control":        LevelControl,
+		"Impure":         LevelImpure,
+	}
+	for fn, lvl := range want {
+		if got := a.Level(fn); got != lvl {
+			t.Errorf("%s level %v, want %v", fn, got, lvl)
+		}
+	}
+	// The derived classifications downstream consumers read.
+	for fn, free := range map[string]bool{
+		"Pure": true, "ParamPure": true, "Observer": true,
+		"ObserverRandom": true, "Control": true, "Impure": false,
+	} {
+		if got := a.SideEffectFree(fn); got != free {
+			t.Errorf("SideEffectFree(%s) = %v, want %v", fn, got, free)
+		}
+	}
+	for fn, pr := range map[string]bool{
+		"Pure": true, "ParamPure": true, "Observer": false,
+		"Control": false, "Impure": false,
+	} {
+		if got := a.Prunable(fn); got != pr {
+			t.Errorf("Prunable(%s) = %v, want %v", fn, got, pr)
+		}
+	}
+	// Unknown functions are never safe.
+	if a.SideEffectFree("NoSuch") || a.Prunable("NoSuch") {
+		t.Error("unknown function classified safe")
+	}
+}
+
+// TestContradictions: hand SideEffectFree annotations refuted by the
+// analysis are flagged; conservative hand annotations (false on a
+// derived-free function) are not.
+func TestContradictions(t *testing.T) {
+	p := sim.NewProgram("lint", "Main")
+	p.AddFunc("BadAnnotation", sim.WriteGlobal{Var: "g", Src: sim.Lit(1)}).SideEffectFree = true
+	p.AddFunc("GoodAnnotation",
+		sim.ReadGlobal{Var: "g", Dst: "x"},
+		sim.Return{Val: sim.V("x")},
+	).SideEffectFree = true
+	p.AddFunc("Conservative", // derived free, annotated false: fine
+		sim.Return{Val: sim.Lit(1)},
+	)
+	p.AddFunc("Main", sim.Nop{})
+
+	got := Analyze(p).Contradictions()
+	if len(got) != 1 || got[0].Func != "BadAnnotation" {
+		t.Fatalf("Contradictions() = %v, want exactly BadAnnotation", got)
+	}
+	if got[0].Effects&GlobalWrite == 0 {
+		t.Errorf("contradiction effects %v missing global-write", got[0].Effects)
+	}
+	if got[0].String() == "" {
+		t.Error("empty contradiction rendering")
+	}
+}
+
+// quickstartReplica rebuilds examples/quickstart's buggy program (the
+// example hand-sets SideEffectFree on ReadTotal) so the annotation
+// lint covers it without importing a main package.
+func quickstartReplica() *sim.Program {
+	p := sim.NewProgram("quickstart", "Main")
+	p.Globals["counter"] = 0
+	p.AddFunc("Increment",
+		sim.ReadGlobal{Var: "counter", Dst: "c"},
+		sim.Nop{}, sim.Nop{},
+		sim.Arith{Dst: "c", A: sim.V("c"), Op: sim.OpAdd, B: sim.Lit(1)},
+		sim.WriteGlobal{Var: "counter", Src: sim.V("c")},
+	)
+	p.AddFunc("ReadTotal",
+		sim.ReadGlobal{Var: "counter", Dst: "v"},
+		sim.Return{Val: sim.V("v")},
+	).SideEffectFree = true
+	p.AddFunc("Main",
+		sim.Spawn{Fn: "Increment", Dst: "a"},
+		sim.Spawn{Fn: "Increment", Dst: "b"},
+		sim.Join{Thread: sim.V("a")},
+		sim.Join{Thread: sim.V("b")},
+		sim.Call{Fn: "ReadTotal", Dst: "total"},
+		sim.If{Cond: sim.Cond{A: sim.V("total"), Op: sim.NE, B: sim.Lit(2)},
+			Then: []sim.Op{sim.Throw{Kind: "LostUpdate"}}},
+	)
+	return p
+}
+
+// TestAnnotationLint runs the contradiction checker over every
+// program that ships hand SideEffectFree annotations — the six case
+// studies, the quickstart example's program, and the pruning demo —
+// and requires zero contradictions: every hand annotation in the tree
+// is consistent with the derived effects.
+func TestAnnotationLint(t *testing.T) {
+	progs := make([]*sim.Program, 0, 8)
+	for _, s := range casestudy.All() {
+		progs = append(progs, s.Program)
+	}
+	progs = append(progs, quickstartReplica(), PruningDemo(4, 6))
+	for _, p := range progs {
+		a := Analyze(p)
+		for _, c := range a.Contradictions() {
+			t.Errorf("%s: %s", p.Name, c)
+		}
+	}
+}
+
+// TestStudyPurityProfile pins why the case studies see zero pruning:
+// every annotated-safe study function observes shared or environment
+// state (level observer or control), so none reaches the pruning bar.
+// The demo program, by contrast, has prunable functions.
+func TestStudyPurityProfile(t *testing.T) {
+	for _, s := range casestudy.All() {
+		a := Analyze(s.Program)
+		for fn := range s.Program.Funcs {
+			if a.Prunable(fn) {
+				t.Errorf("%s: %s is prunable (level %v); the studies' zero-pruning pin no longer holds",
+					s.Name, fn, a.Level(fn))
+			}
+		}
+	}
+	a := Analyze(PruningDemo(4, 6))
+	prunable := 0
+	for fn := range a.Funcs {
+		if a.Prunable(fn) {
+			prunable++
+		}
+	}
+	// 4 checksums (pure) + 6 relays (param-pure).
+	if prunable != 10 {
+		t.Errorf("demo prunable functions = %d, want 10", prunable)
+	}
+}
+
+// TestEffectString covers the bitfield rendering.
+func TestEffectString(t *testing.T) {
+	if got := Effect(0).String(); got != "none" {
+		t.Errorf("Effect(0) = %q", got)
+	}
+	if got := (GlobalWrite | RaiseThrow).String(); got != "global-write|throw" {
+		t.Errorf("rendering = %q", got)
+	}
+	for _, lvl := range []Level{LevelPure, LevelParamPure, LevelObserver, LevelControl, LevelImpure} {
+		if lvl.String() == "" {
+			t.Errorf("empty Level rendering for %d", int(lvl))
+		}
+	}
+}

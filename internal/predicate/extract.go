@@ -25,8 +25,15 @@ type Config struct {
 	// It suppresses tick-level artifacts of branch shape, akin to the
 	// statistical significance filters of SD tools.
 	DurationMargin trace.Time
-	// DropUnobserved removes predicates with no occurrences anywhere.
-	// On by default in Extract.
+	// PureMethods reports whether a method is provably pure (the effect
+	// analysis's pruning bar): predicates anchored entirely in pure
+	// methods cannot host a root cause and are dropped before ranking
+	// (Corpus.DropPure). Nil disables effect-guided pruning.
+	PureMethods func(method string) bool
+	// keepUnobserved, when set, retains predicates with no occurrences
+	// in any row. By default Extract compacts them away with
+	// Corpus.DropUnobserved; only tests that inspect the raw vocabulary
+	// set this.
 	keepUnobserved bool
 }
 
@@ -91,6 +98,7 @@ func Extract(s *trace.Set, cfg Config) *Corpus {
 	}
 	emitAtomicityViolations(s.Executions, 0, c, buildAtomState(succs))
 
+	c.DropPure(cfg.PureMethods)
 	if !cfg.keepUnobserved {
 		c.DropUnobserved()
 	}
@@ -176,6 +184,7 @@ func ExtractStream(s *trace.Set, cfg Config, onRow func(row int, c *Corpus)) *Co
 			onRow(row, c)
 		}
 	}
+	c.DropPure(cfg.PureMethods)
 	if !cfg.keepUnobserved {
 		c.DropUnobserved()
 	}

@@ -88,6 +88,9 @@ func (x *Extractor) Extract(replays []trace.Execution) *Corpus {
 		emitOrderViolations(c, x.order, rows, x.cfg)
 	}
 	emitAtomicityViolations(replays, off, c, x.atom)
+	// Effect-guided pruning mirrors Extract: replay corpora must agree
+	// with the main corpus's predicate set for a given config.
+	c.DropPure(x.cfg.PureMethods)
 	if !x.cfg.keepUnobserved {
 		c.DropUnobserved()
 	}

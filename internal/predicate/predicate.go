@@ -290,6 +290,10 @@ type Corpus struct {
 	// sealed guards rows shared with an extraction template (see
 	// Extractor): writes below it would mutate another corpus's columns.
 	sealed int
+
+	// effectPruned counts predicates removed by DropPure (the
+	// effect-guided pruning pass); see EffectPruned.
+	effectPruned int
 }
 
 // NewCorpus returns an empty corpus.
@@ -514,6 +518,60 @@ func (c *Corpus) DropUnobserved() int {
 	}
 	return removed
 }
+
+// DropPure removes predicates anchored entirely in provably-pure
+// methods — effect-guided pruning: such methods perform no traced
+// accesses and raise no exceptions, so their per-call predicates
+// cannot host a root cause (see internal/effects). Predicates with no
+// method anchor (the failure predicate F, races and order violations
+// spanning mixed methods keep their own anchors) are never dropped.
+// Handles compact like DropUnobserved. A nil oracle is a no-op.
+// Returns the number removed, also accumulated into EffectPruned.
+func (c *Corpus) DropPure(pure func(method string) bool) int {
+	if pure == nil {
+		return 0
+	}
+	keepPreds := make([]Predicate, 0, len(c.Preds))
+	keepCols := make([]column, 0, len(c.cols))
+	removed := 0
+	for i := range c.Preds {
+		if allMethodsPure(&c.Preds[i], pure) {
+			removed++
+			continue
+		}
+		keepPreds = append(keepPreds, c.Preds[i])
+		keepCols = append(keepCols, c.cols[i])
+	}
+	if removed == 0 {
+		return 0
+	}
+	c.Preds = keepPreds
+	c.cols = keepCols
+	c.byID = make(map[ID]Handle, len(keepPreds))
+	for i := range c.Preds {
+		c.byID[c.Preds[i].ID] = Handle(i)
+	}
+	c.effectPruned += removed
+	return removed
+}
+
+// allMethodsPure reports whether p anchors to at least one method and
+// every anchored method is pure.
+func allMethodsPure(p *Predicate, pure func(method string) bool) bool {
+	if len(p.Methods) == 0 {
+		return false
+	}
+	for _, m := range p.Methods {
+		if !pure(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// EffectPruned returns the total number of predicates DropPure removed
+// from this corpus.
+func (c *Corpus) EffectPruned() int { return c.effectPruned }
 
 // deriveSealed returns a corpus that shares this one's rows and columns
 // as an immutable prefix, sized to take extraRows appended rows — the

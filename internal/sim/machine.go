@@ -205,6 +205,15 @@ func execID(name string, seed int64) string {
 // trace is byte-identical to the interpreter's for the same
 // (program, seed, plan) triple. maxSteps <= 0 means DefaultMaxSteps.
 func (pp *Prepared) Run(seed int64, maxSteps int) trace.Execution {
+	return pp.runCapture(seed, maxSteps, nil)
+}
+
+// runCapture is Run plus an optional FinalState snapshot, taken after
+// the run completes and before the machine returns to the pool. The
+// snapshot covers the compiled symbol tables' names — declared plus
+// op-referenced shared state, excluding plan-added injection slots —
+// matching the interpreter's captureFinal exactly.
+func (pp *Prepared) runCapture(seed int64, maxSteps int, final *FinalState) trace.Execution {
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
 	}
@@ -213,6 +222,16 @@ func (pp *Prepared) Run(seed int64, maxSteps int) trace.Execution {
 	m.pushCall(m.newThread(), pp.c.entryFn, -1, -1)
 	m.loop(maxSteps)
 	exec := m.buildExecution(seed)
+	if final != nil {
+		final.Globals = make(map[string]int64, len(pp.c.globalNames))
+		for i, n := range pp.c.globalNames {
+			final.Globals[n] = m.globals[i]
+		}
+		final.Arrays = make(map[string][]int64, len(pp.c.arrayNames))
+		for i, n := range pp.c.arrayNames {
+			final.Arrays[n] = append([]int64(nil), m.arrays[i]...)
+		}
+	}
 	m.pp = nil
 	machinePool.Put(m)
 	return exec

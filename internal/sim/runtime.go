@@ -31,6 +31,10 @@ type RunOptions struct {
 	// Engine selects the execution engine; the zero value is the
 	// compiled engine. Both engines produce byte-identical traces.
 	Engine Engine
+	// Final, when non-nil, receives a snapshot of the program's shared
+	// state (globals and arrays) at the end of the run; see FinalState.
+	// Both engines fill identical snapshots.
+	Final *FinalState
 }
 
 // DefaultMaxSteps is the step budget when RunOptions.MaxSteps is zero.
@@ -148,7 +152,7 @@ func Run(p *Program, seed int64, opts RunOptions) (trace.Execution, error) {
 		if err != nil {
 			return trace.Execution{}, err
 		}
-		return pp.Run(seed, opts.MaxSteps), nil
+		return pp.runCapture(seed, opts.MaxSteps, opts.Final), nil
 	}
 	return runInterpreted(p, seed, opts)
 }
@@ -216,6 +220,9 @@ func runInterpreted(p *Program, seed int64, opts RunOptions) (trace.Execution, e
 		w.exec.Outcome = trace.Success
 	}
 	w.exec.Canonicalize()
+	if opts.Final != nil {
+		w.captureFinal(opts.Final)
+	}
 	return w.exec, nil
 }
 

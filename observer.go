@@ -21,9 +21,10 @@ type ObserverFunc func(e Event)
 func (f ObserverFunc) OnEvent(e Event) { f(e) }
 
 // Event is a typed pipeline progress event. The concrete types are
-// CollectProgress, TracesCollected, PredicatesExtracted, Ranked,
-// DAGBuilt, RoundDone, ContradictionDetected, SchedulerUsage,
-// CauseConfirmed, and DiscoveryDone.
+// CollectProgress, TracesCollected, EffectsAnalyzed,
+// PredicatesExtracted, Ranked, DAGBuilt, RoundDone,
+// ContradictionDetected, SchedulerUsage, CauseConfirmed, and
+// DiscoveryDone.
 type Event interface {
 	// String renders the event as a one-line log message.
 	String() string
@@ -55,6 +56,36 @@ type TracesCollected struct {
 func (e TracesCollected) String() string {
 	return fmt.Sprintf("collected from %s: %d successes, %d failures",
 		e.Source, e.Successes, e.Failures)
+}
+
+// EffectsAnalyzed reports the static effect-analysis stage
+// (WithEffectAnalysis): the purity classification of the source's
+// program and what effect-guided pruning removed from the corpus.
+type EffectsAnalyzed struct {
+	// Functions counts the analyzed functions.
+	Functions int
+	// SideEffectFree counts functions the analysis derives
+	// side-effect-free (no transitive shared-state write).
+	SideEffectFree int
+	// Prunable counts functions at or below the pruning purity bar
+	// (deterministic over at most caller-local state).
+	Prunable int
+	// Pruned counts predicates dropped from the corpus because every
+	// anchor method was prunable.
+	Pruned int
+	// Contradicted counts hand SideEffectFree annotations the analysis
+	// refutes (the annotation says safe, the effects say shared-state
+	// write).
+	Contradicted int
+}
+
+func (e EffectsAnalyzed) String() string {
+	s := fmt.Sprintf("effect analysis: %d/%d functions side-effect-free (%d prunable), %d predicates pruned",
+		e.SideEffectFree, e.Functions, e.Prunable, e.Pruned)
+	if e.Contradicted > 0 {
+		s += fmt.Sprintf("; %d hand annotations contradicted", e.Contradicted)
+	}
+	return s
 }
 
 // PredicatesExtracted reports a completed extraction stage.
@@ -224,6 +255,7 @@ func (e DiscoveryDone) String() string {
 
 func (CollectProgress) event()       {}
 func (TracesCollected) event()       {}
+func (EffectsAnalyzed) event()       {}
 func (PredicatesExtracted) event()   {}
 func (Ranked) event()                {}
 func (DAGBuilt) event()              {}

@@ -8,6 +8,7 @@ import (
 
 	"aid/internal/acdag"
 	"aid/internal/core"
+	"aid/internal/effects"
 	"aid/internal/explain"
 	"aid/internal/grouptest"
 	"aid/internal/inject"
@@ -47,6 +48,7 @@ type Pipeline struct {
 	workers   int
 	observer  Observer
 	streaming bool
+	effects   bool
 	noise     *NoiseTolerance
 	shared    *SharedScheduler
 }
@@ -224,6 +226,26 @@ func WithObserver(o Observer) Option {
 	return func(p *Pipeline) { p.observer = o }
 }
 
+// WithEffectAnalysis turns on the static effect-analysis front-end
+// (internal/effects) for sources that provide a program. Before
+// extraction the pipeline analyzes every function's transitive side
+// effects and uses the result two ways: the derived SideEffectFree
+// classification widens the hand annotations (so return-value and
+// exception interventions become available on provably-safe methods,
+// including when no hand annotations exist), and predicates anchored
+// entirely in provably-pure functions are pruned before ranking —
+// they cannot host a root cause — shrinking the corpus, the AC-DAG,
+// and the intervention candidate pools. An EffectsAnalyzed event
+// reports the classification and pruning counts, including any hand
+// annotations the analysis contradicts.
+//
+// Off by default: the pipeline then uses hand annotations alone and
+// produces byte-identical output to previous releases. Sources
+// without a program (offline corpora) are unaffected either way.
+func WithEffectAnalysis(on bool) Option {
+	return func(p *Pipeline) { p.effects = on }
+}
+
 // WithStreamingExtract makes Extract ingest the corpus one execution
 // row at a time, firing incremental Ranked events as the maintained
 // scores evolve (rank-as-you-ingest). Analysis results are identical
@@ -320,12 +342,57 @@ func (p *Pipeline) Extract(tr *Traces) *Corpus {
 	if p.streaming {
 		return p.ExtractStream(tr)
 	}
+	an := p.applyEffects(tr)
 	corpus := predicate.Extract(tr.Set, tr.Config)
 	if p.compounds > 0 {
 		statdebug.GenerateCompounds(corpus, p.compounds)
 	}
+	p.emitEffects(an, corpus)
 	p.emit(PredicatesExtracted{Total: len(corpus.Preds)})
 	return corpus
+}
+
+// applyEffects runs the static effect analysis (WithEffectAnalysis)
+// and folds its result into tr.Config: the safety oracle becomes
+// hand-annotation OR derived-side-effect-free (derived alone when no
+// hand oracle is set), and the pruning oracle is installed. The config
+// is mutated on tr deliberately — the intervention phase's replay
+// extraction reads the same Traces, and extraction and replay must
+// agree on the predicate vocabulary. Returns nil when the analysis is
+// off or the source has no program.
+func (p *Pipeline) applyEffects(tr *Traces) *effects.Analysis {
+	if !p.effects || tr.Program == nil {
+		return nil
+	}
+	an := effects.Analyze(tr.Program)
+	hand := tr.Config.SideEffectFree
+	tr.Config.SideEffectFree = func(method string) bool {
+		return (hand != nil && hand(method)) || an.SideEffectFree(method)
+	}
+	tr.Config.PureMethods = an.Prunable
+	return an
+}
+
+// emitEffects reports the effect-analysis stage (no-op for a nil
+// analysis).
+func (p *Pipeline) emitEffects(an *effects.Analysis, corpus *Corpus) {
+	if an == nil {
+		return
+	}
+	ev := EffectsAnalyzed{
+		Functions:    len(an.Funcs),
+		Pruned:       corpus.EffectPruned(),
+		Contradicted: len(an.Contradictions()),
+	}
+	for fn := range an.Funcs {
+		if an.SideEffectFree(fn) {
+			ev.SideEffectFree++
+		}
+		if an.Prunable(fn) {
+			ev.Prunable++
+		}
+	}
+	p.emit(ev)
 }
 
 // ExtractStream is Extract's rank-as-you-ingest path: execution rows
@@ -337,6 +404,7 @@ func (p *Pipeline) Extract(tr *Traces) *Corpus {
 // (first occurrence instead of phase order), which no analysis output
 // observes.
 func (p *Pipeline) ExtractStream(tr *Traces) *Corpus {
+	an := p.applyEffects(tr)
 	total := len(tr.Set.Executions)
 	every := total / 20
 	if every < 1 {
@@ -357,6 +425,7 @@ func (p *Pipeline) ExtractStream(tr *Traces) *Corpus {
 	if p.compounds > 0 {
 		statdebug.GenerateCompounds(corpus, p.compounds)
 	}
+	p.emitEffects(an, corpus)
 	p.emit(PredicatesExtracted{Total: len(corpus.Preds)})
 	return corpus
 }
