@@ -12,6 +12,8 @@ import (
 	"syscall"
 	"time"
 
+	"aid"
+	"aid/internal/durable"
 	"aid/internal/service"
 )
 
@@ -33,9 +35,16 @@ func runServe(args []string) {
 		retain       = fs.Int("retain-sessions", 256, "terminal sessions retained for status/report queries")
 		memoCap      = fs.Int("memo-cap", 32, "cross-session scheduler memos retained per tenant (LRU)")
 		maxCorpus    = fs.Int64("max-corpus-bytes", 64<<20, "corpus ingest body cap in bytes (413 beyond it)")
+		persist      = fs.String("persist", "", "state directory for the durable scheduler-memo cache; empty = memos die with the process")
+		fsyncMode    = fs.String("fsync", "always", "memo-log fsync policy: always, batch, or none")
 	)
 	fs.Parse(args)
 
+	policy, err := durable.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aid serve:", err)
+		os.Exit(1)
+	}
 	cfg := service.Config{
 		SessionBudget:  *budget,
 		TenantCap:      *tenantCap,
@@ -44,6 +53,13 @@ func runServe(args []string) {
 		RetainSessions: *retain,
 		TenantMemoCap:  *memoCap,
 		MaxCorpusBytes: *maxCorpus,
+		PersistDir:     *persist,
+		Fsync:          policy,
+		// Recovery is warm-start degradation by design; log what it kept
+		// and dropped so an operator sees lost cache warmth at startup.
+		Observer: aid.ObserverFunc(func(e aid.Event) {
+			fmt.Fprintf(os.Stderr, "aid serve: %s\n", e)
+		}),
 	}
 	if *data != "" {
 		store, err := service.NewFileStore(*data)
@@ -54,6 +70,14 @@ func runServe(args []string) {
 		cfg.Store = store
 	}
 	mgr := service.NewManager(cfg)
+	if *persist != "" {
+		// NewManager degrades to persistence-off when the state directory
+		// is unusable; an operator who asked for -persist wants that loud
+		// at startup, not discovered on the stats endpoint after a crash.
+		if st := mgr.Stats(); st.Recovery != nil && st.Recovery.Error != "" {
+			fmt.Fprintf(os.Stderr, "aid serve: persistence disabled: %s\n", st.Recovery.Error)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

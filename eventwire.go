@@ -27,6 +27,7 @@ const (
 	EventSchedulerUsage        = "scheduler-usage"
 	EventCauseConfirmed        = "cause-confirmed"
 	EventDiscoveryDone         = "discovery-done"
+	EventStateRecovered        = "state-recovered"
 )
 
 // EventType returns e's stable wire name ("" for an unknown type).
@@ -54,6 +55,8 @@ func EventType(e Event) string {
 		return EventCauseConfirmed
 	case DiscoveryDone:
 		return EventDiscoveryDone
+	case StateRecovered:
+		return EventStateRecovered
 	}
 	return ""
 }
@@ -109,6 +112,8 @@ func UnmarshalEvent(data []byte) (Event, error) {
 		e = &CauseConfirmed{}
 	case EventDiscoveryDone:
 		e = &DiscoveryDone{}
+	case EventStateRecovered:
+		e = &StateRecovered{}
 	default:
 		return nil, fmt.Errorf("aid: unknown event type %q", env.Type)
 	}
@@ -139,6 +144,8 @@ func UnmarshalEvent(data []byte) (Event, error) {
 	case *CauseConfirmed:
 		return *v, nil
 	case *DiscoveryDone:
+		return *v, nil
+	case *StateRecovered:
 		return *v, nil
 	}
 	return nil, fmt.Errorf("aid: unknown event type %q", env.Type)

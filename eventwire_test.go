@@ -25,6 +25,7 @@ func TestEventWireRoundTrip(t *testing.T) {
 		aid.SchedulerUsage{Requests: 12, CacheHits: 5, Executions: 7},
 		aid.CauseConfirmed{ID: "p1"},
 		aid.DiscoveryDone{RootCause: "p1", PathLen: 3, Interventions: 11},
+		aid.StateRecovered{Corpora: 2, Memos: 3, MemoEntries: 17, RecordsKept: 5, RecordsDropped: 1, Invalidated: 1},
 	}
 	for _, want := range events {
 		line, err := aid.MarshalEvent(want)

@@ -189,6 +189,9 @@ type outcomeEntry struct {
 	err         error
 	batch       int
 	speculative bool
+	// preds is the group behind the entry's cache key, kept so the memo
+	// can be exported (the key is a canonical digest, not invertible).
+	preds []predicate.ID
 	// info and contradiction are the robust-mode provenance of the
 	// outcome, replayed into RoundMeta on cache hits.
 	info          TrialInfo
@@ -375,7 +378,8 @@ func (s *Scheduler) Outcome(ctx context.Context, req Request) ([]Observation, Ro
 		s.batches++
 		s.stats.Batches++
 		s.stats.Executions++
-		e = &outcomeEntry{done: closedChan, batch: s.batches}
+		e = &outcomeEntry{done: closedChan, batch: s.batches,
+			preds: append([]predicate.ID(nil), req.Preds...)}
 		s.cache[key] = e
 	}
 	if s.speculate {
@@ -427,7 +431,8 @@ func (s *Scheduler) Outcome(ctx context.Context, req Request) ([]Observation, Ro
 		s.batches++
 		s.stats.Batches++
 		s.stats.Executions++
-		retry := &outcomeEntry{done: closedChan, batch: s.batches}
+		retry := &outcomeEntry{done: closedChan, batch: s.batches,
+			preds: append([]predicate.ID(nil), req.Preds...)}
 		s.cache[key] = retry
 		s.mu.Unlock()
 		retry.obs, retry.err = s.iv.Intervene(ctx, req.Preds)
@@ -468,7 +473,8 @@ func (s *Scheduler) escalatedOutcome(ctx context.Context, req Request) ([]Observ
 		return nil, RoundMeta{Batch: batch}, err
 	}
 	if !s.noCache {
-		e := &outcomeEntry{done: closedChan, obs: obs, batch: batch, info: info}
+		e := &outcomeEntry{done: closedChan, obs: obs, batch: batch, info: info,
+			preds: append([]predicate.ID(nil), req.Preds...)}
 		s.mu.Lock()
 		s.cache[key] = e
 		s.mu.Unlock()
@@ -672,10 +678,11 @@ func (s *Scheduler) prefetch(ctx context.Context, req Request, primaryKey string
 		if _, ok := s.cache[key]; ok {
 			continue
 		}
-		e := &outcomeEntry{done: make(chan struct{}), speculative: true}
+		cp := append([]predicate.ID(nil), hint...)
+		e := &outcomeEntry{done: make(chan struct{}), speculative: true, preds: cp}
 		s.cache[key] = e
 		entries = append(entries, e)
-		groups = append(groups, append([]predicate.ID(nil), hint...))
+		groups = append(groups, cp)
 	}
 	if len(groups) == 0 {
 		return

@@ -1,0 +1,94 @@
+package durable_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoUncheckedCloseOrSync is an errcheck-style gate for the
+// crash-consistency layer: every Close and Sync error in
+// internal/durable and internal/chaos must be consumed. A dropped Close
+// error on a just-written file is a dropped write error — the exact
+// failure this layer exists to surface. Flagged forms:
+//
+//	f.Close()        // bare statement
+//	defer f.Sync()   // deferred, result unobservable
+//	_ = f.Close()    // blank-discarded
+//
+// A deliberate ignore must bind the error to a named variable
+// (cerr := f.Close(); _ = cerr) so it is explicit and greppable.
+func TestNoUncheckedCloseOrSync(t *testing.T) {
+	dirs := []string{".", filepath.Join("..", "chaos")}
+	fset := token.NewFileSet()
+	var violations []string
+	flag := func(pos token.Pos, form string) {
+		violations = append(violations, fmt.Sprintf("%s: unchecked %s", fset.Position(pos), form))
+	}
+	checked := 0
+	for _, dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				checked++
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch st := n.(type) {
+					case *ast.ExprStmt:
+						if name, ok := closeOrSyncCall(st.X); ok {
+							flag(st.Pos(), name+"() as a bare statement")
+						}
+					case *ast.DeferStmt:
+						if name, ok := closeOrSyncCall(st.Call); ok {
+							flag(st.Pos(), "defer "+name+"()")
+						}
+					case *ast.AssignStmt:
+						if len(st.Lhs) == 1 && len(st.Rhs) == 1 && isBlank(st.Lhs[0]) {
+							if name, ok := closeOrSyncCall(st.Rhs[0]); ok {
+								flag(st.Pos(), "_ = "+name+"()")
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("lint scanned no files; directory layout changed?")
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+// closeOrSyncCall reports whether expr is a method call named Close or
+// Sync (on any receiver), returning the method name.
+func closeOrSyncCall(expr ast.Expr) (string, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if n := sel.Sel.Name; n == "Close" || n == "Sync" {
+		return n, true
+	}
+	return "", false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

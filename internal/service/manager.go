@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"aid"
+	"aid/internal/durable"
 	"aid/internal/trace"
 )
 
@@ -49,6 +50,22 @@ type Config struct {
 	// larger bodies are refused with 413. It guards the daemon, not the
 	// library: Manager.Ingest itself reads whatever it is handed.
 	MaxCorpusBytes int64
+	// PersistDir, when set, makes tenant scheduler memos survive
+	// restarts: they are journaled to an append-only checksummed log
+	// under this directory, restored (with corpus-fingerprint
+	// validation) at construction, and compacted at graceful shutdown.
+	// Empty disables persistence entirely — the daemon then behaves
+	// byte-identically to one without the feature.
+	PersistDir string
+	// Fsync is the memo log's sync policy (default durable.SyncAlways).
+	Fsync durable.SyncPolicy
+	// PersistFS overrides the filesystem under PersistDir (default the
+	// real one) — the disk-fault harness's hook.
+	PersistFS durable.FS
+	// Observer, when non-nil, receives manager-level events — today the
+	// startup StateRecovered report. Session-level pipeline events flow
+	// through each session's own stream, not here.
+	Observer aid.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +137,13 @@ type ManagerStats struct {
 	Saturations int `json:"saturations"`
 	// Tenants counts tenants with at least one session.
 	Tenants int `json:"tenants"`
+	// Recovery reports what startup recovery restored (nil with
+	// persistence off).
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
+	// PersistErrors counts persistence-layer failures since startup
+	// (memo appends, compactions). Sessions never fail on them; they
+	// only cost future warmth — but they surface here, never silently.
+	PersistErrors int `json:"persistErrors,omitempty"`
 }
 
 // tenantMemo is one cross-session scheduler memo: the shared scheduler
@@ -130,6 +154,7 @@ type ManagerStats struct {
 // for LRU eviction under Config.TenantMemoCap.
 type tenantMemo struct {
 	corpus  string
+	fp      string // corpus content fingerprint ("" when corpus is "")
 	lastUse int64
 	sched   *aid.SharedScheduler
 }
@@ -163,6 +188,11 @@ type Manager struct {
 	draining    bool
 	saturations int
 
+	// persist is the memo log handle (nil = persistence off); recovery
+	// the startup recovery outcome (nil = persistence off).
+	persist  *persistor
+	recovery *RecoveryStats
+
 	wg sync.WaitGroup
 }
 
@@ -170,7 +200,7 @@ type Manager struct {
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Manager{
+	m := &Manager{
 		cfg:        cfg,
 		store:      cfg.Store,
 		limiter:    NewLimiter(cfg.SessionBudget, cfg.TenantCap, cfg.RetryAfter),
@@ -179,6 +209,13 @@ func NewManager(cfg Config) *Manager {
 		sessions:   map[string]*Session{},
 		tenants:    map[string]*tenantState{},
 	}
+	if cfg.PersistDir != "" {
+		// Recovery runs before any session can exist, so it may populate
+		// m.tenants without the lock. Never fatal: an unusable log leaves
+		// persistence disabled with the error on the stats endpoint.
+		m.openPersist()
+	}
+	return m
 }
 
 // Store returns the corpus store.
@@ -301,6 +338,15 @@ func (m *Manager) Start(tenant string, spec SessionSpec) (*Session, error) {
 		memo := ts.shared[key]
 		if memo == nil {
 			memo = &tenantMemo{corpus: spec.Corpus, sched: aid.NewSharedScheduler()}
+			if m.persist != nil {
+				// Stamp the corpus content hash now, against the exact set
+				// the session will replay over (resolveSource just fetched
+				// it, so the store serves the cached instance): persisted
+				// outcomes are only ever revived for this fingerprint.
+				if fp, err := m.corpusFingerprint(tenant, spec.Corpus); err == nil {
+					memo.fp = fp
+				}
+			}
 			ts.shared[key] = memo
 		}
 		memo.lastUse = m.memoTick
@@ -357,6 +403,11 @@ func (m *Manager) run(ctx context.Context, s *Session, source aid.TraceSource, s
 	// folded in.
 	rep, err := m.runPipeline(ctx, s, source, shared)
 	m.finish(s, rep, err)
+	// Journal the memo after the outcome is recorded (even for failed or
+	// cancelled sessions — completed intervention outcomes stay valid
+	// regardless of how the session ended). Still inside the session's
+	// wg scope, so Shutdown's compaction never races an append.
+	m.persistSession(s, shared)
 }
 
 // runPipeline executes the session's pipeline run, containing panics to
@@ -514,7 +565,13 @@ func (m *Manager) Cancel(id string) bool {
 func (m *Manager) Stats() ManagerStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := ManagerStats{Sessions: map[SessionState]int{}, Saturations: m.saturations, Tenants: len(m.tenants)}
+	st := ManagerStats{
+		Sessions:      map[SessionState]int{},
+		Saturations:   m.saturations,
+		Tenants:       len(m.tenants),
+		Recovery:      m.recovery,
+		PersistErrors: m.persist.errors(),
+	}
 	for _, s := range m.sessions {
 		st.Sessions[s.State()]++
 	}
@@ -536,16 +593,23 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		// Grace expired: cancel every session; they return within one
 		// task-drain by the context-plumbing contract.
 		m.baseCancel()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Graceful-drain snapshot: every session has journaled its memo (the
+	// appends happen inside the session wg scope), so compacting now
+	// leaves one atomic, fsynced record per live memo — the next start
+	// is fully warm without replaying the whole append history.
+	m.compactPersist()
+	m.closePersist()
+	return err
 }
 
 // Close force-cancels everything and waits; for tests and fatal paths.
@@ -555,6 +619,9 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.baseCancel()
 	m.wg.Wait()
+	// No compaction on the fatal path — the append log is already
+	// durable per its sync policy; just flush and release the handle.
+	m.closePersist()
 }
 
 // setSource adapts a stored corpus plus a case study's program to the

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 
+	"aid/internal/durable"
 	"aid/internal/trace"
 )
 
@@ -196,19 +197,45 @@ func (s *MemStore) Delete(tenant, name string) error {
 // the pipeline over either is byte-identical. Reads are cached: the
 // decoded set is retained until the corpus is replaced or deleted, so
 // repeated sessions over one corpus decode it once.
+//
+// Writes are crash-consistent: each Put goes through the durable
+// layer's write-tmp-fsync-rename-fsync(dir) discipline (with a bounded
+// seeded-backoff retry for transient I/O faults), so a crash mid-ingest
+// leaves either the complete old corpus or the complete new one — a
+// torn file is never visible under the committed name.
 type FileStore struct {
-	root string
+	root  string
+	fs    durable.FS
+	fsync bool
 
 	mu    sync.Mutex
 	cache map[string]*trace.Set // key: tenant + "/" + name
 }
 
-// NewFileStore opens (creating if needed) a file store rooted at dir.
+// putRetries and putRetrySeed bound the transient-I/O retry of a Put:
+// three attempts with the seeded-jitter backoff (deterministic delays,
+// worst case well under a second) — a disk that stays broken longer is
+// not transient.
+const (
+	putRetries   = 3
+	putRetrySeed = 1
+)
+
+// NewFileStore opens (creating if needed) a file store rooted at dir,
+// with full fsync durability over the real filesystem.
 func NewFileStore(dir string) (*FileStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewFileStoreFS(dir, durable.OS(), true)
+}
+
+// NewFileStoreFS is NewFileStore over an explicit filesystem — the
+// disk-fault harness's hook — with fsyncs optional (fsync=false keeps
+// rename atomicity but skips fsync, for tests where durability across
+// a real power cut is moot).
+func NewFileStoreFS(dir string, fsys durable.FS, fsync bool) (*FileStore, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: file store root: %w", err)
 	}
-	return &FileStore{root: dir, cache: map[string]*trace.Set{}}, nil
+	return &FileStore{root: dir, fs: fsys, fsync: fsync, cache: map[string]*trace.Set{}}, nil
 }
 
 func (s *FileStore) path(tenant, name string) string {
@@ -222,20 +249,23 @@ func (s *FileStore) Put(tenant, name string, set *trace.Set) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.MkdirAll(filepath.Join(s.root, tenant), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Join(s.root, tenant), 0o755); err != nil {
 		return fmt.Errorf("service: file store tenant dir: %w", err)
 	}
-	// Write-then-rename so a crashed Put never leaves a truncated
-	// corpus where a complete one was expected.
+	// Atomic replace (write tmp, fsync, rename, fsync dir) so a crashed
+	// Put never leaves a truncated corpus where a complete one was
+	// expected — and the committed corpus actually survives the crash.
+	// The bounded retry rides out transient faults (a flaky fsync);
+	// WriteFileAtomic cleans up its tmp file per attempt, so retries
+	// start clean.
 	dst := s.path(tenant, name)
-	tmp := dst + ".tmp"
-	if err := trace.WriteFile(tmp, set); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, dst); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("service: file store commit: %w", err)
+	err := durable.Retry(putRetries, putRetrySeed, 0, 0, func() error {
+		return durable.WriteFileAtomic(s.fs, dst, s.fsync, func(w io.Writer) error {
+			return trace.Encode(w, set)
+		})
+	})
+	if err != nil {
+		return fmt.Errorf("service: file store put %s/%s: %w", tenant, name, err)
 	}
 	s.cache[tenant+"/"+name] = set
 	return nil
@@ -251,12 +281,21 @@ func (s *FileStore) Get(tenant, name string) (*trace.Set, error) {
 	if set := s.cache[tenant+"/"+name]; set != nil {
 		return set, nil
 	}
-	set, err := trace.ReadFile(s.path(tenant, name))
+	path := s.path(tenant, name)
+	f, err := s.fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, &NotFoundError{Tenant: tenant, Name: name}
 		}
+		return nil, fmt.Errorf("service: file store get: %w", err)
+	}
+	set, err := trace.DecodeNamed(f, path)
+	cerr := f.Close()
+	if err != nil {
 		return nil, err
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("service: file store get: %w", cerr)
 	}
 	s.cache[tenant+"/"+name] = set
 	return set, nil
@@ -267,7 +306,7 @@ func (s *FileStore) List(tenant string) ([]CorpusInfo, error) {
 	if err := ValidateName("tenant", tenant); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(filepath.Join(s.root, tenant))
+	entries, err := s.fs.ReadDir(filepath.Join(s.root, tenant))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -298,7 +337,7 @@ func (s *FileStore) Delete(tenant, name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.cache, tenant+"/"+name)
-	if err := os.Remove(s.path(tenant, name)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.path(tenant, name)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("service: file store delete: %w", err)
 	}
 	return nil

@@ -35,6 +35,11 @@ const maxRecordBytes = 64 * 1024 * 1024
 // format) no longer than maxRecordBytes.
 func Decode(r io.Reader) (*Set, error) { return decodeNamed(r, "") }
 
+// DecodeNamed is Decode with a source name for diagnostics: errors read
+// "trace: <name>:<line>: ..." — what ReadFile produces, for callers that
+// open the file themselves (e.g. through a virtual filesystem).
+func DecodeNamed(r io.Reader, name string) (*Set, error) { return decodeNamed(r, name) }
+
 // decodeNamed is Decode with a source name for diagnostics: errors read
 // "trace: <name>:<line>: ..." (or "trace: line <line>: ..." unnamed).
 func decodeNamed(r io.Reader, name string) (*Set, error) {

@@ -23,8 +23,8 @@ func (f ObserverFunc) OnEvent(e Event) { f(e) }
 // Event is a typed pipeline progress event. The concrete types are
 // CollectProgress, TracesCollected, EffectsAnalyzed,
 // PredicatesExtracted, Ranked, DAGBuilt, RoundDone,
-// ContradictionDetected, SchedulerUsage, CauseConfirmed, and
-// DiscoveryDone.
+// ContradictionDetected, SchedulerUsage, CauseConfirmed,
+// DiscoveryDone, and StateRecovered.
 type Event interface {
 	// String renders the event as a one-line log message.
 	String() string
@@ -253,6 +253,44 @@ func (e DiscoveryDone) String() string {
 		e.RootCause, e.PathLen, e.Interventions)
 }
 
+// StateRecovered reports what the daemon restored from its persistence
+// directory at startup (aid serve -persist). Emitted once, before any
+// session runs. Recovery follows warm-start degradation: corruption is
+// counted and dropped, never fatal, so RecordsDropped > 0 (or ColdStart)
+// means lost cache warmth, not lost correctness.
+type StateRecovered struct {
+	// Corpora counts tenant corpora found intact in the store.
+	Corpora int
+	// Memos counts persisted memo snapshots restored; MemoEntries the
+	// individual intervention outcomes they carried.
+	Memos, MemoEntries int
+	// RecordsKept and RecordsDropped are the durable log's recovery
+	// counts: records read intact vs. lost to a torn tail or corruption.
+	RecordsKept, RecordsDropped int
+	// Invalidated counts memo records discarded because the corpus they
+	// were derived over changed (fingerprint mismatch) or vanished —
+	// persisted answers are never trusted stale.
+	Invalidated int
+	// ColdStart reports the cache was unusable (unrecognized or corrupt
+	// beyond its header) and the daemon started from empty state.
+	ColdStart bool
+}
+
+func (e StateRecovered) String() string {
+	if e.ColdStart {
+		return fmt.Sprintf("state recovered: cold start (%d records dropped)", e.RecordsDropped)
+	}
+	s := fmt.Sprintf("state recovered: %d corpora, %d memos (%d outcomes) from %d records",
+		e.Corpora, e.Memos, e.MemoEntries, e.RecordsKept)
+	if e.RecordsDropped > 0 {
+		s += fmt.Sprintf(", %d records dropped", e.RecordsDropped)
+	}
+	if e.Invalidated > 0 {
+		s += fmt.Sprintf(", %d invalidated", e.Invalidated)
+	}
+	return s
+}
+
 func (CollectProgress) event()       {}
 func (TracesCollected) event()       {}
 func (EffectsAnalyzed) event()       {}
@@ -264,3 +302,4 @@ func (ContradictionDetected) event() {}
 func (SchedulerUsage) event()        {}
 func (CauseConfirmed) event()        {}
 func (DiscoveryDone) event()         {}
+func (StateRecovered) event()        {}

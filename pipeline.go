@@ -2,6 +2,7 @@ package aid
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -124,6 +125,11 @@ type SharedScheduler struct {
 
 	mu    sync.Mutex
 	sched *core.Scheduler
+	// pending stages memo entries imported before the first run binds an
+	// intervener (restoring persisted state happens at daemon startup,
+	// when no executor exists yet); bind applies them to the fresh
+	// scheduler.
+	pending []core.MemoEntry
 }
 
 // NewSharedScheduler returns an empty cross-run memo.
@@ -148,10 +154,63 @@ func (s *SharedScheduler) bind(iv core.Intervener, workers int) *core.Scheduler 
 	defer s.mu.Unlock()
 	if s.sched == nil {
 		s.sched = core.NewScheduler(iv, core.SchedulerConfig{Workers: workers})
+		if len(s.pending) > 0 {
+			s.sched.ImportMemo(s.pending)
+			s.pending = nil
+		}
 	} else {
 		s.sched.Rebind(iv)
 	}
 	return s.sched
+}
+
+// ExportMemo serializes the accumulated intervention memo as a JSON
+// snapshot suitable for ImportMemo in a later process. Nil bytes (with
+// nil error) mean there is nothing worth persisting. Safe to call at
+// any time — including mid-run, where it snapshots whatever outcomes
+// have completed — because the underlying cache is lock-guarded; the
+// daemon calls it after each session and again at graceful shutdown.
+func (s *SharedScheduler) ExportMemo() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var entries []core.MemoEntry
+	if s.sched != nil {
+		entries = s.sched.ExportMemo()
+	} else {
+		// Imported but never bound: re-export the staged entries so a
+		// compaction cannot drop state that was merely unused.
+		entries = s.pending
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	data, err := json.Marshal(entries)
+	if err != nil {
+		return nil, fmt.Errorf("aid: export memo: %w", err)
+	}
+	return data, nil
+}
+
+// ImportMemo restores a snapshot produced by ExportMemo, returning how
+// many entries it carried. Before the first run it stages the entries
+// and applies them when the scheduler is first bound; afterwards the
+// entries merge into the live cache, existing keys winning. The sharing
+// contract extends across the round trip: import only snapshots
+// exported for the same (program, corpus, seeds, config) tuple —
+// the daemon guarantees it by persisting memos under the session
+// fingerprint and corpus fingerprint they were derived over.
+func (s *SharedScheduler) ImportMemo(data []byte) (int, error) {
+	var entries []core.MemoEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return 0, fmt.Errorf("aid: import memo: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sched != nil {
+		return s.sched.ImportMemo(entries), nil
+	}
+	s.pending = append(s.pending, entries...)
+	return len(entries), nil
 }
 
 // Stats snapshots the accumulated scheduler accounting (zero before the
