@@ -34,6 +34,7 @@ func runServe(args []string) {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight sessions on shutdown")
 		retain       = fs.Int("retain-sessions", 256, "terminal sessions retained for status/report queries")
 		memoCap      = fs.Int("memo-cap", 32, "cross-session scheduler memos retained per tenant (LRU)")
+		resultCache  = fs.Int("result-cache", 0, "finished-session results served whole on a repeat spec, per tenant (LRU; 0 = off)")
 		maxCorpus    = fs.Int64("max-corpus-bytes", 64<<20, "corpus ingest body cap in bytes (413 beyond it)")
 		persist      = fs.String("persist", "", "state directory for the durable scheduler-memo cache; empty = memos die with the process")
 		fsyncMode    = fs.String("fsync", "always", "memo-log fsync policy: always, batch, or none")
@@ -52,6 +53,7 @@ func runServe(args []string) {
 		RetryAfter:     *retryAfter,
 		RetainSessions: *retain,
 		TenantMemoCap:  *memoCap,
+		ResultCacheCap: *resultCache,
 		MaxCorpusBytes: *maxCorpus,
 		PersistDir:     *persist,
 		Fsync:          policy,

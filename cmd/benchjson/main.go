@@ -4,11 +4,20 @@
 //
 // Usage:
 //
-//	benchjson [-o BENCH_pipeline.json] [-instances 60] [-successes 30] [-failures 30] [-workers 0] [-baseline old.json] [-repeat 3]
+//	benchjson [-o BENCH_pipeline.json] [-instances 60] [-successes 30] [-failures 30] [-workers 0] [-baseline old.json] [-repeat 3] [-check] [-tolerance 0.15]
 //
 // With -baseline, the named file's "current" section is embedded as
 // "baseline" in the output, giving a self-contained before/after
 // record.
+//
+// With -check (requires -baseline), the freshly measured figures are
+// compared against the baseline's: an allocs/op or bytes/op increase
+// beyond the tolerance band fails the run (exit 1) — the CI allocation
+// gate. Wall clock is warn-only: ns/op on shared hosts is scheduling
+// noise, while allocation counts are near-deterministic for the same
+// workload, especially under GOMAXPROCS=1. Compare like with like:
+// the baseline must have been generated at the same scale flags and
+// GOMAXPROCS as the checking run.
 package main
 
 import (
@@ -95,6 +104,69 @@ type Doc struct {
 	Current  *Run `json:"current"`
 }
 
+// Absolute slack under which an allocation delta is never a
+// regression: small figures breathe (pool warmup, GC bookkeeping, a
+// map rehash) without tripping the relative band, while a real
+// regression on the measured pipeline costs thousands of allocations.
+const (
+	checkAllocSlack int64 = 512
+	checkByteSlack  int64 = 64 << 10
+)
+
+// checkUngated names figures whose work-per-op is bounded by wall
+// clock rather than fixed: the fairness figure floods a tenant for a
+// measurement window, so its allocation totals scale with how many
+// sessions the host pushes through — a faster host (or a faster
+// pipeline) raises them without any per-session regression. Gating
+// them would flap; the figure's own fairness bound still fails the
+// run, and the per-session pipeline cost is gated by every fixed-work
+// figure.
+var checkUngated = map[string]bool{
+	"Serve/fairness": true,
+}
+
+// checkRegressions compares a fresh run's allocation figures against a
+// baseline run. For every baseline figure, allocs/op and bytes/op may
+// grow by at most tol (relative) or the absolute slack, whichever is
+// larger; beyond that is a violation. A baseline figure the fresh run
+// no longer measures is a violation too (a silently dropped workload
+// would pass every band). New figures pass — they have no baseline.
+// Wall clock lands in warnings when it more than doubles, never in
+// violations. Figures in checkUngated must still be measured but
+// their per-op numbers are informational.
+func checkRegressions(base, cur *Run, tol float64) (violations, warnings []string) {
+	byName := make(map[string]Figure, len(cur.Figures))
+	for _, f := range cur.Figures {
+		byName[f.Name] = f
+	}
+	band := func(v, slack int64) int64 {
+		return v + max(int64(tol*float64(v)), slack)
+	}
+	for _, b := range base.Figures {
+		c, ok := byName[b.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: in baseline but not measured by this run", b.Name))
+			continue
+		}
+		if checkUngated[b.Name] {
+			continue
+		}
+		if limit := band(b.AllocsPerOp, checkAllocSlack); c.AllocsPerOp > limit {
+			violations = append(violations, fmt.Sprintf("%s: allocs/op %d -> %d exceeds limit %d (baseline + max(%.0f%%, %d))",
+				b.Name, b.AllocsPerOp, c.AllocsPerOp, limit, tol*100, checkAllocSlack))
+		}
+		if limit := band(b.BytesPerOp, checkByteSlack); c.BytesPerOp > limit {
+			violations = append(violations, fmt.Sprintf("%s: bytes/op %d -> %d exceeds limit %d (baseline + max(%.0f%%, %d))",
+				b.Name, b.BytesPerOp, c.BytesPerOp, limit, tol*100, checkByteSlack))
+		}
+		if c.NsPerOp > 2*b.NsPerOp {
+			warnings = append(warnings, fmt.Sprintf("%s: ns/op %d -> %d (wall clock is warn-only)",
+				b.Name, b.NsPerOp, c.NsPerOp))
+		}
+	}
+	return violations, warnings
+}
+
 func main() {
 	var (
 		out       = flag.String("o", "BENCH_pipeline.json", "output file")
@@ -104,8 +176,13 @@ func main() {
 		workers   = flag.Int("workers", 0, "execution-pool width (0 = GOMAXPROCS)")
 		baseline  = flag.String("baseline", "", "embed this file's current run as the baseline")
 		repeat    = flag.Int("repeat", 3, "measurement passes per figure (fastest is recorded; metrics must agree)")
+		check     = flag.Bool("check", false, "fail (exit 1) when allocs/op or bytes/op regress past -tolerance vs -baseline; ns is warn-only")
+		tolerance = flag.Float64("tolerance", 0.15, "relative allocation growth allowed by -check before failing")
 	)
 	flag.Parse()
+	if *check && *baseline == "" {
+		fatal(fmt.Errorf("-check requires -baseline"))
+	}
 
 	// Read the baseline up front so a bad path fails before the
 	// (minutes-long at paper scale) measurement pass, not after.
@@ -337,6 +414,65 @@ func main() {
 		run.Figures = append(run.Figures, bestFig)
 	}
 
+	// Warm-session record: the daemon's steady-state serve path — a
+	// repeat session against a warmed result cache (admission, cached
+	// serve, event replay, report detach, terminal bookkeeping), the
+	// per-session twin of BenchmarkServeSession. Costs are per session.
+	{
+		const warmSessions = 100
+		name := "Serve/warm-session"
+		fmt.Fprintf(os.Stderr, "benchjson: %s...\n", name)
+		mgr := service.NewManager(service.Config{SessionBudget: 2, TenantCap: 8, ResultCacheCap: 4})
+		spec := service.SessionSpec{Study: "npgsql", Successes: *successes, Failures: *failures}
+		session := func() (service.SessionStatus, error) {
+			s, err := mgr.Start("bench", spec)
+			if err != nil {
+				return service.SessionStatus{}, err
+			}
+			<-s.Done()
+			if _, _, err := s.Report(); err != nil {
+				return service.SessionStatus{}, err
+			}
+			return s.Status(), nil
+		}
+		if _, err := session(); err != nil { // populate the cache
+			fatal(err)
+		}
+		var metrics map[string]float64
+		fig, err := measure(*repeat, func() error {
+			hits := 0
+			for i := 0; i < warmSessions; i++ {
+				st, err := session()
+				if err != nil {
+					return err
+				}
+				if st.ResultCacheHit {
+					hits++
+				}
+			}
+			m := map[string]float64{
+				"sessions":          warmSessions,
+				"result-cache-hits": float64(hits),
+			}
+			checkMetrics(name, metrics, m)
+			metrics = m
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		mgr.Close()
+		if metrics["result-cache-hits"] != warmSessions {
+			fatal(fmt.Errorf("%s: only %.0f/%d sessions served from the result cache", name, metrics["result-cache-hits"], warmSessions))
+		}
+		fig.Name = name
+		fig.NsPerOp /= warmSessions
+		fig.AllocsPerOp /= warmSessions
+		fig.BytesPerOp /= warmSessions
+		fig.Metrics = metrics
+		run.Figures = append(run.Figures, fig)
+	}
+
 	doc := &Doc{Baseline: prevRun, Current: run}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -347,6 +483,20 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d figures)\n", *out, len(run.Figures))
+
+	if *check {
+		violations, warnings := checkRegressions(prevRun, run, *tolerance)
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "benchjson: warning:", w)
+		}
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", v)
+		}
+		if len(violations) > 0 {
+			fatal(fmt.Errorf("%d allocation regression(s) against %s", len(violations), *baseline))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: check passed: %d baseline figures within tolerance\n", len(prevRun.Figures))
+	}
 }
 
 func fatal(err error) {

@@ -25,7 +25,9 @@ package acdag
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"slices"
 	"sort"
 	"strings"
 
@@ -107,8 +109,31 @@ func (s *NodeSet) Clone() *NodeSet {
 	return &NodeSet{d: s.d, bits: s.bits.Clone()}
 }
 
+// Clear removes every member in place, keeping the backing words — the
+// per-round scratch-set primitive, so discovery loops reuse one set
+// instead of allocating a fresh one each round.
+func (s *NodeSet) Clear() *NodeSet {
+	s.bits.ClearFrom(0)
+	return s
+}
+
 // ForEachIndex calls fn for every member index in ascending order.
 func (s *NodeSet) ForEachIndex(fn func(i int)) { s.bits.ForEach(fn) }
+
+// ForEachIndexAndNot calls fn for every member of s \ o in ascending
+// order — one fused word loop, no materialized difference.
+func (s *NodeSet) ForEachIndexAndNot(o *NodeSet, fn func(i int)) {
+	for w, word := range s.bits {
+		if w < len(o.bits) {
+			word &^= o.bits[w]
+		}
+		base := w << 6
+		for word != 0 {
+			fn(base + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
 
 // maskFor resolves a possibly-nil set to its bitset (nil = all nodes).
 // The result is shared storage: callers must not mutate it.
@@ -526,6 +551,15 @@ func (d *DAG) ReachedFromAny(i int, s *NodeSet) bool {
 	return d.pred[i].Intersects(s.bits)
 }
 
+// OrDescendantsInto unions node i's descendant row into s — the
+// incremental-reachability primitive: a walk that ORs each walked
+// node's row maintains "reached from any walked node" as one set,
+// replacing a per-node ancestor intersection per round with a single
+// word-parallel union per walked node.
+func (d *DAG) OrDescendantsInto(i int, s *NodeSet) {
+	s.bits.OrWith(d.prec[i])
+}
+
 // Ancestors returns every node that precedes id.
 func (d *DAG) Ancestors(id predicate.ID) []predicate.ID {
 	j, ok := d.idx[id]
@@ -561,15 +595,17 @@ func (d *DAG) levelsDense(aliveMask bitset) []int {
 		i    int
 		rank int
 	}
-	var order []rec
+	order := make([]rec, 0, aliveMask.Count())
 	aliveMask.ForEach(func(i int) {
 		order = append(order, rec{i, d.pred[i].CountAnd(aliveMask)})
 	})
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].rank != order[j].rank {
-			return order[i].rank < order[j].rank
+	// Tie-free total order (idRank is a bijection), so the unstable
+	// generic sort is deterministic and allocation-free.
+	slices.SortFunc(order, func(a, b rec) int {
+		if a.rank != b.rank {
+			return a.rank - b.rank
 		}
-		return d.idRank[order[i].i] < d.idRank[order[j].i]
+		return d.idRank[a.i] - d.idRank[b.i]
 	})
 	lvls := make([]int, len(d.nodes))
 	for _, r := range order {
@@ -614,13 +650,14 @@ func (d *DAG) TopoOrder(rng *rand.Rand) []predicate.ID {
 func (d *DAG) TopoOrderWithin(alive *NodeSet, rng *rand.Rand) []predicate.ID {
 	mask := d.maskFor(alive)
 	lvls := d.levelsDense(mask)
-	var idxs []int
+	idxs := make([]int, 0, mask.Count())
 	mask.ForEach(func(i int) { idxs = append(idxs, i) })
-	sort.Slice(idxs, func(a, b int) bool {
-		if lvls[idxs[a]] != lvls[idxs[b]] {
-			return lvls[idxs[a]] < lvls[idxs[b]]
+	// Tie-free (level, then the idRank bijection): unstable sort safe.
+	slices.SortFunc(idxs, func(a, b int) int {
+		if lvls[a] != lvls[b] {
+			return lvls[a] - lvls[b]
 		}
-		return d.idRank[idxs[a]] < d.idRank[idxs[b]]
+		return d.idRank[a] - d.idRank[b]
 	})
 	out := make([]predicate.ID, len(idxs))
 	for i, ix := range idxs {

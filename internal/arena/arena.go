@@ -1,0 +1,128 @@
+// Package arena provides typed slab allocators with epoch reset, the
+// generalization of the pool discipline the compiled replay engine
+// introduced (PR 4). A Pool[T] carves fixed-size slabs into caller
+// slices; Reset rewinds the pool so the next epoch reuses the same
+// slabs, making the steady state allocation-free once the slabs have
+// grown to the workload's high-water mark.
+//
+// The contract is strictly epochal: every slice obtained from Make or
+// Append is valid only until the owning pool (or arena) is Reset.
+// Data that must outlive the epoch has to be copied out — that is what
+// aid's Report.Detach does at the facade boundary. Slices are handed
+// out with capacity == length, so a caller that appends past the end
+// copies out of the slab instead of clobbering its neighbor.
+//
+// Building with the `arenacheck` tag turns on leak accounting and
+// deterministic use-after-reset behavior: Reset zeroes every slab, so
+// stale references read zero values instead of whatever the next epoch
+// wrote, and tests can assert on Live/Epoch counters.
+package arena
+
+// Resettable is anything with epoch-reset semantics. Arena groups
+// Resettables so one call rewinds every pool of a subsystem.
+type Resettable interface{ Reset() }
+
+// Arena groups pools that share an epoch. It is not safe for
+// concurrent use; give each worker its own arena (or guard it the way
+// the owning subsystem guards its other scratch state).
+type Arena struct {
+	pools []Resettable
+	epoch uint64
+}
+
+// Attach registers a Resettable with the arena. Pools created through
+// NewPoolIn are attached automatically.
+func (a *Arena) Attach(r Resettable) { a.pools = append(a.pools, r) }
+
+// Reset starts a new epoch: every attached pool is rewound and all
+// slices handed out during the previous epoch become invalid.
+func (a *Arena) Reset() {
+	a.epoch++
+	for _, p := range a.pools {
+		p.Reset()
+	}
+}
+
+// Epoch returns the number of Resets performed, so tests and leak
+// checks can tie a slice to the epoch that produced it.
+func (a *Arena) Epoch() uint64 { return a.epoch }
+
+// Pool is a typed slab allocator. Zero chunkSize gets a default; the
+// chunk size bounds only slab granularity, not allocation size —
+// oversized requests get dedicated slabs that are released on Reset
+// (sized-exactly slabs rarely fit the next epoch's request, so holding
+// them would just pin memory).
+type Pool[T any] struct {
+	chunkSize int
+	chunks    [][]T // reusable slabs, all len == chunkSize
+	big       [][]T // oversized one-off slabs, dropped on Reset
+	ci        int   // index of the chunk currently being carved
+	off       int   // carve offset within chunks[ci]
+	made      int   // elements handed out this epoch (arenacheck accounting)
+}
+
+const defaultChunk = 1024
+
+// NewPool returns a standalone pool carving slabs of chunkSize
+// elements (0 means a default).
+func NewPool[T any](chunkSize int) *Pool[T] {
+	if chunkSize <= 0 {
+		chunkSize = defaultChunk
+	}
+	return &Pool[T]{chunkSize: chunkSize, ci: -1}
+}
+
+// NewPoolIn returns a pool attached to a's epoch: a.Reset rewinds it.
+func NewPoolIn[T any](a *Arena, chunkSize int) *Pool[T] {
+	p := NewPool[T](chunkSize)
+	a.Attach(p)
+	return p
+}
+
+// Make returns a zeroed slice of length and capacity n valid until the
+// next Reset.
+func (p *Pool[T]) Make(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	p.made += n
+	if n > p.chunkSize {
+		s := make([]T, n)
+		p.big = append(p.big, s)
+		return s
+	}
+	if p.ci < 0 || p.off+n > p.chunkSize {
+		p.ci++
+		if p.ci == len(p.chunks) {
+			p.chunks = append(p.chunks, make([]T, p.chunkSize))
+		}
+		p.off = 0
+	}
+	s := p.chunks[p.ci][p.off : p.off+n : p.off+n]
+	p.off += n
+	clear(s) // reused slabs hold the previous epoch's values
+	return s
+}
+
+// Clone copies src into the pool and returns the copy — the idiom for
+// snapshotting a mutable slice into the current epoch.
+func (p *Pool[T]) Clone(src []T) []T {
+	if len(src) == 0 {
+		return nil
+	}
+	dst := p.Make(len(src))
+	copy(dst, src)
+	return dst
+}
+
+// Reset rewinds the pool: regular slabs are kept for reuse, oversized
+// slabs are released. Under the arenacheck build tag every retained
+// slab is zeroed so use-after-reset reads are deterministic.
+func (p *Pool[T]) Reset() {
+	p.resetCheck()
+	p.ci, p.off, p.made = -1, 0, 0
+	p.big = nil
+}
+
+// Live returns the number of elements handed out since the last Reset.
+func (p *Pool[T]) Live() int { return p.made }

@@ -1,0 +1,111 @@
+package arena
+
+import "testing"
+
+func TestMakeZeroedAndFullCap(t *testing.T) {
+	p := NewPool[int](8)
+	a := p.Make(5)
+	if len(a) != 5 || cap(a) != 5 {
+		t.Fatalf("Make(5): len=%d cap=%d, want 5/5", len(a), cap(a))
+	}
+	for i := range a {
+		if a[i] != 0 {
+			t.Fatalf("Make returned dirty memory at %d: %d", i, a[i])
+		}
+		a[i] = i + 1
+	}
+	// Appending past the end must copy out of the slab, not clobber
+	// the next carve.
+	b := append(a, 99)
+	c := p.Make(3)
+	if c[0] != 0 {
+		t.Fatalf("append into full-cap slice leaked into next carve: %v", c)
+	}
+	_ = b
+}
+
+func TestResetReusesSlabs(t *testing.T) {
+	p := NewPool[byte](16)
+	a := p.Make(10)
+	for i := range a {
+		a[i] = 0xA5
+	}
+	p.Reset()
+	if got := p.Live(); got != 0 {
+		t.Fatalf("Live after Reset = %d, want 0", got)
+	}
+	b := p.Make(10)
+	if &a[0] != &b[0] {
+		t.Fatal("Reset did not reuse the slab")
+	}
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatalf("Make after Reset returned dirty memory at %d", i)
+		}
+	}
+}
+
+func TestOversizedAllocations(t *testing.T) {
+	p := NewPool[int](4)
+	big := p.Make(100)
+	if len(big) != 100 {
+		t.Fatalf("oversized Make: len=%d", len(big))
+	}
+	small := p.Make(3)
+	if len(small) != 3 {
+		t.Fatalf("small Make after big: len=%d", len(small))
+	}
+	p.Reset()
+	if len(p.big) != 0 {
+		t.Fatal("oversized slabs not released on Reset")
+	}
+}
+
+func TestCloneAndNilCases(t *testing.T) {
+	p := NewPool[string](0)
+	if got := p.Make(0); got != nil {
+		t.Fatalf("Make(0) = %v, want nil", got)
+	}
+	if got := p.Clone(nil); got != nil {
+		t.Fatalf("Clone(nil) = %v, want nil", got)
+	}
+	src := []string{"x", "y"}
+	dst := p.Clone(src)
+	src[0] = "mutated"
+	if dst[0] != "x" || dst[1] != "y" {
+		t.Fatalf("Clone shares backing with source: %v", dst)
+	}
+}
+
+func TestArenaEpochReset(t *testing.T) {
+	var a Arena
+	p1 := NewPoolIn[int](&a, 8)
+	p2 := NewPoolIn[byte](&a, 8)
+	p1.Make(4)
+	p2.Make(4)
+	a.Reset()
+	if a.Epoch() != 1 {
+		t.Fatalf("Epoch = %d, want 1", a.Epoch())
+	}
+	if p1.Live() != 0 || p2.Live() != 0 {
+		t.Fatal("arena Reset did not rewind attached pools")
+	}
+}
+
+// TestSteadyStateAllocFree pins the pool's purpose: after the first
+// epoch grows the slabs, subsequent epochs of the same shape must not
+// allocate at all.
+func TestSteadyStateAllocFree(t *testing.T) {
+	p := NewPool[int](256)
+	epoch := func() {
+		for i := 0; i < 10; i++ {
+			s := p.Make(100)
+			s[0] = i
+		}
+		p.Reset()
+	}
+	epoch() // warm the slabs
+	if avg := testing.AllocsPerRun(50, epoch); avg != 0 {
+		t.Fatalf("steady-state epoch allocates %.1f times, want 0", avg)
+	}
+}

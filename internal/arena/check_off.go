@@ -1,0 +1,10 @@
+//go:build !arenacheck
+
+package arena
+
+// Checking reports whether the arenacheck build tag is active.
+const Checking = false
+
+// resetCheck is a no-op in regular builds: Reset only rewinds offsets,
+// leaving stale slab contents in place for Make to clear lazily.
+func (p *Pool[T]) resetCheck() {}

@@ -1,0 +1,19 @@
+//go:build arenacheck
+
+package arena
+
+// Checking reports whether the arenacheck build tag is active.
+const Checking = true
+
+// resetCheck zeroes every slab at Reset so a reference leaked across
+// the epoch boundary reads zero values deterministically — under the
+// race/check CI job, the byte-identical report pins then catch the
+// leak as output drift instead of flaky garbage.
+func (p *Pool[T]) resetCheck() {
+	for _, c := range p.chunks {
+		clear(c)
+	}
+	for _, b := range p.big {
+		clear(b)
+	}
+}

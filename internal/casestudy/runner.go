@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"aid/internal/acdag"
 	"aid/internal/core"
@@ -354,21 +355,42 @@ func FormatFigure7(reports []*Report) string {
 	return b.String()
 }
 
-// All returns the six case studies in the paper's order.
-func All() []*Study {
-	return []*Study{
+// allMemo builds the six studies once per process. Safe to share: a
+// Study is read-only after construction and sim.Program is immutable
+// from its first run (its compiled form is cached atomically), which
+// concurrent in-run replay workers already rely on. Sharing also means
+// every consumer — daemon sessions included — reuses one compiled
+// program per study instead of recompiling per resolution.
+var allMemo struct {
+	once    sync.Once
+	studies []*Study
+	byName  map[string]*Study
+}
+
+func buildAll() {
+	allMemo.studies = []*Study{
 		Npgsql(), Kafka(), CosmosDB(), Network(), BuildAndTest(), HealthTelemetry(),
 	}
+	allMemo.byName = make(map[string]*Study, len(allMemo.studies))
+	for _, s := range allMemo.studies {
+		allMemo.byName[s.Name] = s
+	}
+}
+
+// All returns the six case studies in the paper's order. The studies
+// are shared, memoized instances; the slice itself is a fresh copy the
+// caller may reorder.
+func All() []*Study {
+	allMemo.once.Do(buildAll)
+	out := make([]*Study, len(allMemo.studies))
+	copy(out, allMemo.studies)
+	return out
 }
 
 // ByName returns the named study or nil.
 func ByName(name string) *Study {
-	for _, s := range All() {
-		if s.Name == name {
-			return s
-		}
-	}
-	return nil
+	allMemo.once.Do(buildAll)
+	return allMemo.byName[name]
 }
 
 // failureRate estimates the study's intermittent failure rate over n

@@ -22,7 +22,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"aid/internal/acdag"
 	"aid/internal/predicate"
@@ -211,6 +211,21 @@ type discoverer struct {
 	// verdicts are what produced the broken state, so the remainder of
 	// the run must not trust them.
 	escalation int
+
+	// byRank holds every node index in ID-rank order, fixed for the
+	// run: materializing the alive set in ID order is then one filter
+	// pass over it instead of a per-call sort.
+	byRank []int
+	// Per-round scratch, reused across rounds so the steady-state
+	// discovery loop allocates only what escapes into the Result:
+	// aliveBuf backs the pruning loops' alive snapshots, hintBuf the
+	// speculative-hint candidates, intervenedSet and obsMasks the
+	// per-round node sets of the counterfactual pruning rule.
+	aliveBuf      []int
+	hintBuf       []int
+	seenLevels    map[int]bool
+	intervenedSet *acdag.NodeSet
+	obsMasks      []*acdag.NodeSet
 }
 
 // Discover runs causal path discovery (Algorithm 3) on the AC-DAG.
@@ -242,6 +257,15 @@ func Discover(ctx context.Context, dag *acdag.DAG, iv Intervener, opts Options) 
 		aliveAndF: dag.NewNodeSet(predicate.FailureID),
 		cause:     dag.NewNodeSet(),
 		spur:      dag.NewNodeSet(),
+
+		byRank:        make([]int, dag.Len()),
+		seenLevels:    make(map[int]bool),
+		intervenedSet: dag.NewNodeSet(),
+	}
+	// IDRank is a permutation of the dense indices, so inverting it
+	// yields the indices in ID order.
+	for i := 0; i < dag.Len(); i++ {
+		d.byRank[dag.IDRank(i)] = i
 	}
 	for i := 0; i < dag.Len(); i++ {
 		if i == fIdx {
@@ -326,11 +350,30 @@ func (d *discoverer) restartEscalated(structural *acdag.NodeSet) error {
 	return err
 }
 
-// aliveSorted returns the alive candidate indices in ID order.
+// aliveSorted returns the alive candidate indices in ID order as a
+// fresh slice — the form for giwp pools, which live across the
+// recursion. It filters the precomputed rank order instead of sorting.
 func (d *discoverer) aliveSorted() []int {
-	var out []int
-	d.alive.ForEachIndex(func(i int) { out = append(out, i) })
-	sort.Slice(out, func(a, b int) bool { return d.dag.IDRank(out[a]) < d.dag.IDRank(out[b]) })
+	out := make([]int, 0, d.alive.Len())
+	for _, i := range d.byRank {
+		if d.alive.HasIndex(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// aliveByRank is aliveSorted into the shared scratch buffer, for the
+// per-round pruning loops that consume the snapshot before the next
+// round; invalid after the next aliveByRank call.
+func (d *discoverer) aliveByRank() []int {
+	out := d.aliveBuf[:0]
+	for _, i := range d.byRank {
+		if d.alive.HasIndex(i) {
+			out = append(out, i)
+		}
+	}
+	d.aliveBuf = out
 	return out
 }
 
@@ -348,11 +391,11 @@ func (d *discoverer) topoSorted(set *acdag.NodeSet) []predicate.ID {
 	var out []int
 	set.ForEachIndex(func(i int) { out = append(out, i) })
 	levels := d.dag.LevelsIndex(nil)
-	sort.Slice(out, func(a, b int) bool {
-		if levels[out[a]] != levels[out[b]] {
-			return levels[out[a]] < levels[out[b]]
+	slices.SortFunc(out, func(a, b int) int {
+		if levels[a] != levels[b] {
+			return levels[a] - levels[b]
 		}
-		return d.dag.IDRank(out[a]) < d.dag.IDRank(out[b])
+		return d.dag.IDRank(a) - d.dag.IDRank(b)
 	})
 	return d.idsOf(out)
 }
@@ -387,7 +430,7 @@ func (d *discoverer) intervene(req Request, group []int, phase string) (bool, er
 		Stopped:    stopped,
 		Phase:      phase,
 	}
-	intervened := d.dag.NewNodeSet()
+	intervened := d.intervenedSet.Clear()
 	for _, i := range group {
 		intervened.AddIndex(i)
 	}
@@ -408,17 +451,19 @@ func (d *discoverer) intervene(req Request, group []int, phase string) (bool, er
 	// (the ID-map edge), and the protection test is one word-parallel
 	// row intersection.
 	if d.opts.PredicatePruning {
-		masks := make([]*acdag.NodeSet, len(obs))
+		for len(d.obsMasks) < len(obs) {
+			d.obsMasks = append(d.obsMasks, d.dag.NewNodeSet())
+		}
+		masks := d.obsMasks[:len(obs)]
 		for k, o := range obs {
-			m := d.dag.NewNodeSet()
+			m := masks[k].Clear()
 			for id, v := range o.Observed {
 				if v {
 					m.Add(id)
 				}
 			}
-			masks[k] = m
 		}
-		for _, q := range d.aliveSorted() {
+		for _, q := range d.aliveByRank() {
 			if intervened.HasIndex(q) {
 				continue
 			}
@@ -575,15 +620,21 @@ func (d *discoverer) nextGiwpHalf(rest []int, levels []int) []int {
 	if len(rest) == 0 {
 		return nil
 	}
-	seen := make(map[int]bool, len(rest))
+	seen := d.seenLevels
+	clear(seen)
 	for _, p := range rest {
 		if seen[levels[p]] {
 			return nil
 		}
 		seen[levels[p]] = true
 	}
-	out := append([]int(nil), rest...)
-	sort.Slice(out, func(i, j int) bool { return levels[out[i]] < levels[out[j]] })
+	// The hint candidates never escape the round (idsOf copies what the
+	// request keeps), so they go through the shared scratch buffer. The
+	// levels are pairwise distinct here, so the unstable sort is
+	// deterministic.
+	out := append(d.hintBuf[:0], rest...)
+	d.hintBuf = out
+	slices.SortFunc(out, func(i, j int) int { return levels[i] - levels[j] })
 	return out[:(len(out)+1)/2]
 }
 
@@ -601,10 +652,16 @@ func (d *discoverer) filterAlive(pool []int) []int {
 // graph (levels as computed by the caller for this round), resolving
 // ties randomly (Algorithm 1, line 4).
 func (d *discoverer) topoOrderPool(pool []int, levels []int) []int {
+	// The result escapes into the giwp recursion (halves become child
+	// pools), so it is a fresh slice, not scratch. The pre-shuffle sort
+	// is by IDRank — a permutation, tie-free — so the unstable sort is
+	// deterministic and the rng consumes the exact sequence it always
+	// did; the post-shuffle sort is stable so equal levels keep the
+	// shuffled order.
 	out := append([]int(nil), pool...)
-	sort.Slice(out, func(i, j int) bool { return d.dag.IDRank(out[i]) < d.dag.IDRank(out[j]) })
+	slices.SortFunc(out, func(i, j int) int { return d.dag.IDRank(i) - d.dag.IDRank(j) })
 	d.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-	sort.SliceStable(out, func(i, j int) bool { return levels[out[i]] < levels[out[j]] })
+	slices.SortStableFunc(out, func(i, j int) int { return levels[i] - levels[j] })
 	return out
 }
 
@@ -618,9 +675,16 @@ func (d *discoverer) branchPrune() error {
 	// exclude mirrors walked (plus F) for the frontier query; it is
 	// maintained incrementally rather than rebuilt per round.
 	exclude := d.dag.NewNodeSet(predicate.FailureID)
+	// reached accumulates the walked chain plus everything it precedes
+	// (one word-parallel row union per walked node), so the per-round
+	// unreachability sweep below is a single fused alive \ reached word
+	// loop instead of an ancestor-row intersection per alive node.
+	reached := d.dag.NewNodeSet()
 	walk := func(i int) {
 		walked.AddIndex(i)
 		exclude.AddIndex(i)
+		reached.AddIndex(i)
+		d.dag.OrDescendantsInto(i, reached)
 	}
 	for {
 		// The per-round candidate frontier: the lowest-level unwalked
@@ -642,17 +706,18 @@ func (d *discoverer) branchPrune() error {
 
 		// Remove nodes unreachable from the walked chain (Algorithm 2,
 		// lines 16–18): once part of the chain is fixed, nodes that no
-		// walked predicate precedes cannot lie on the causal path. The
-		// reachability test is one word-parallel ancestor-row
-		// intersection per alive node.
+		// walked predicate precedes cannot lie on the causal path —
+		// exactly alive \ reached, one fused word loop. The doomed
+		// snapshot goes through the scratch buffer because markSpurious
+		// mutates alive mid-sweep.
 		if walked.Len() > 0 {
-			for _, u := range d.aliveSorted() {
-				if walked.HasIndex(u) {
-					continue
-				}
-				if !d.dag.ReachedFromAny(u, walked) {
-					d.markSpurious(u)
-				}
+			doomed := d.aliveBuf[:0]
+			d.alive.ForEachIndexAndNot(reached, func(u int) {
+				doomed = append(doomed, u)
+			})
+			d.aliveBuf = doomed
+			for _, u := range doomed {
+				d.markSpurious(u)
 			}
 		}
 	}
@@ -697,7 +762,7 @@ func (d *discoverer) resolveJunction(members []int) error {
 				}
 			}
 		}
-		sort.Slice(group, func(i, j int) bool { return d.dag.IDRank(group[i]) < d.dag.IDRank(group[j]) })
+		slices.SortFunc(group, func(i, j int) int { return d.dag.IDRank(i) - d.dag.IDRank(j) })
 		return group
 	}
 

@@ -147,6 +147,13 @@ type Executor struct {
 	// extractor caches the baseline-derived extraction state across
 	// rounds (built lazily on first use).
 	extractor *predicate.Extractor
+	// Per-round scratch, guarded by mu like the extractor: reused
+	// across observe calls so steady-state rounds do not allocate for
+	// bookkeeping (the observation maps themselves escape into the
+	// scheduler memo and stay heap-allocated).
+	execScratch   []trace.Execution
+	failedScratch []bool
+	watchScratch  []watch
 
 	// qmu guards the quarantine. It is separate from mu because replays
 	// consult it concurrently from the worker pool, outside the
@@ -314,7 +321,7 @@ func (e *Executor) InterveneBatch(ctx context.Context, groups [][]predicate.ID) 
 	out := make([][]core.Observation, len(groups))
 	for gi, preds := range groups {
 		bundle := results[gi*nSeeds : (gi+1)*nSeeds]
-		execs := make([]trace.Execution, 0, len(bundle))
+		execs := e.execScratch[:0]
 		for _, r := range bundle {
 			if r.missed {
 				e.Missed++
@@ -322,6 +329,7 @@ func (e *Executor) InterveneBatch(ctx context.Context, groups [][]predicate.ID) 
 			}
 			execs = append(execs, r.exec)
 		}
+		e.execScratch = execs
 		if len(execs) == 0 {
 			// Every replay of the group is quarantined: there is no
 			// evidence to observe, and retrying cannot produce any. The
@@ -339,10 +347,18 @@ func (e *Executor) InterveneBatch(ctx context.Context, groups [][]predicate.ID) 
 	return out, nil
 }
 
+// watch is one SD-corpus predicate interned against the replay corpus:
+// per-row observation is then a bit probe per column with no string
+// lookups.
+type watch struct {
+	id predicate.ID
+	h  predicate.Handle
+}
+
 // observe turns one group's replay bundle into observations; the caller
 // holds e.mu and e.extractor is built.
 func (e *Executor) observe(execs []trace.Execution, preds []predicate.ID) ([]core.Observation, error) {
-	var failed []bool
+	failed := e.failedScratch[:0]
 	for i := range execs {
 		exec := &execs[i]
 		e.RunsUsed++
@@ -356,8 +372,12 @@ func (e *Executor) observe(execs []trace.Execution, preds []predicate.ID) ([]cor
 		// flag is taken from the real outcome recorded above.
 		exec.Outcome = trace.Failure
 	}
+	e.failedScratch = failed
 	first := len(e.Baselines)
-	rc := e.extractor.Extract(execs)
+	// The overlay corpus is reused round to round (valid until the next
+	// extraction); observations are copied out of it below, nothing is
+	// retained.
+	rc := e.extractor.ExtractReplays(execs)
 	// Compound predicates are materialized by statistical debugging,
 	// not by extraction; mirror the corpus's compounds so they stay
 	// observable in intervened runs (a compound occurs iff all its
@@ -370,18 +390,7 @@ func (e *Executor) observe(execs []trace.Execution, preds []predicate.ID) ([]cor
 			rc.MaterializeCompoundFrom(*p, first)
 		}
 	}
-	forced := make(map[predicate.ID]bool, len(preds))
-	for _, p := range preds {
-		forced[p] = true
-	}
-	// Intern the SD corpus's predicates against the replay corpus once
-	// per bundle; per-row observation is then a bit probe per column
-	// with no string lookups.
-	type watch struct {
-		id predicate.ID
-		h  predicate.Handle
-	}
-	watches := make([]watch, 0, len(e.Corpus.Preds))
+	watches := e.watchScratch[:0]
 	for i := range e.Corpus.Preds {
 		id := e.Corpus.Preds[i].ID
 		if id == predicate.FailureID {
@@ -391,19 +400,29 @@ func (e *Executor) observe(execs []trace.Execution, preds []predicate.ID) ([]cor
 		// (¬C(r_C) in Definition 2); injections themselves can
 		// perturb timing enough to re-trigger a nominally forced
 		// predicate, so we pin it to false.
-		if forced[id] {
+		if containsID(preds, id) {
 			continue
 		}
 		if h, ok := rc.HandleOf(id); ok {
 			watches = append(watches, watch{id, h})
 		}
 	}
-	var out []core.Observation
+	e.watchScratch = watches
+	out := make([]core.Observation, 0, rc.NumLogs()-first)
 	for i := first; i < rc.NumLogs(); i++ {
 		log := rc.Log(i)
+		// Pre-count so the escaping observation map is allocated at its
+		// exact final size (it outlives the round inside the scheduler
+		// memo, so it cannot come from round scratch).
+		cnt := 0
+		for _, w := range watches {
+			if log.HasHandle(w.h) {
+				cnt++
+			}
+		}
 		obs := core.Observation{
 			Failed:   failed[i-first],
-			Observed: make(map[predicate.ID]bool),
+			Observed: make(map[predicate.ID]bool, cnt),
 		}
 		for _, w := range watches {
 			if log.HasHandle(w.h) {
@@ -413,4 +432,16 @@ func (e *Executor) observe(execs []trace.Execution, preds []predicate.ID) ([]cor
 		out = append(out, obs)
 	}
 	return out, nil
+}
+
+// containsID reports whether the forced-predicate group contains id;
+// groups are small (a handful of IDs), so a linear scan beats a
+// per-round map.
+func containsID(preds []predicate.ID, id predicate.ID) bool {
+	for _, p := range preds {
+		if p == id {
+			return true
+		}
+	}
+	return false
 }

@@ -76,7 +76,7 @@ func BenchmarkExtractRaces(b *testing.B) {
 			e := &set.Executions[j]
 			c.AddRow(e.ID, e.Failed())
 		}
-		extractRaces(set.Executions, 0, c)
+		extractRaces(set.Executions, 0, c, nil)
 	}
 }
 
@@ -117,6 +117,35 @@ func BenchmarkExtractorRounds(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := x.Extract(replays)
+		if len(c.Preds) == 0 {
+			b.Fatal("no predicates extracted")
+		}
+	}
+}
+
+// BenchmarkExtractorReplayRounds measures the overlay-reusing
+// steady-state path: after the first round the per-round allocation
+// count should be near zero.
+func BenchmarkExtractorReplayRounds(b *testing.B) {
+	set := benchSet(40, 30)
+	var baselines, replays []trace.Execution
+	for _, e := range set.Executions {
+		if e.Failed() {
+			replays = append(replays, e)
+		} else {
+			baselines = append(baselines, e)
+		}
+	}
+	cfg := Config{DurationMargin: 4}
+	x, err := NewExtractor(baselines, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x.ExtractReplays(replays) // warm the overlay
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.ExtractReplays(replays)
 		if len(c.Preds) == 0 {
 			b.Fatal("no predicates extracted")
 		}

@@ -2,9 +2,11 @@ package predicate
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 
+	"aid/internal/arena"
 	"aid/internal/trace"
 )
 
@@ -49,6 +51,30 @@ type instKey struct {
 
 func (k instKey) String() string { return k.m + "#" + strconv.Itoa(k.inst) }
 
+// callIDs holds the five predicate IDs extractPerCall can emit for one
+// method instance. Extraction passes share a cache keyed by instKey so
+// each ID string is concatenated once per distinct instance — in the
+// intervention loop (Extractor), once per discovery, not per round.
+type callIDs struct {
+	fails, slow, fast, late, ret ID
+}
+
+func idsFor(cache map[instKey]callIDs, k instKey) callIDs {
+	if ci, ok := cache[k]; ok {
+		return ci
+	}
+	ks := k.String()
+	ci := callIDs{
+		fails: ID("fails:" + ks),
+		slow:  ID("slow:" + ks),
+		fast:  ID("fast:" + ks),
+		late:  ID("late:" + ks),
+		ret:   ID("ret:" + ks),
+	}
+	cache[k] = ci
+	return ci
+}
+
 // succStats aggregates per-instance behaviour over successful runs.
 type succStats struct {
 	present       int
@@ -81,8 +107,8 @@ func Extract(s *trace.Set, cfg Config) *Corpus {
 
 	c.AddPred(FailurePredicate())
 	stampFailures(s.Executions, 0, c)
-	extractPerCall(s.Executions, 0, c, stats, cfg)
-	extractRaces(s.Executions, 0, c)
+	extractPerCall(s.Executions, 0, c, stats, cfg, make(map[instKey]callIDs))
+	extractRaces(s.Executions, 0, c, nil)
 	if ost, succRows := buildOrderState(succs, stats); ost != nil {
 		rows := make([][]*trace.MethodCall, len(s.Executions))
 		si := 0
@@ -96,7 +122,7 @@ func Extract(s *trace.Set, cfg Config) *Corpus {
 		}
 		emitOrderViolations(c, ost, rows, cfg)
 	}
-	emitAtomicityViolations(s.Executions, 0, c, buildAtomState(succs))
+	emitAtomicityViolations(s.Executions, 0, c, buildAtomState(succs), nil)
 
 	c.DropPure(cfg.PureMethods)
 	if !cfg.keepUnobserved {
@@ -146,14 +172,17 @@ func ExtractStream(s *trace.Set, cfg Config, onRow func(row int, c *Corpus)) *Co
 	}
 	orderEmitted := 0
 
+	ids := make(map[instKey]callIDs)
+	raceSc := newRaceScratch()
+	atomSc := newAtomScratch()
 	si := 0
 	for i := range s.Executions {
 		e := &s.Executions[i]
 		row := c.AddRow(e.ID, e.Failed())
 		one := s.Executions[i : i+1]
 		stampFailures(one, row, c)
-		extractPerCall(one, row, c, stats, cfg)
-		extractRaces(one, row, c)
+		extractPerCall(one, row, c, stats, cfg, ids)
+		extractRaces(one, row, c, raceSc)
 		if ost != nil {
 			var cr []*trace.MethodCall
 			if e.Outcome == trace.Success {
@@ -179,7 +208,7 @@ func ExtractStream(s *trace.Set, cfg Config, onRow func(row int, c *Corpus)) *Co
 				c.SetOcc(row, h, Occurrence{Start: b.Start, End: a.End, Thread: NoThread})
 			}
 		}
-		emitAtomicityViolations(one, row, c, atom)
+		emitAtomicityViolations(one, row, c, atom, atomSc)
 		if onRow != nil {
 			onRow(row, c)
 		}
@@ -255,18 +284,19 @@ func successBaselines(succs []*trace.Execution) map[instKey]*succStats {
 
 // extractPerCall emits method-fails, too-slow, too-fast and wrong-return
 // predicates for every method instance; execs[k] corresponds to row
-// off+k.
-func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instKey]*succStats, cfg Config) {
+// off+k. ids caches the per-instance ID strings across calls and rounds.
+func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instKey]*succStats, cfg Config, ids map[instKey]callIDs) {
 	for i := range execs {
 		e := &execs[i]
 		row := off + i
 		for j := range e.Calls {
 			call := &e.Calls[j]
 			k := instKey{call.Method, call.Instance}
+			ci := idsFor(ids, k)
 			window := Occurrence{Start: call.Start, End: call.End, Thread: call.Thread}
 
 			if call.Failed() {
-				id := ID("fails:" + k.String())
+				id := ci.fails
 				h, ok := c.HandleOf(id)
 				if !ok {
 					h = c.AddPred(Predicate{
@@ -284,7 +314,7 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 				continue // no success baseline for this instance
 			}
 			if call.Duration() > st.maxDur+cfg.DurationMargin {
-				id := ID("slow:" + k.String())
+				id := ci.slow
 				h, ok := c.HandleOf(id)
 				if !ok {
 					h = c.AddPred(Predicate{
@@ -298,7 +328,7 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 				c.SetOcc(row, h, window)
 			}
 			if !call.Failed() && call.Duration() < st.minDur-cfg.DurationMargin {
-				id := ID("fast:" + k.String())
+				id := ci.fast
 				h, ok := c.HandleOf(id)
 				if !ok {
 					h = c.AddPred(Predicate{
@@ -319,7 +349,7 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 			// meaningful scheduling-lateness signal (§4 Case 2: the
 			// caller's late start causes the callee's).
 			if call.Start > st.maxStart+cfg.DurationMargin && isThreadRoot(e, call) {
-				id := ID("late:" + k.String())
+				id := ci.late
 				h, ok := c.HandleOf(id)
 				if !ok {
 					h = c.AddPred(Predicate{
@@ -336,7 +366,7 @@ func extractPerCall(execs []trace.Execution, off int, c *Corpus, stats map[instK
 			}
 			if !call.Failed() && st.retSet && st.retConsistent && !st.ret.Void &&
 				!call.Return.Void && !call.Return.Equal(st.ret) {
-				id := ID("ret:" + k.String())
+				id := ci.ret
 				h, ok := c.HandleOf(id)
 				if !ok {
 					h = c.AddPred(Predicate{
@@ -393,6 +423,29 @@ type accessWindow struct {
 	locks    []string // intersection of the window's access locksets
 }
 
+// raceScratch holds extractRaces's reusable buffers. A one-shot
+// extraction builds a fresh set; an Extractor keeps one across rounds
+// so steady-state replay extraction reuses the maps, the bucket
+// backings, and the arena slabs behind the per-window locksets (the
+// lock pool is rewound wholesale at the start of each pass — the
+// slices never outlive it).
+type raceScratch struct {
+	winIdx    map[trace.ObjectID]int
+	wins      []accessWindow
+	bucketIdx map[trace.ObjectID]int
+	buckets   [][]accessWindow
+	objs      []trace.ObjectID
+	locks     *arena.Pool[string]
+}
+
+func newRaceScratch() *raceScratch {
+	return &raceScratch{
+		winIdx:    make(map[trace.ObjectID]int),
+		bucketIdx: make(map[trace.ObjectID]int),
+		locks:     arena.NewPool[string](256),
+	}
+}
+
 // extractRaces emits data-race predicates using access-window
 // interleaving: two method invocations on different threads race on X
 // when their access windows on X strictly interleave (each window's
@@ -401,16 +454,19 @@ type accessWindow struct {
 // interleaving captures the harmful schedules — e.g. two read-modify-
 // write sections losing an update — while mere span-envelope overlap
 // with disjoint access windows does not race.
-func extractRaces(execs []trace.Execution, off int, c *Corpus) {
-	// Scratch buffers shared across executions and calls: the window
-	// index and storage are truncated, not reallocated, per call, and
-	// the per-object buckets persist across executions (same objects
-	// recur in every trace of a corpus).
-	winIdx := make(map[trace.ObjectID]int)
-	var wins []accessWindow
-	bucketIdx := make(map[trace.ObjectID]int)
-	var buckets [][]accessWindow
-	var objs []trace.ObjectID
+func extractRaces(execs []trace.Execution, off int, c *Corpus, sc *raceScratch) {
+	if sc == nil {
+		sc = newRaceScratch()
+	}
+	sc.locks.Reset()
+	winIdx := sc.winIdx
+	wins := sc.wins
+	bucketIdx := sc.bucketIdx
+	buckets := sc.buckets
+	objs := sc.objs
+	defer func() {
+		sc.wins, sc.buckets, sc.objs = wins, buckets, objs
+	}()
 	for i := range execs {
 		e := &execs[i]
 		row := off + i
@@ -427,7 +483,7 @@ func extractRaces(execs []trace.Execution, off int, c *Corpus) {
 					winIdx[acc.Object] = wi
 					wins = append(wins, accessWindow{
 						call: call, start: acc.At, end: acc.At,
-						locks: append([]string(nil), acc.Locks...),
+						locks: sc.locks.Clone(acc.Locks),
 					})
 				} else {
 					w := &wins[wi]
@@ -437,7 +493,7 @@ func extractRaces(execs []trace.Execution, off int, c *Corpus) {
 					if acc.At > w.end {
 						w.end = acc.At
 					}
-					w.locks = intersect(w.locks, acc.Locks)
+					w.locks = intersectInPlace(w.locks, acc.Locks)
 				}
 				if acc.Kind == trace.Write {
 					wins[wi].hasWrite = true
@@ -456,7 +512,7 @@ func extractRaces(execs []trace.Execution, off int, c *Corpus) {
 				buckets[bi] = append(buckets[bi], wins[wi])
 			}
 		}
-		sort.Slice(objs, func(a, b int) bool { return objs[a] < objs[b] })
+		slices.Sort(objs)
 		for _, obj := range objs {
 			ws := buckets[bucketIdx[obj]]
 			for x := 0; x < len(ws); x++ {
@@ -516,18 +572,20 @@ func extractRaces(execs []trace.Execution, off int, c *Corpus) {
 	}
 }
 
-// intersect returns the elements present in both string sets.
-func intersect(a, b []string) []string {
-	var out []string
+// intersectInPlace filters a down to the elements also present in b,
+// reusing a's backing (a is always pool-owned scratch here).
+func intersectInPlace(a, b []string) []string {
+	n := 0
 	for _, x := range a {
 		for _, y := range b {
 			if x == y {
-				out = append(out, x)
+				a[n] = x
+				n++
 				break
 			}
 		}
 	}
-	return out
+	return a[:n]
 }
 
 func sharesLock(a, b []string) bool {
@@ -668,13 +726,19 @@ func buildOrderState(succs []*trace.Execution, stats map[instKey]*succStats) (*o
 // probe — the dominant cost of large corpora.
 func callRow(e *trace.Execution, keyIdx map[instKey]int, nk int) []*trace.MethodCall {
 	row := make([]*trace.MethodCall, nk)
+	callRowInto(e, keyIdx, row)
+	return row
+}
+
+// callRowInto is callRow into caller-provided zeroed storage of length
+// nk — the scratch-reusing form for the per-round extraction path.
+func callRowInto(e *trace.Execution, keyIdx map[instKey]int, row []*trace.MethodCall) {
 	for ci := range e.Calls {
 		call := &e.Calls[ci]
 		if ki, ok := keyIdx[instKey{call.Method, call.Instance}]; ok {
 			row[ki] = call
 		}
 	}
-	return row
 }
 
 // emitOrderViolations emits the predicate "B starts before A ends" for
@@ -743,30 +807,63 @@ type atomCand struct {
 }
 
 // atomState is the success-derived half of atomicity extraction,
-// immutable once built.
+// immutable once built. ids doubles as the candidate set: only
+// success-established pairs can emit, so their predicate IDs are
+// interned here once instead of per emission.
 type atomState struct {
-	candidates        map[atomCand]bool
+	ids               map[atomCand]ID
 	violatedInSuccess map[atomCand]bool
+}
+
+// atomAccess is one object access in scanAtomicity's per-object
+// sequence.
+type atomAccess struct {
+	call *trace.MethodCall
+	at   trace.Time
+	kind trace.AccessKind
+}
+
+// atomScratch holds scanAtomicity's per-object access buckets. The
+// same objects recur in every trace of a corpus, so a persistent
+// scratch retains the map and the bucket backings across executions
+// and rounds, truncating instead of reallocating.
+type atomScratch struct {
+	byObj map[trace.ObjectID][]atomAccess
+}
+
+func newAtomScratch() *atomScratch {
+	return &atomScratch{byObj: make(map[trace.ObjectID][]atomAccess)}
 }
 
 // scanAtomicity walks one execution's object-access sequences and
 // reports each candidate pair with whether a remote write intervened.
-func scanAtomicity(e *trace.Execution, record func(cd atomCand, violated bool, gapStart, gapEnd trace.Time)) {
-	type access struct {
-		call *trace.MethodCall
-		at   trace.Time
-		kind trace.AccessKind
+func scanAtomicity(e *trace.Execution, sc *atomScratch, record func(cd atomCand, violated bool, gapStart, gapEnd trace.Time)) {
+	if sc == nil {
+		sc = newAtomScratch()
 	}
-	byObj := make(map[trace.ObjectID][]access)
+	byObj := sc.byObj
 	for j := range e.Calls {
 		call := &e.Calls[j]
 		for a := range call.Accesses {
 			acc := &call.Accesses[a]
-			byObj[acc.Object] = append(byObj[acc.Object], access{call, acc.At, acc.Kind})
+			byObj[acc.Object] = append(byObj[acc.Object], atomAccess{call, acc.At, acc.Kind})
 		}
 	}
+	// Buckets left empty by this execution are skipped, so a persistent
+	// scratch sees exactly the objects a fresh map would.
 	for obj, accs := range byObj {
-		sort.Slice(accs, func(x, y int) bool { return accs[x].at < accs[y].at })
+		if len(accs) == 0 {
+			continue
+		}
+		slices.SortFunc(accs, func(x, y atomAccess) int {
+			switch {
+			case x.at < y.at:
+				return -1
+			case x.at > y.at:
+				return 1
+			}
+			return 0
+		})
 		for x := 0; x < len(accs); x++ {
 			for y := x + 1; y < len(accs); y++ {
 				a, b := accs[x], accs[y]
@@ -791,6 +888,13 @@ func scanAtomicity(e *trace.Execution, record func(cd atomCand, violated bool, g
 			}
 		}
 	}
+	// Truncate the touched buckets so the next execution appends into
+	// the retained backings.
+	for obj, accs := range byObj {
+		if len(accs) != 0 {
+			byObj[obj] = accs[:0]
+		}
+	}
 }
 
 // buildAtomState collects candidate pairs from the successes:
@@ -798,12 +902,15 @@ func scanAtomicity(e *trace.Execution, record func(cd atomCand, violated bool, g
 // different spans.
 func buildAtomState(succs []*trace.Execution) *atomState {
 	st := &atomState{
-		candidates:        make(map[atomCand]bool),
+		ids:               make(map[atomCand]ID),
 		violatedInSuccess: make(map[atomCand]bool),
 	}
+	sc := newAtomScratch()
 	for _, e := range succs {
-		scanAtomicity(e, func(cd atomCand, violated bool, _, _ trace.Time) {
-			st.candidates[cd] = true
+		scanAtomicity(e, sc, func(cd atomCand, violated bool, _, _ trace.Time) {
+			if _, ok := st.ids[cd]; !ok {
+				st.ids[cd] = ID("atom:" + cd.a.String() + "," + cd.b.String() + "@" + string(cd.obj))
+			}
 			if violated {
 				st.violatedInSuccess[cd] = true
 			}
@@ -816,15 +923,15 @@ func buildAtomState(succs []*trace.Execution) *atomState {
 // slips between a success-established candidate pair; execs[k]
 // corresponds to row off+k. Successful executions can never emit
 // (a violation there is, by construction, violatedInSuccess).
-func emitAtomicityViolations(execs []trace.Execution, off int, c *Corpus, st *atomState) {
+func emitAtomicityViolations(execs []trace.Execution, off int, c *Corpus, st *atomState, sc *atomScratch) {
 	for i := range execs {
 		e := &execs[i]
 		row := off + i
-		scanAtomicity(e, func(cd atomCand, violated bool, gapStart, gapEnd trace.Time) {
-			if !violated || !st.candidates[cd] || st.violatedInSuccess[cd] {
+		scanAtomicity(e, sc, func(cd atomCand, violated bool, gapStart, gapEnd trace.Time) {
+			id, cand := st.ids[cd]
+			if !violated || !cand || st.violatedInSuccess[cd] {
 				return
 			}
-			id := ID("atom:" + cd.a.String() + "," + cd.b.String() + "@" + string(cd.obj))
 			h, ok := c.HandleOf(id)
 			if !ok {
 				parent := commonParent(e, cd.a, cd.b)

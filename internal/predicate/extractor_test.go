@@ -85,3 +85,106 @@ func TestExtractorSubsetReplays(t *testing.T) {
 		}
 	}
 }
+
+// TestExtractReplaysMatchesExtract pins the overlay path's contract:
+// across rounds with varying replay subsets (exercising the epoch
+// reset), ExtractReplays must answer occurrence queries identically to
+// the fresh-derive Extract for every predicate Extract retains —
+// extra zero-occurrence predicates in the overlay are the only
+// permitted difference.
+func TestExtractReplaysMatchesExtract(t *testing.T) {
+	set := benchSet(30, 24)
+	var baselines, replays []trace.Execution
+	for _, e := range set.Executions {
+		if e.Failed() {
+			replays = append(replays, e)
+		} else {
+			baselines = append(baselines, e)
+		}
+	}
+	cfg := Config{DurationMargin: 4}
+	x, err := NewExtractor(baselines, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewExtractor(baselines, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vary the replay subset round to round so the reset has real work:
+	// shrink, grow, full, single.
+	cuts := []int{len(replays), 3, len(replays) / 2, len(replays), 1, len(replays)}
+	for round, cut := range cuts {
+		sub := replays[:cut]
+		want := ref.Extract(sub)
+		got := x.ExtractReplays(sub)
+		if got.NumLogs() != want.NumLogs() {
+			t.Fatalf("round %d: %d logs, want %d", round, got.NumLogs(), want.NumLogs())
+		}
+		for i := 0; i < want.NumLogs(); i++ {
+			wl, gl := want.Log(i), got.Log(i)
+			if wl.ExecID() != gl.ExecID() || wl.Failed() != gl.Failed() {
+				t.Fatalf("round %d: log %d identity differs", round, i)
+			}
+		}
+		// Every retained predicate of the compacted corpus must answer
+		// identically in the overlay.
+		for _, p := range want.Preds {
+			gh, ok := got.HandleOf(p.ID)
+			if !ok {
+				t.Fatalf("round %d: overlay is missing predicate %q", round, p.ID)
+			}
+			wo, wf, _ := want.Counts(p.ID)
+			goc, gif := got.CountsAt(gh)
+			if wo != goc || wf != gif {
+				t.Fatalf("round %d: %q counts (%d,%d), want (%d,%d)", round, p.ID, goc, gif, wo, wf)
+			}
+			for i := 0; i < want.NumLogs(); i++ {
+				wocc, wok := want.Log(i).Occ(p.ID)
+				gocc, gok := got.OccAt(i, gh)
+				if wok != gok || wocc != gocc {
+					t.Fatalf("round %d: %q occurrence at row %d = (%v,%v), want (%v,%v)",
+						round, p.ID, i, gocc, gok, wocc, wok)
+				}
+			}
+		}
+		// And every extra overlay predicate must be unobserved — a
+		// leftover from an earlier round with its occurrences cleared.
+		for h := range got.Preds {
+			id := got.Preds[h].ID
+			if _, ok := want.HandleOf(id); ok {
+				continue
+			}
+			if occ, inF := got.CountsAt(Handle(h)); occ != 0 || inF != 0 {
+				t.Fatalf("round %d: overlay-only predicate %q has occurrences (%d,%d)", round, id, occ, inF)
+			}
+		}
+	}
+}
+
+// TestExtractReplaysSteadyStateAllocs pins the point of the overlay:
+// warm rounds with the same replay shape must allocate near zero —
+// the budget covers only the compound-materialization clone and map
+// internals, not per-row or per-predicate work.
+func TestExtractReplaysSteadyStateAllocs(t *testing.T) {
+	set := benchSet(30, 24)
+	var baselines, replays []trace.Execution
+	for _, e := range set.Executions {
+		if e.Failed() {
+			replays = append(replays, e)
+		} else {
+			baselines = append(baselines, e)
+		}
+	}
+	x, err := NewExtractor(baselines, Config{DurationMargin: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.ExtractReplays(replays) // warm
+	avg := testing.AllocsPerRun(20, func() {
+		x.ExtractReplays(replays)
+	})
+	if avg > 5 {
+		t.Fatalf("warm ExtractReplays allocates %.1f times per round, want <= 5", avg)
+	}
+}

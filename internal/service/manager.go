@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -46,6 +47,19 @@ type Config struct {
 	// (default 32). Beyond it the least-recently-used memo is dropped;
 	// a session over the dropped fingerprint simply starts a fresh memo.
 	TenantMemoCap int
+	// ResultCacheCap, when > 0, turns on the per-tenant session result
+	// cache: a completed successful session's detached report, canonical
+	// JSON, and event stream are retained under its share key, and a
+	// later session with an identical spec is served from the cache
+	// without running a pipeline (its status shows resultCacheHit, and
+	// its scheduler counters are zero — it never touched the scheduler).
+	// The cap bounds cached results per tenant, LRU-evicted. Off by
+	// default (0): repeat sessions then re-run and are answered from the
+	// scheduler memo instead, which re-verifies every outcome. Cached
+	// results follow the memos' invalidation: replacing or deleting the
+	// corpus they were computed over drops them. In-memory only — never
+	// persisted.
+	ResultCacheCap int
 	// MaxCorpusBytes caps an HTTP corpus ingest body (default 64 MiB);
 	// larger bodies are refused with 413. It guards the daemon, not the
 	// library: Manager.Ingest itself reads whatever it is handed.
@@ -159,12 +173,30 @@ type tenantMemo struct {
 	sched   *aid.SharedScheduler
 }
 
+// cachedResult is one entry of the tenant's opt-in session result cache
+// (Config.ResultCacheCap): a completed session's detached report, its
+// canonical JSON, and the serialized event stream, plus the same
+// corpus/recency bookkeeping as tenantMemo so it is invalidated by
+// corpus replacement and LRU-bounded. Everything held is immutable —
+// the report is detached (and re-detached per serve), the JSON and
+// event lines are shared read-only.
+type cachedResult struct {
+	corpus   string
+	report   *aid.Report
+	reportJS []byte
+	events   []json.RawMessage
+	lastUse  int64
+}
+
 // tenantState is the manager's per-tenant state: the live-session count
-// backing the admission cap, and the cross-session scheduler memos
-// keyed by session fingerprint.
+// backing the admission cap, the cross-session scheduler memos keyed by
+// session fingerprint, and (when Config.ResultCacheCap > 0) completed
+// session results under the same keys. results is nil until first use —
+// the recovery path builds tenantStates without it.
 type tenantState struct {
-	active int
-	shared map[string]*tenantMemo
+	active  int
+	shared  map[string]*tenantMemo
+	results map[string]*cachedResult
 }
 
 // Manager owns the daemon's sessions: admission, execution, streaming
@@ -278,6 +310,11 @@ func (m *Manager) invalidateMemos(tenant, corpus string) {
 			delete(ts.shared, key)
 		}
 	}
+	for key, c := range ts.results {
+		if c.corpus == corpus {
+			delete(ts.results, key)
+		}
+	}
 }
 
 // Corpora lists the tenant's stored corpora.
@@ -333,36 +370,49 @@ func (m *Manager) Start(tenant string, spec SessionSpec) (*Session, error) {
 		created: time.Now(),
 	}
 	var shared *aid.SharedScheduler
+	var cached *cachedResult
 	if key := spec.shareKey(); key != "" {
-		m.memoTick++
-		memo := ts.shared[key]
-		if memo == nil {
-			memo = &tenantMemo{corpus: spec.Corpus, sched: aid.NewSharedScheduler()}
-			if m.persist != nil {
-				// Stamp the corpus content hash now, against the exact set
-				// the session will replay over (resolveSource just fetched
-				// it, so the store serves the cached instance): persisted
-				// outcomes are only ever revived for this fingerprint.
-				if fp, err := m.corpusFingerprint(tenant, spec.Corpus); err == nil {
-					memo.fp = fp
-				}
+		// Result cache first (opt-in): an identical completed session's
+		// outcome serves this one whole — no pipeline, no scheduler, so
+		// the memo binding below is skipped too.
+		if m.cfg.ResultCacheCap > 0 {
+			if c := ts.results[key]; c != nil {
+				m.memoTick++
+				c.lastUse = m.memoTick
+				cached = c
 			}
-			ts.shared[key] = memo
 		}
-		memo.lastUse = m.memoTick
-		shared = memo.sched
-		// LRU-bound the memo map: beyond the cap, the stalest
-		// fingerprint's memo is dropped (a later session over it just
-		// rebuilds from scratch).
-		for len(ts.shared) > m.cfg.TenantMemoCap {
-			var lruKey string
-			var lruTick int64
-			for k, cand := range ts.shared {
-				if lruKey == "" || cand.lastUse < lruTick {
-					lruKey, lruTick = k, cand.lastUse
+		if cached == nil {
+			m.memoTick++
+			memo := ts.shared[key]
+			if memo == nil {
+				memo = &tenantMemo{corpus: spec.Corpus, sched: aid.NewSharedScheduler()}
+				if m.persist != nil {
+					// Stamp the corpus content hash now, against the exact set
+					// the session will replay over (resolveSource just fetched
+					// it, so the store serves the cached instance): persisted
+					// outcomes are only ever revived for this fingerprint.
+					if fp, err := m.corpusFingerprint(tenant, spec.Corpus); err == nil {
+						memo.fp = fp
+					}
 				}
+				ts.shared[key] = memo
 			}
-			delete(ts.shared, lruKey)
+			memo.lastUse = m.memoTick
+			shared = memo.sched
+			// LRU-bound the memo map: beyond the cap, the stalest
+			// fingerprint's memo is dropped (a later session over it just
+			// rebuilds from scratch).
+			for len(ts.shared) > m.cfg.TenantMemoCap {
+				var lruKey string
+				var lruTick int64
+				for k, cand := range ts.shared {
+					if lruKey == "" || cand.lastUse < lruTick {
+						lruKey, lruTick = k, cand.lastUse
+					}
+				}
+				delete(ts.shared, lruKey)
+			}
 		}
 	}
 	m.sessions[id] = s
@@ -370,15 +420,29 @@ func (m *Manager) Start(tenant string, spec SessionSpec) (*Session, error) {
 	m.wg.Add(1)
 	m.mu.Unlock()
 
-	go m.run(ctx, s, source, shared)
+	go m.run(ctx, s, source, shared, cached)
 	return s, nil
 }
 
 // run is a session's goroutine: wait for a budget slot, execute the
-// pipeline with panic containment, record the outcome.
-func (m *Manager) run(ctx context.Context, s *Session, source aid.TraceSource, shared *aid.SharedScheduler) {
+// pipeline with panic containment, record the outcome. A session bound
+// to a cached result at admission skips all of that — no budget slot,
+// no pipeline, no scheduler, no persistence — and is answered by
+// replaying the original session's event stream and reusing its
+// detached report and canonical JSON.
+func (m *Manager) run(ctx context.Context, s *Session, source aid.TraceSource, shared *aid.SharedScheduler, cached *cachedResult) {
 	defer m.wg.Done()
 	defer s.cancel() // release the timeout timer
+
+	if cached != nil {
+		s.mu.Lock()
+		s.state = StateRunning
+		s.started = time.Now()
+		s.mu.Unlock()
+		s.log.replay(cached.events)
+		m.finishCached(s, cached)
+		return
+	}
 
 	weight := s.spec.Workers
 	if weight < 1 {
@@ -448,8 +512,12 @@ func (m *Manager) runPipeline(ctx context.Context, s *Session, source aid.TraceS
 	return aid.New(opts...).Run(ctx, source)
 }
 
-// finish records a session's terminal state.
+// finish records a session's terminal state and, with the result cache
+// on, retains a successful shareable session's outcome for later
+// identical sessions.
 func (m *Manager) finish(s *Session, rep *aid.Report, err error) {
+	var cacheRep *aid.Report
+	var cacheJS []byte
 	s.mu.Lock()
 	s.finished = time.Now()
 	switch {
@@ -473,6 +541,41 @@ func (m *Manager) finish(s *Session, rep *aid.Report, err error) {
 		s.state = StateFailed
 		s.err = err
 	}
+	if s.state == StateDone && m.cfg.ResultCacheCap > 0 {
+		// Cache a copy detached from the session's own report: a client
+		// holding the session's *Report cannot reach the cached one.
+		cacheRep = s.report.Detach()
+		cacheJS = s.reportJS
+	}
+	s.mu.Unlock()
+	close(s.done)
+
+	m.mu.Lock()
+	ts := m.tenants[s.tenant]
+	if ts != nil {
+		ts.active--
+	}
+	if cacheRep != nil && ts != nil {
+		if key := s.spec.shareKey(); key != "" {
+			m.storeResultLocked(ts, key, s, cacheRep, cacheJS)
+		}
+	}
+	m.terminal++
+	m.pruneLocked()
+	m.mu.Unlock()
+}
+
+// finishCached records the terminal state of a session served from the
+// result cache: done, with a fresh detached copy of the cached report
+// and the cached canonical JSON verbatim (no re-marshal). Its scheduler
+// counters stay zero — it never touched the scheduler.
+func (m *Manager) finishCached(s *Session, cached *cachedResult) {
+	s.mu.Lock()
+	s.finished = time.Now()
+	s.state = StateDone
+	s.fromCache = true
+	s.report = cached.report.Detach()
+	s.reportJS = cached.reportJS
 	s.mu.Unlock()
 	close(s.done)
 
@@ -483,6 +586,33 @@ func (m *Manager) finish(s *Session, rep *aid.Report, err error) {
 	m.terminal++
 	m.pruneLocked()
 	m.mu.Unlock()
+}
+
+// storeResultLocked retains a completed session's outcome in the
+// tenant's result cache under its share key, LRU-bounding the cache at
+// Config.ResultCacheCap (m.mu held).
+func (m *Manager) storeResultLocked(ts *tenantState, key string, s *Session, rep *aid.Report, js []byte) {
+	if ts.results == nil {
+		ts.results = map[string]*cachedResult{}
+	}
+	m.memoTick++
+	ts.results[key] = &cachedResult{
+		corpus:   s.spec.Corpus,
+		report:   rep,
+		reportJS: js,
+		events:   s.log.snapshot(),
+		lastUse:  m.memoTick,
+	}
+	for len(ts.results) > m.cfg.ResultCacheCap {
+		var lruKey string
+		var lruTick int64
+		for k, c := range ts.results {
+			if lruKey == "" || c.lastUse < lruTick {
+				lruKey, lruTick = k, c.lastUse
+			}
+		}
+		delete(ts.results, lruKey)
+	}
 }
 
 // pruneLocked evicts the oldest terminal sessions beyond the retention

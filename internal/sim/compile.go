@@ -132,6 +132,13 @@ type compiled struct {
 	mutexIdx    map[string]int32
 	strs        []string
 	strIdx      map[string]int32
+	// mutexRank is mutexRanks(mutexNames), shared by every Prepared
+	// whose plan injects no new mutex; uncaughtSig[i] is
+	// UncaughtSig(strs[i]) — both precomputed so the replay hot path
+	// (one Prepare per plan, one signature per failing run) allocates
+	// neither.
+	mutexRank   []int32
+	uncaughtSig []string
 
 	// Fixed indices of the runtime-thrown exception kinds.
 	kindDiv0, kindOOB, kindSync int32
@@ -214,6 +221,11 @@ func compileProgram(p *Program) *compiled {
 		c.funcs[i] = cfunc{name: n, entry: entry, end: int32(len(c.code))}
 	}
 	c.entryFn = c.fnIdx[p.Entry]
+	c.mutexRank = mutexRanks(c.mutexNames)
+	c.uncaughtSig = make([]string, len(c.strs))
+	for i, s := range c.strs {
+		c.uncaughtSig[i] = UncaughtSig(s)
+	}
 	c.base = newBasePrepared(p, c)
 	return c
 }
@@ -484,7 +496,7 @@ func newBasePrepared(p *Program, c *compiled) *Prepared {
 		globalInit:  c.globalInit,
 		nMutexes:    len(c.mutexNames),
 		mutexNames:  c.mutexNames,
-		mutexRank:   mutexRanks(c.mutexNames),
+		mutexRank:   c.mutexRank,
 	}
 	for i := range c.funcs {
 		pp.entries[i] = c.funcs[i].entry
@@ -634,7 +646,13 @@ func Prepare(p *Program, plan Plan) (*Prepared, error) {
 	}
 	pp.nGlobals = len(pp.globalNames)
 	pp.nMutexes = len(pp.mutexNames)
-	pp.mutexRank = mutexRanks(pp.mutexNames)
+	if len(pp.mutexNames) == len(c.mutexNames) {
+		// No injected lock added a mutex: the slot set (and order) is
+		// the compiled program's, so its precomputed ranks apply.
+		pp.mutexRank = c.mutexRank
+	} else {
+		pp.mutexRank = mutexRanks(pp.mutexNames)
+	}
 	c.lastPlan.Store(&planMemo{plan: plan, pp: pp})
 	return pp, nil
 }

@@ -689,7 +689,7 @@ func (m *machine) unwindThrow(ti int32) {
 	if len(th.stack) == 0 {
 		th.mode = mRun
 		th.done = true
-		m.fail(UncaughtSig(m.pp.c.strs[th.excIdx]))
+		m.fail(m.pp.c.uncaughtSig[th.excIdx])
 		return
 	}
 	fr := th.stack[len(th.stack)-1]
@@ -719,7 +719,7 @@ func (m *machine) unwindThrow(ti int32) {
 		if len(th.stack) == 0 {
 			th.mode = mRun
 			th.done = true
-			m.fail(UncaughtSig(m.pp.c.strs[th.excIdx]))
+			m.fail(m.pp.c.uncaughtSig[th.excIdx])
 		}
 	default:
 		th.stack = th.stack[:len(th.stack)-1]

@@ -13,8 +13,11 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 )
 
 // ThreadID identifies a simulated thread within one execution.
@@ -154,28 +157,25 @@ type Execution struct {
 // Failed reports whether the execution's outcome is Failure.
 func (e *Execution) Failed() bool { return e.Outcome == Failure }
 
-// callsByStart implements the canonical span order without reflection
-// (sort.SliceStable allocates a reflect-based swapper per call; the
-// replay path sorts once per execution).
-type callsByStart []MethodCall
-
-func (s callsByStart) Len() int      { return len(s) }
-func (s callsByStart) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
-func (s callsByStart) Less(i, j int) bool {
-	a, b := &s[i], &s[j]
-	if a.Start != b.Start {
-		return a.Start < b.Start
+// compareCallsByStart is the canonical span order. The replay path
+// sorts once per execution, so the sort must not allocate — the
+// generic stable sort boxes nothing (sort.Stable's interface
+// conversion escapes; sort.SliceStable adds a reflect-based swapper).
+func compareCallsByStart(a, b MethodCall) int {
+	switch {
+	case a.Start != b.Start:
+		return cmp.Compare(a.Start, b.Start)
+	case a.Thread != b.Thread:
+		return cmp.Compare(a.Thread, b.Thread)
+	default:
+		return strings.Compare(a.Method, b.Method)
 	}
-	if a.Thread != b.Thread {
-		return a.Thread < b.Thread
-	}
-	return a.Method < b.Method
 }
 
 // SortCalls orders spans by start time, breaking ties by thread then
 // method name so traces are canonical and diffable.
 func (e *Execution) SortCalls() {
-	sort.Stable(callsByStart(e.Calls))
+	slices.SortStableFunc(e.Calls, compareCallsByStart)
 }
 
 // Canonicalize puts the execution in canonical form: spans sorted and
@@ -190,11 +190,28 @@ func (e *Execution) Canonicalize() {
 // NumberInstances assigns Instance indices to calls: the k-th start of a
 // method within the execution gets instance k. Calls must be sorted.
 func (e *Execution) NumberInstances() {
-	seen := make(map[string]int)
+	// A linear-scan counter over a stack array instead of a map: this
+	// runs once per replayed execution on the intervention hot path,
+	// and programs have a handful of distinct methods — the array only
+	// spills to the heap past 32 of them.
+	type methodCount struct {
+		method string
+		next   int
+	}
+	var scratch [32]methodCount
+	seen := scratch[:0]
+outer:
 	for i := range e.Calls {
 		m := e.Calls[i].Method
-		e.Calls[i].Instance = seen[m]
-		seen[m]++
+		for j := range seen {
+			if seen[j].method == m {
+				e.Calls[i].Instance = seen[j].next
+				seen[j].next++
+				continue outer
+			}
+		}
+		e.Calls[i].Instance = 0
+		seen = append(seen, methodCount{m, 1})
 	}
 }
 

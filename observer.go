@@ -20,6 +20,27 @@ type ObserverFunc func(e Event)
 // OnEvent calls f.
 func (f ObserverFunc) OnEvent(e Event) { f(e) }
 
+// Observers fans one event stream out to several observers in order.
+// Events are delivered by value and shared immutably: the pipeline
+// detaches an event's slice-valued state from its own mutable
+// bookkeeping once at emission — not once per subscriber — so a
+// subscriber may retain events indefinitely, and appending to a
+// retained event's slices cannot corrupt the pipeline's round log or
+// a sibling's view. The flip side of sharing one clone is that
+// subscribers must treat received slices as read-only: an in-place
+// element write would be visible to the other subscribers. Nil
+// entries are skipped.
+type Observers []Observer
+
+// OnEvent delivers e to each observer in order.
+func (os Observers) OnEvent(e Event) {
+	for _, o := range os {
+		if o != nil {
+			o.OnEvent(e)
+		}
+	}
+}
+
 // Event is a typed pipeline progress event. The concrete types are
 // CollectProgress, TracesCollected, EffectsAnalyzed,
 // PredicatesExtracted, Ranked, DAGBuilt, RoundDone,

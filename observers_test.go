@@ -1,0 +1,91 @@
+package aid_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"aid"
+)
+
+// TestObserversFanOutIsolation pins the clone-once event contract: a
+// subscriber that appends to a retained RoundDone's slices — the easy
+// accidental mutation, since append looks value-like — must corrupt
+// neither the pipeline's own round log (the report, whose backing the
+// discovery loop keeps appending to after emission) nor what sibling
+// subscribers saw. In-place element writes are excluded by contract:
+// events share one clone, so received slices are read-only.
+func TestObserversFanOutIsolation(t *testing.T) {
+	ctx := context.Background()
+	study := aid.CaseStudies()[0]
+	opts := []aid.Option{aid.WithCorpusSize(20, 20), aid.WithReplays(3)}
+
+	clean, err := aid.New(opts...).Run(ctx, aid.FromStudy(study))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanJS, err := clean.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// witness records what a well-behaved subscriber saw; hostile
+	// scribbles over every slice it receives. Order matters: hostile
+	// runs first, so any sharing would corrupt witness's view too.
+	var witness []string
+	// hostile buffers rounds and post-processes them when discovery
+	// ends — the pattern the emission-time clone exists for: without
+	// it, a retained event's slices alias the discovery log's own
+	// entries (which branch pruning keeps appending to after the event
+	// fires), and a subscriber append could land inside the log's
+	// backing whenever the shared array had spare capacity.
+	var retained []aid.RoundDone
+	hostile := aid.ObserverFunc(func(e aid.Event) {
+		switch rd := e.(type) {
+		case aid.RoundDone:
+			rd.Round.Intervened = append(rd.Round.Intervened, "injected")
+			rd.Round.Intervened[len(rd.Round.Intervened)-1] = "clobbered"
+			retained = append(retained, rd)
+		case aid.DiscoveryDone:
+			for _, rd := range retained {
+				rd.Round.Pruned = append(rd.Round.Pruned, "injected")
+				rd.Round.Pruned[len(rd.Round.Pruned)-1] = "clobbered"
+			}
+		}
+	})
+	recorder := aid.ObserverFunc(func(e aid.Event) {
+		if rd, ok := e.(aid.RoundDone); ok {
+			for _, id := range rd.Round.Intervened {
+				witness = append(witness, string(id))
+			}
+		}
+	})
+	dirty, err := aid.New(append(opts,
+		aid.WithObserver(aid.Observers{hostile, nil, recorder}))...).
+		Run(ctx, aid.FromStudy(study))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyJS, err := dirty.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cleanJS, dirtyJS) {
+		t.Fatal("hostile subscriber changed the report")
+	}
+	for _, w := range witness {
+		if w == "clobbered" || w == "injected" {
+			t.Fatal("hostile subscriber's mutations leaked to a sibling observer")
+		}
+	}
+	if len(witness) == 0 {
+		t.Fatal("recorder observer saw no rounds")
+	}
+	var sum int
+	for _, rd := range clean.Rounds {
+		sum += len(rd.Intervened)
+	}
+	if len(witness) != sum {
+		t.Fatalf("recorder saw %d intervened predicates, report has %d", len(witness), sum)
+	}
+}

@@ -354,6 +354,15 @@ func (p *Pipeline) coreOptions() (core.Options, error) {
 		rounds := 0
 		opts.OnRound = func(r core.Round, m core.RoundMeta) {
 			rounds++
+			// Detach the round's slices from discovery's own log entry
+			// once at emission: branch pruning keeps appending to that
+			// entry's Pruned backing after the round fires, and a
+			// subscriber that appends to a retained event would
+			// otherwise race it for the same backing array. One clone is
+			// then shared immutably across every subscriber of an
+			// Observers fan-out.
+			r.Intervened = append([]predicate.ID(nil), r.Intervened...)
+			r.Pruned = append([]predicate.ID(nil), r.Pruned...)
 			p.emit(RoundDone{
 				Index:         rounds,
 				Round:         r,
@@ -733,6 +742,10 @@ func (p *Pipeline) Run(ctx context.Context, src TraceSource) (*Report, error) {
 
 	pathLen := len(aidRes.Path) - 1 // excluding F
 	s1, s2 := aidRes.PruningStats()
+	// The report assembles in pooled arena storage; Detach below is the
+	// one copy out, so the returned report owns its memory and the
+	// slabs go back to the pool for the next run.
+	ra := reportArenas.Get().(*reportArena)
 	report := &Report{
 		Study:             tr.Source,
 		Issue:             tr.Issue,
@@ -751,19 +764,18 @@ func (p *Pipeline) Run(ctx context.Context, src TraceSource) (*Report, error) {
 		Robustness:        robustness,
 		Result:            aidRes,
 	}
-	for _, id := range aidRes.Path {
-		report.Path = append(report.Path, string(id))
-	}
+	report.Path = ra.ids(aidRes.Path)
+	report.Explanation = ra.strings(len(aidRes.Path))
 	for i, id := range aidRes.Path {
 		desc := string(id)
 		if pr := corpus.Pred(id); pr != nil {
 			desc = pr.String()
 		}
-		report.Explanation = append(report.Explanation, fmt.Sprintf("(%d) %s", i+1, desc))
+		report.Explanation[i] = fmt.Sprintf("(%d) %s", i+1, desc)
 	}
 	report.Narrative = explain.Build(corpus, aidRes).String()
-	report.Rounds = reportRounds(aidRes.Rounds)
-	return report, nil
+	report.Rounds = ra.reportRounds(aidRes.Rounds)
+	return ra.detach(report), nil
 }
 
 func baselineSuccesses(set *trace.Set) []trace.Execution {

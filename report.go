@@ -139,25 +139,42 @@ type ReportRound struct {
 	Pruned []string `json:"pruned,omitempty"`
 }
 
-// reportRounds converts the discovery round log to its serializable
-// form.
-func reportRounds(rounds []Round) []ReportRound {
-	out := make([]ReportRound, 0, len(rounds))
-	for _, r := range rounds {
-		rr := ReportRound{
-			Phase:     r.Phase,
-			Stopped:   r.Stopped,
-			Confirmed: string(r.Confirmed),
-		}
-		for _, id := range r.Intervened {
-			rr.Intervened = append(rr.Intervened, string(id))
-		}
-		for _, id := range r.Pruned {
-			rr.Pruned = append(rr.Pruned, string(id))
-		}
-		out = append(out, rr)
+// Detach returns a deep copy of the report that shares no slice
+// storage with the original — the one copy out of pooled construction
+// arenas. Pipeline.Run builds its report in per-run pooled storage and
+// returns the detached copy, so reports handed to callers are always
+// stable; callers that carve reports from their own reused buffers use
+// Detach as the same boundary. Nil-ness of every slice is preserved,
+// so the detached report's JSON is byte-identical to the original's.
+// The unserialized Result pointer is shared, not copied: discovery
+// results are immutable once returned.
+func (r *Report) Detach() *Report {
+	if r == nil {
+		return nil
 	}
-	return out
+	out := *r
+	out.Path = append([]string(nil), r.Path...)
+	out.Explanation = append([]string(nil), r.Explanation...)
+	if r.Rounds != nil {
+		out.Rounds = make([]ReportRound, len(r.Rounds))
+		for i, rd := range r.Rounds {
+			rd.Intervened = append([]string(nil), rd.Intervened...)
+			rd.Pruned = append([]string(nil), rd.Pruned...)
+			out.Rounds[i] = rd
+		}
+	}
+	if r.Robustness != nil {
+		rb := *r.Robustness
+		if rb.Quarantined != nil {
+			rb.Quarantined = make([]ReportQuarantine, len(r.Robustness.Quarantined))
+			for i, q := range r.Robustness.Quarantined {
+				q.Group = append([]string(nil), q.Group...)
+				rb.Quarantined[i] = q
+			}
+		}
+		out.Robustness = &rb
+	}
+	return &out
 }
 
 // JSON serializes the report with indentation (the -json CLI output).

@@ -1,0 +1,73 @@
+package aid
+
+import (
+	"sync"
+
+	"aid/internal/arena"
+)
+
+// reportArena pools the construction storage of one Run's Report: the
+// Path/Explanation/round string slices are carved from reusable slabs
+// instead of allocated per run, and exactly one copy (Report.Detach)
+// leaves the arena at the end. The pool is a sync.Pool rather than a
+// per-Pipeline field because a Pipeline is documented safe for
+// concurrent Run calls — each in-flight run owns one arena.
+type reportArena struct {
+	ar     arena.Arena
+	strs   *arena.Pool[string]
+	rounds *arena.Pool[ReportRound]
+}
+
+var reportArenas = sync.Pool{New: func() any {
+	ra := &reportArena{}
+	ra.strs = arena.NewPoolIn[string](&ra.ar, 512)
+	ra.rounds = arena.NewPoolIn[ReportRound](&ra.ar, 64)
+	return ra
+}}
+
+// strings carves an exact-size string slice from the arena.
+func (ra *reportArena) strings(n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return ra.strs.Make(n)
+}
+
+// ids converts predicate IDs to strings in arena storage.
+func (ra *reportArena) ids(ids []PredicateID) []string {
+	out := ra.strings(len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+// reportRounds converts the discovery round log to its serializable
+// form in arena storage.
+func (ra *reportArena) reportRounds(rounds []Round) []ReportRound {
+	if len(rounds) == 0 {
+		// Non-nil like the historical conversion: a round-less report
+		// serializes "rounds": [], not null.
+		return []ReportRound{}
+	}
+	out := ra.rounds.Make(len(rounds))
+	for i, r := range rounds {
+		out[i] = ReportRound{
+			Phase:      r.Phase,
+			Stopped:    r.Stopped,
+			Confirmed:  string(r.Confirmed),
+			Intervened: ra.ids(r.Intervened),
+			Pruned:     ra.ids(r.Pruned),
+		}
+	}
+	return out
+}
+
+// detach produces the report's one copy out of the arena and returns
+// the arena's storage to the pool for the next run.
+func (ra *reportArena) detach(r *Report) *Report {
+	out := r.Detach()
+	ra.ar.Reset()
+	reportArenas.Put(ra)
+	return out
+}
